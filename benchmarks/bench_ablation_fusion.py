@@ -1,0 +1,70 @@
+"""Ablation — single-qubit gate fusion (extension; cf. paper reference [37]).
+
+Fusing maximal single-qubit runs into one ``u3`` trades many DD
+matrix-vector multiplications for one, the circuit-level analogue of the
+matrix-matrix-vs-matrix-vector trade-off the paper's reference [37]
+studies.  ``basis_trotter`` — thousands of tiny gates on four qubits — is
+the natural showcase.
+
+Fusion also merges error-insertion slots, so under a noise model it models
+hardware that compiles runs into single pulses; the benchmark therefore
+runs both variants noiselessly for an apples-to-apples gate-cost
+comparison, and separately under noise to show the slot-count effect.
+
+Run:  pytest benchmarks/bench_ablation_fusion.py --benchmark-only
+"""
+
+import pytest
+
+from repro.circuits.library import basis_trotter
+from repro.circuits.optimize import fuse_single_qubit_runs
+from repro.noise import NoiseModel
+from repro.stochastic import IdealFidelity, simulate_stochastic
+
+NOISELESS = NoiseModel.noiseless()
+NOISY = NoiseModel.paper_defaults()
+
+
+def circuits():
+    original = basis_trotter(4, layers=40)
+    return original, fuse_single_qubit_runs(original)
+
+
+@pytest.mark.parametrize("variant", ("original", "fused"))
+def test_noiseless_cost(benchmark, variant):
+    original, fused = circuits()
+    circuit = original if variant == "original" else fused
+    benchmark.group = "ablation-fusion-noiseless"
+    result = benchmark.pedantic(
+        lambda: simulate_stochastic(
+            circuit, NOISELESS, [], trajectories=5, seed=0, sample_shots=0
+        ),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert result.completed_trajectories == 5
+
+
+@pytest.mark.parametrize("variant", ("original", "fused"))
+def test_noisy_cost(benchmark, variant):
+    original, fused = circuits()
+    circuit = original if variant == "original" else fused
+    benchmark.group = "ablation-fusion-noisy"
+    result = benchmark.pedantic(
+        lambda: simulate_stochastic(
+            circuit, NOISY, [IdealFidelity()], trajectories=5, seed=0, sample_shots=0
+        ),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert result.completed_trajectories == 5
+
+
+def test_fusion_reduces_gate_count(benchmark):
+    def build():
+        return circuits()
+
+    original, fused = benchmark(build)
+    assert fused.num_gates() < original.num_gates()

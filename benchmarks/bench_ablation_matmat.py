@@ -1,0 +1,79 @@
+"""Ablation — matrix-vector vs matrix-matrix DD simulation (paper ref [37]).
+
+Zulehner/Wille (DATE 2019) compare two ways of simulating a circuit with
+decision diagrams: apply each gate to the state (matrix-vector), or first
+compose the whole circuit unitary (matrix-matrix) and apply it once.  The
+trade-off: intermediate *states* can stay compact while the intermediate
+*operators* blow up — and vice versa for some structures.
+
+Measured here on both regimes:
+
+* GHZ: the state DD stays at 2n-1 nodes while the partial-product unitary
+  stays linear as well (Clifford structure) — comparable costs;
+* QFT: intermediate unitaries densify (the full QFT matrix DD is
+  exponential-ish in structure), while per-gate states stay linear —
+  matrix-vector wins decisively.
+
+Run:  pytest benchmarks/bench_ablation_matmat.py --benchmark-only
+"""
+
+import random
+
+import pytest
+
+from repro.circuits.library import ghz, qft
+from repro.simulators import DDBackend, execute_circuit
+from repro.simulators.unitary import circuit_unitary_dd
+
+QUBITS = 10
+
+
+def matvec_run(circuit):
+    backend = DDBackend(circuit.num_qubits)
+    execute_circuit(backend, circuit, random.Random(0))
+    return backend
+
+
+def matmat_run(circuit):
+    package, unitary = circuit_unitary_dd(circuit)
+    state = package.multiply(unitary, package.zero_state(circuit.num_qubits))
+    return package, state
+
+
+@pytest.mark.parametrize("workload", ("ghz", "qft"))
+def test_matrix_vector(benchmark, workload):
+    circuit = ghz(QUBITS) if workload == "ghz" else qft(QUBITS, do_swaps=False)
+    benchmark.group = f"ablation-matmat-{workload}"
+    backend = benchmark.pedantic(
+        lambda: matvec_run(circuit), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert backend.probability_of_basis([0] * QUBITS) > 0.0
+
+
+@pytest.mark.parametrize("workload", ("ghz", "qft"))
+def test_matrix_matrix(benchmark, workload):
+    circuit = ghz(QUBITS) if workload == "ghz" else qft(QUBITS, do_swaps=False)
+    benchmark.group = f"ablation-matmat-{workload}"
+    package, state = benchmark.pedantic(
+        lambda: matmat_run(circuit), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert package.get_amplitude(state, [0] * QUBITS) != 0
+
+
+def test_both_regimes_agree(benchmark):
+    circuit = qft(6, do_swaps=False)
+
+    def compare():
+        backend = matvec_run(circuit)
+        package, state = matmat_run(circuit)
+        import numpy as np
+
+        return bool(
+            np.allclose(
+                backend.statevector(),
+                package.to_state_vector(state, 6),
+                atol=1e-9,
+            )
+        )
+
+    assert benchmark.pedantic(compare, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,98 @@
+"""Ablation — what the sum-of-squares normalisation buys at measurement time.
+
+DESIGN.md: vector nodes are normalised so outgoing squared weights sum
+to 1.  The payoff is that outcome probabilities factor along root-to-
+terminal paths, making a complete measurement sample an O(n) walk
+(``sample_basis_state``).  Without the invariant one must reconstruct
+amplitudes per basis state — exponential work per sample.
+
+This ablation benchmarks the O(n) path walk against the amplitude-
+reconstruction sampler on the same state, at growing register width.
+
+Run:  pytest benchmarks/bench_ablation_sampling.py --benchmark-only
+"""
+
+import random
+
+import pytest
+
+from repro.circuits import gates
+from repro.dd import DDPackage
+
+SHOTS = 200
+
+
+def prepare(num_qubits):
+    """A partially entangled, partially product state (non-trivial DD)."""
+    package = DDPackage(num_qubits)
+    state = package.zero_state()
+    state = package.multiply(package.gate(gates.H, 0), state)
+    for qubit in range(num_qubits - 1):
+        state = package.multiply(package.gate(gates.X, qubit + 1, {qubit: 1}), state)
+    state = package.multiply(package.gate(gates.ry(0.7), num_qubits - 1), state)
+    return package, state
+
+
+def sample_by_amplitude_reconstruction(package, state, num_qubits, rng):
+    """The sampler one is forced into without the norm invariant:
+    inverse-CDF over amplitudes reconstructed path-by-path."""
+    pick = rng.random()
+    cumulative = 0.0
+    for index in range(2**num_qubits):
+        bits = [(index >> (num_qubits - 1 - q)) & 1 for q in range(num_qubits)]
+        cumulative += abs(package.get_amplitude(state, bits)) ** 2
+        if pick < cumulative:
+            return format(index, f"0{num_qubits}b")
+    return "1" * num_qubits
+
+
+@pytest.mark.parametrize("num_qubits", (6, 10, 14))
+def test_path_walk_sampler(benchmark, num_qubits):
+    """O(n)-per-shot sampling enabled by the normalisation invariant."""
+    package, state = prepare(num_qubits)
+    benchmark.group = f"ablation-sampling-n{num_qubits}"
+
+    def run():
+        rng = random.Random(0)
+        return [package.sample_basis_state(state, rng) for _ in range(SHOTS)]
+
+    samples = benchmark(run)
+    assert len(samples) == SHOTS
+
+
+@pytest.mark.parametrize("num_qubits", (6, 10, 14))
+def test_amplitude_reconstruction_sampler(benchmark, num_qubits):
+    """The exponential alternative (kept small: O(2^n) per shot)."""
+    package, state = prepare(num_qubits)
+    benchmark.group = f"ablation-sampling-n{num_qubits}"
+    shots = 20  # far fewer shots; this sampler is the expensive arm
+
+    def run():
+        rng = random.Random(0)
+        return [
+            sample_by_amplitude_reconstruction(package, state, num_qubits, rng)
+            for _ in range(shots)
+        ]
+
+    samples = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    assert len(samples) == shots
+
+
+def test_samplers_agree_statistically(benchmark):
+    """Both samplers draw from the same distribution."""
+    package, state = prepare(4)
+
+    def compare():
+        rng = random.Random(1)
+        fast = [package.sample_basis_state(state, rng) for _ in range(3000)]
+        rng = random.Random(1)
+        slow = [
+            sample_by_amplitude_reconstruction(package, state, 4, rng)
+            for _ in range(3000)
+        ]
+        return fast, slow
+
+    fast, slow = benchmark.pedantic(compare, rounds=1, iterations=1, warmup_rounds=0)
+    fast_zero_fraction = sum(1 for s in fast if s.startswith("0")) / len(fast)
+    slow_zero_fraction = sum(1 for s in slow if s.startswith("0")) / len(slow)
+    assert fast_zero_fraction == pytest.approx(slow_zero_fraction, abs=0.05)

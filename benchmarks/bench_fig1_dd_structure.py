@@ -1,0 +1,90 @@
+"""Fig. 1 — decision-diagram representation: structure and construction cost.
+
+The paper's Fig. 1 illustrates the data structure itself: (a) a Bell-type
+state as a vector DD, (b) Z (x) I as a matrix DD, (c) the two outcomes of
+an amplitude-damping event.  This benchmark regenerates all three panels,
+asserts their exact structure (node counts, branch probabilities, weights)
+and measures the cost of the underlying operations — node construction,
+gate-DD building, and the state-dependent Kraus branching of Example 6.
+
+Run:  pytest benchmarks/bench_fig1_dd_structure.py --benchmark-only
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.circuits import gates
+from repro.dd import DDPackage
+from repro.noise import amplitude_damping_kraus
+from repro.simulators import DDBackend
+
+
+def build_bell(package):
+    state = package.zero_state()
+    state = package.multiply(package.gate(gates.H, 0), state)
+    return package.multiply(package.gate(gates.X, 1, {0: 1}), state)
+
+
+def test_fig1a_bell_state_dd(benchmark):
+    """Panel (a): the Bell-type vector DD — 3 nodes, correct amplitudes."""
+
+    def build():
+        package = DDPackage(2)
+        return package, build_bell(package)
+
+    package, state = benchmark(build)
+    assert package.node_count(state) == 3
+    assert package.get_amplitude(state, [1, 1]) == pytest.approx(1 / math.sqrt(2))
+    assert package.get_amplitude(state, [0, 1]) == 0.0
+
+
+def test_fig1b_operator_dd(benchmark):
+    """Panel (b): the Z (x) I matrix DD — 2 nodes, entry (2,2) = -1."""
+
+    def build():
+        package = DDPackage(2)
+        return package, package.gate(gates.Z, 0)
+
+    package, operator = benchmark(build)
+    assert package.node_count(operator) == 2
+    dense = package.to_operator_matrix(operator)
+    assert np.allclose(dense, np.kron(gates.Z, np.eye(2)))
+
+
+def test_fig1c_amplitude_damping_branches(benchmark):
+    """Panel (c): Example 6's two damping outcomes with probabilities
+    p/2 and 1 - p/2."""
+    p = 0.3
+    kraus = amplitude_damping_kraus(p)
+
+    def branch():
+        package = DDPackage(2)
+        state = build_bell(package)
+        no_decay = package.multiply(package.gate(kraus[0], 0), state)
+        decay = package.multiply(package.gate(kraus[1], 0), state)
+        return package, no_decay, decay
+
+    package, no_decay, decay = benchmark(branch)
+    assert package.squared_norm(decay) == pytest.approx(p / 2)
+    assert package.squared_norm(no_decay) == pytest.approx(1 - p / 2)
+    # The decay branch collapses to |01>.
+    vector = package.to_state_vector(package.normalize(decay))
+    assert abs(vector[0b01]) == pytest.approx(1.0)
+
+
+def test_fig1c_stochastic_branch_selection(benchmark):
+    """The end-to-end stochastic damping step of the simulator: apply the
+    channel, select a branch by its norm, renormalise."""
+    kraus = amplitude_damping_kraus(0.3)
+
+    def select():
+        backend = DDBackend(2)
+        backend.apply_gate(gates.H, 0, {})
+        backend.apply_gate(gates.X, 1, {0: 1})
+        return backend.apply_kraus_branch(kraus, 0, random.Random(5))
+
+    chosen = benchmark(select)
+    assert chosen in (0, 1)

@@ -1,0 +1,79 @@
+"""Ablation — stochastic trajectories vs the exact mixed-state formalism.
+
+Section III's core argument: evolving the density matrix squares the state
+dimension (2^n -> 4^n work per operation), while stochastic simulation
+keeps pure states and pays a statistical price controlled by Theorem 1.
+This benchmark measures both engines on the same noisy workload at growing
+register width; the exact oracle's runtime multiplies by ~16 per two added
+qubits while the stochastic DD engine's stays near-flat on GHZ.
+
+Run:  pytest benchmarks/bench_stochastic_vs_exact.py --benchmark-only
+"""
+
+import pytest
+
+from repro.circuits.library import ghz
+from repro.noise import NoiseModel, exact_channel_factory
+from repro.simulators import DensityMatrixSimulator
+from repro.stochastic import BasisProbability, simulate_stochastic
+
+NOISE = NoiseModel.paper_defaults().scaled(10)
+QUBITS = (2, 4, 6, 8)
+M = 50
+
+
+@pytest.mark.parametrize("n", QUBITS)
+def test_exact_density_matrix(benchmark, n):
+    """The 4^n-scaling exact reference."""
+    circuit = ghz(n)
+    benchmark.group = f"stochastic-vs-exact-n{n}"
+
+    def run():
+        oracle = DensityMatrixSimulator(n)
+        oracle.run_circuit(circuit, exact_channel_factory(NOISE))
+        return oracle.probability_of_basis([0] * n)
+
+    value = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    assert 0.0 <= value <= 1.0
+
+
+@pytest.mark.parametrize("n", QUBITS)
+def test_stochastic_dd(benchmark, n):
+    """The stochastic engine at a fixed statistical budget."""
+    circuit = ghz(n)
+    benchmark.group = f"stochastic-vs-exact-n{n}"
+
+    def run():
+        result = simulate_stochastic(
+            circuit,
+            NOISE,
+            [BasisProbability("0" * n)],
+            trajectories=M,
+            seed=0,
+            sample_shots=0,
+        )
+        return result.mean(f"P(|{'0' * n}>)")
+
+    value = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    assert 0.0 <= value <= 1.0
+
+
+def test_estimates_agree(benchmark):
+    """At moderate M the two engines agree within the Hoeffding width."""
+    n = 4
+    circuit = ghz(n)
+
+    def compare():
+        oracle = DensityMatrixSimulator(n)
+        oracle.run_circuit(circuit, exact_channel_factory(NOISE))
+        exact = oracle.probability_of_basis([0] * n)
+        result = simulate_stochastic(
+            circuit, NOISE, [BasisProbability("0000")], trajectories=2000, seed=4,
+            sample_shots=0,
+        )
+        return exact, result.mean("P(|0000>)")
+
+    exact, estimate = benchmark.pedantic(
+        compare, rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert estimate == pytest.approx(exact, abs=0.05)

@@ -1,0 +1,58 @@
+"""Table Ib — QFT circuits: proposed DD vs array baseline.
+
+Paper shape to reproduce (Table Ib): both engines are slower than on GHZ
+(QFT has a quadratic gate count), the array baseline still blows up
+exponentially (Qiskit >1 h at 19 qubits, QLM at 14), and the DD simulator
+reaches 64 qubits with runtimes growing polynomially — noticeably steeper
+than Table Ia but nowhere near exponential.
+
+Run:  pytest benchmarks/bench_table1b_qft.py --benchmark-only
+"""
+
+import pytest
+
+from repro.circuits.library import qft
+from repro.stochastic import BasisProbability, simulate_stochastic
+
+from .conftest import TRAJECTORIES, run_once
+
+STATEVECTOR_QUBITS = (4, 8, 12)
+DD_QUBITS = (4, 8, 12, 16, 24, 32)
+
+# The swap-free QFT is benchmarked: the final swap network's eps-tilted
+# inputs defeat DD re-merging numerically (DESIGN.md, finding #2), and the
+# paper's reported runtimes imply the swap-free form.
+DO_SWAPS = False
+
+
+def _run(circuit, backend, noise):
+    return simulate_stochastic(
+        circuit,
+        noise,
+        [BasisProbability("0" * circuit.num_qubits)],
+        trajectories=TRAJECTORIES,
+        backend=backend,
+        seed=0,
+        sample_shots=0,
+    )
+
+
+@pytest.mark.parametrize("n", STATEVECTOR_QUBITS)
+def test_qft_statevector(benchmark, paper_noise, n):
+    """Baseline (array) rows of Table Ib."""
+    circuit = qft(n, do_swaps=DO_SWAPS)
+    benchmark.group = f"table1b-n{n}"
+    result = run_once(benchmark, lambda: _run(circuit, "statevector", paper_noise))
+    assert result.completed_trajectories == TRAJECTORIES
+
+
+@pytest.mark.parametrize("n", DD_QUBITS)
+def test_qft_dd(benchmark, paper_noise, n):
+    """Proposed (DD) rows of Table Ib."""
+    circuit = qft(n, do_swaps=DO_SWAPS)
+    benchmark.group = f"table1b-n{n}"
+    result = run_once(benchmark, lambda: _run(circuit, "dd", paper_noise))
+    assert result.completed_trajectories == TRAJECTORIES
+    # QFT on basis states stays a product state: linear-size diagrams, with
+    # a generous factor for transient noise-induced growth.
+    assert result.peak_nodes <= 6 * n + 16

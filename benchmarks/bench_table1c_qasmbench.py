@@ -1,0 +1,73 @@
+"""Table Ic — QASMBench circuits: proposed DD vs array baseline.
+
+Paper shape to reproduce (Table Ic): the DD simulator wins — often by
+orders of magnitude — on circuits whose states stay structured (bv,
+multiplier, bigadder, sat, seca), and *loses* on circuits that densify the
+state (ising, vqe_uccsd, cc; the paper reports vqe_uccsd-8 and cc hitting
+the one-hour timeout while Qiskit finishes).
+
+Each paper row is benchmarked on both engines at the published qubit count.
+The dense rows are the expensive ones here too; their trajectory budget is
+reduced further so the whole suite stays laptop-friendly while the
+win/lose direction per row remains visible.
+
+Run:  pytest benchmarks/bench_table1c_qasmbench.py --benchmark-only
+"""
+
+import pytest
+
+from repro.circuits.library import QASMBENCH_CIRCUITS
+from repro.stochastic import simulate_stochastic
+
+from .conftest import TRAJECTORIES, run_once
+
+#: Rows where the paper reports the DD simulator ahead.  (Measured note:
+#: ``cc`` is listed as a DD *loss* in the paper but is structured — and a
+#: DD win — under this reproduction's circuit construction; see
+#: EXPERIMENTS.md.)
+DD_WINS = ("bv", "multiplier", "bigadder", "sat", "seca", "basis_trotter", "cc")
+#: Rows whose states densify: the DD engine pays exponential node counts
+#: (the paper's ``ising``/``vqe_uccsd``/``cc`` rows, with vqe_uccsd_8 being
+#: one of its ">1 h" entries).
+DD_LOSES = ("ising", "vqe_uccsd_6", "vqe_uccsd_8")
+
+#: Dense circuits get a minimal budget — a single DD trajectory of
+#: ``vqe_uccsd_8`` already takes tens of seconds in pure Python, which is
+#: the very effect the row demonstrates.
+DENSE_TRAJECTORIES = max(1, TRAJECTORIES // 10)
+
+
+def _run(name, backend, noise, trajectories):
+    _, generator = QASMBENCH_CIRCUITS[name]
+    circuit = generator()
+    return simulate_stochastic(
+        circuit,
+        noise,
+        [],
+        trajectories=trajectories,
+        backend=backend,
+        seed=0,
+        sample_shots=0,
+    )
+
+
+@pytest.mark.parametrize("name", DD_WINS)
+@pytest.mark.parametrize("backend", ("statevector", "dd"))
+def test_structured_rows(benchmark, paper_noise, name, backend):
+    """Rows where structured states keep decision diagrams small."""
+    benchmark.group = f"table1c-{name}"
+    result = run_once(
+        benchmark, lambda: _run(name, backend, paper_noise, TRAJECTORIES)
+    )
+    assert result.completed_trajectories == TRAJECTORIES
+
+
+@pytest.mark.parametrize("name", DD_LOSES)
+@pytest.mark.parametrize("backend", ("statevector", "dd"))
+def test_dense_rows(benchmark, paper_noise, name, backend):
+    """Rows where dense states blow decision diagrams up (DD loses)."""
+    benchmark.group = f"table1c-{name}"
+    result = run_once(
+        benchmark, lambda: _run(name, backend, paper_noise, DENSE_TRAJECTORIES)
+    )
+    assert result.completed_trajectories == DENSE_TRAJECTORIES

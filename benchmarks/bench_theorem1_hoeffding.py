@@ -1,0 +1,84 @@
+"""Theorem 1 — the Monte-Carlo accuracy/cost trade-off.
+
+The paper's Theorem 1 prices the whole method: M = log(2L/delta)/(2 eps)^2
+trajectories estimate L quadratic properties to accuracy eps with
+confidence 1 - delta, *independent of system size*.  This benchmark
+measures the two sides of that bargain:
+
+* estimation runtime is linear in M (the knob the bound controls), and
+* at fixed M, estimating many properties at once costs barely more than
+  estimating one (the logarithmic L-dependence in sample count, and the
+  shared trajectories in runtime).
+
+Run:  pytest benchmarks/bench_theorem1_hoeffding.py --benchmark-only
+"""
+
+import pytest
+
+from repro.circuits.library import ghz
+from repro.noise import NoiseModel
+from repro.stochastic import (
+    BasisProbability,
+    hoeffding_samples,
+    simulate_stochastic,
+)
+
+NOISE = NoiseModel.paper_defaults().scaled(10)
+
+
+@pytest.mark.parametrize("m", (50, 200, 800))
+def test_runtime_linear_in_m(benchmark, m):
+    """Runtime scales linearly with the trajectory budget M."""
+    circuit = ghz(6)
+    benchmark.group = "theorem1-m-sweep"
+
+    result = benchmark.pedantic(
+        lambda: simulate_stochastic(
+            circuit, NOISE, [BasisProbability("000000")], trajectories=m, seed=1,
+            sample_shots=0,
+        ),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert result.completed_trajectories == m
+
+
+@pytest.mark.parametrize("num_properties", (1, 8, 64))
+def test_many_properties_share_trajectories(benchmark, num_properties):
+    """Estimating L properties reuses the same M trajectories (Section III:
+    'the same collection of samples can be used to estimate many quadratic
+    properties at once')."""
+    circuit = ghz(6)
+    properties = [
+        BasisProbability(format(i, "06b")) for i in range(num_properties)
+    ]
+    benchmark.group = "theorem1-property-sweep"
+
+    result = benchmark.pedantic(
+        lambda: simulate_stochastic(
+            circuit, NOISE, properties, trajectories=100, seed=2, sample_shots=0
+        ),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert len(result.estimates) == num_properties
+
+
+def test_sample_bound_evaluation(benchmark):
+    """The bound itself is cheap to evaluate across a parameter grid."""
+
+    def sweep():
+        total = 0
+        for num_properties in (1, 10, 100, 1000, 10000):
+            for epsilon in (0.1, 0.05, 0.01):
+                for delta in (0.1, 0.05, 0.01):
+                    total += hoeffding_samples(num_properties, epsilon, delta)
+                    total += hoeffding_samples(
+                        num_properties, epsilon, delta, paper_convention=True
+                    )
+        return total
+
+    total = benchmark(sweep)
+    assert total > 0

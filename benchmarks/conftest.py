@@ -1,0 +1,31 @@
+"""Shared configuration for the benchmark suite.
+
+Benchmarks mirror the paper's protocol (stochastic simulation with the
+Section V noise configuration) at laptop scale: the paper's M = 30 000 is
+replaced by small trajectory budgets because runtime is linear in M — the
+*ratios between simulators*, which are what Tables Ia-Ic demonstrate, are
+scale-invariant.  Budgets are environment-tunable:
+
+* ``REPRO_BENCH_TRAJECTORIES`` (default 10)
+* ``REPRO_BENCH_TIMEOUT`` seconds per case (default 60)
+"""
+
+import os
+
+import pytest
+
+from repro.noise import NoiseModel
+
+TRAJECTORIES = int(os.environ.get("REPRO_BENCH_TRAJECTORIES", "10"))
+TIMEOUT = float(os.environ.get("REPRO_BENCH_TIMEOUT", "60"))
+
+
+@pytest.fixture(scope="session")
+def paper_noise() -> NoiseModel:
+    """The paper's evaluation noise configuration (Section V)."""
+    return NoiseModel.paper_defaults()
+
+
+def run_once(benchmark, fn):
+    """Run a heavy case exactly once per benchmark (no warmup rounds)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

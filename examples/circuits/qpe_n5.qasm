@@ -1,0 +1,32 @@
+// Quantum phase estimation of the u1(2*pi*0.3125) eigenphase on |1>,
+// with a 4-bit counting register: reads 0.3125 * 16 = 5 deterministically.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[5];
+creg c[4];
+x q[4];
+h q[0];
+h q[1];
+h q[2];
+h q[3];
+cu1(2*pi*0.3125*8) q[0], q[4];
+cu1(2*pi*0.3125*4) q[1], q[4];
+cu1(2*pi*0.3125*2) q[2], q[4];
+cu1(2*pi*0.3125) q[3], q[4];
+// inverse QFT on the counting register (with qubit-reversal swaps)
+swap q[0], q[3];
+swap q[1], q[2];
+h q[3];
+cu1(-pi/2) q[3], q[2];
+h q[2];
+cu1(-pi/4) q[3], q[1];
+cu1(-pi/2) q[2], q[1];
+h q[1];
+cu1(-pi/8) q[3], q[0];
+cu1(-pi/4) q[2], q[0];
+cu1(-pi/2) q[1], q[0];
+h q[0];
+measure q[0] -> c[3];
+measure q[1] -> c[2];
+measure q[2] -> c[1];
+measure q[3] -> c[0];

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Concurrency across simulation runs (paper Section IV-C).
+
+Monte-Carlo trajectories are independent, so they parallelise trivially
+across worker processes — the paper's second key idea.  This example runs
+the same workload with 1, 2, and 4 workers and reports throughput; on a
+multi-core machine the scaling is near-linear, on a single-core container
+the overhead of process pools shows instead (both are informative).
+
+It also demonstrates that results are *identical* regardless of worker
+count: trajectory seeds are derived from the trajectory index, not from the
+worker, so the estimate is bit-for-bit reproducible.
+
+Run:  python examples/concurrency.py
+"""
+
+import os
+import time
+
+from repro import BasisProbability, NoiseModel, qft, simulate_stochastic
+from repro.harness import render_table
+
+
+def main() -> None:
+    circuit = qft(10)
+    noise = NoiseModel.paper_defaults()
+    trajectories = 300
+    target = BasisProbability("0" * 10)
+
+    print(f"machine reports {os.cpu_count()} CPU core(s)")
+    rows = []
+    estimates = []
+    for workers in (1, 2, 4):
+        started = time.perf_counter()
+        result = simulate_stochastic(
+            circuit,
+            noise,
+            [target],
+            trajectories=trajectories,
+            workers=workers,
+            seed=42,
+        )
+        elapsed = time.perf_counter() - started
+        estimates.append(result.mean(target.name))
+        rows.append(
+            [
+                str(workers),
+                f"{elapsed:.2f}",
+                f"{trajectories / elapsed:.1f}",
+                f"{result.mean(target.name):.6f}",
+            ]
+        )
+
+    print(render_table(
+        f"QFT(10), M={trajectories}, paper noise — workers sweep",
+        ("workers", "time [s]", "traj/s", "P(|0...0>) estimate"),
+        rows,
+    ))
+
+    spread = max(estimates) - min(estimates)
+    print(f"\nestimate spread across worker counts: {spread:.2e} "
+          "(trajectory seeds are index-derived, so the physics is identical)")
+
+
+if __name__ == "__main__":
+    main()

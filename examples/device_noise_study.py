@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Device-grade noise modelling: calibration data, readout, crosstalk, idling.
+
+The paper notes that real gate errors "are highly specific for each quantum
+computer and even vary for qubits within the quantum computer" (Section
+II-B).  This example builds a device-like model from a mock calibration
+table — per-qubit T1/T2 times, gate errors, readout errors — adds
+correlated two-qubit crosstalk, makes idle qubits decohere via the
+idle-identity pass, and measures how each ingredient degrades a GHZ
+preparation.
+
+Run:  python examples/device_noise_study.py
+"""
+
+from repro import BasisProbability, NoiseModel, ghz, simulate_stochastic
+from repro.circuits.optimize import insert_idle_identities
+from repro.harness import render_table
+from repro.noise import ErrorRates
+from repro.noise.calibration import from_calibration_table
+
+QUBITS = 6
+TRAJECTORIES = 1500
+
+#: Mock backend calibration in the shape vendor APIs expose: one entry per
+#: qubit with coherence times (microseconds) and error rates.  Qubit 3 is
+#: the weak outlier every real lattice seems to have.
+CALIBRATION = {
+    0: {"t1_us": 110.0, "t2_us": 140.0, "gate_error": 0.0008, "readout_error": 0.012},
+    1: {"t1_us": 95.0, "t2_us": 120.0, "gate_error": 0.0011, "readout_error": 0.018},
+    2: {"t1_us": 130.0, "t2_us": 100.0, "gate_error": 0.0009, "readout_error": 0.015},
+    3: {"t1_us": 30.0, "t2_us": 25.0, "gate_error": 0.0060, "readout_error": 0.060},
+    4: {"t1_us": 105.0, "t2_us": 90.0, "gate_error": 0.0012, "readout_error": 0.020},
+    5: {"t1_us": 120.0, "t2_us": 150.0, "gate_error": 0.0007, "readout_error": 0.011},
+}
+
+
+def fidelity_proxy(noise_model, circuit) -> float:
+    """P(|0...0>) + P(|1...1>): the GHZ population retained."""
+    zeros, ones = "0" * QUBITS, "1" * QUBITS
+    result = simulate_stochastic(
+        circuit,
+        noise_model,
+        [BasisProbability(zeros), BasisProbability(ones)],
+        trajectories=TRAJECTORIES,
+        seed=7,
+    )
+    return result.mean(f"P(|{zeros}>)") + result.mean(f"P(|{ones}>)")
+
+
+def main() -> None:
+    base_circuit = ghz(QUBITS)
+    idle_circuit = insert_idle_identities(base_circuit)
+
+    calibrated = from_calibration_table(CALIBRATION, gate_time_ns=80.0)
+    # Per-qubit overrides win over the default, so fold the crosstalk rate
+    # into each qubit's own entry.
+    from dataclasses import replace
+
+    with_crosstalk = NoiseModel.build(
+        default=ErrorRates(crosstalk=0.004),
+        qubit_overrides={
+            qubit: replace(rates, crosstalk=0.004)
+            for qubit, rates in calibrated.qubit_overrides
+        },
+    )
+
+    rows = [
+        ["ideal", f"{fidelity_proxy(NoiseModel.noiseless(), base_circuit):.4f}"],
+        ["paper uniform", f"{fidelity_proxy(NoiseModel.paper_defaults(), base_circuit):.4f}"],
+        ["calibrated per-qubit", f"{fidelity_proxy(calibrated, base_circuit):.4f}"],
+        ["+ crosstalk", f"{fidelity_proxy(with_crosstalk, base_circuit):.4f}"],
+        ["+ idle decoherence", f"{fidelity_proxy(with_crosstalk, idle_circuit):.4f}"],
+    ]
+    print(render_table(
+        f"GHZ-{QUBITS} population retained vs noise-model fidelity "
+        f"(M={TRAJECTORIES})",
+        ("model", "P(00..0) + P(11..1)"),
+        rows,
+    ))
+
+    print("\nPer-qubit weak spot: qubit 3's rates are ~5x worse — the kind")
+    print("of heterogeneity that uniform models miss (paper ref [27]).")
+    bad = calibrated.rates_for("x", 3)
+    good = calibrated.rates_for("x", 5)
+    print(f"  qubit 3: depol {bad.depolarizing:.4f}, damping {bad.amplitude_damping:.6f}, "
+          f"readout {bad.readout:.3f}")
+    print(f"  qubit 5: depol {good.depolarizing:.4f}, damping {good.amplitude_damping:.6f}, "
+          f"readout {good.readout:.3f}")
+    print(f"\nidle pass: {base_circuit.num_gates()} -> {idle_circuit.num_gates()} gates "
+          "(explicit id slots on idle qubits; ICCAD'20-style per-step decoherence)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: noisy simulation of a GHZ circuit, the paper's Hello World.
+
+Builds the "Entanglement" benchmark circuit (Table Ia), runs the stochastic
+simulator under the paper's error rates (0.1 % depolarization, 0.2 %
+amplitude damping, 0.1 % phase flip), and prints the estimated output
+probabilities alongside the noiseless expectation.
+
+Run:  python examples/quickstart.py [num_qubits] [trajectories]
+"""
+
+import sys
+
+from repro import (
+    BasisProbability,
+    IdealFidelity,
+    NoiseModel,
+    ghz,
+    hoeffding_samples,
+    simulate_stochastic,
+)
+
+
+def main() -> None:
+    num_qubits = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+    trajectories = int(sys.argv[2]) if len(sys.argv) > 2 else 2000
+
+    circuit = ghz(num_qubits)
+    print(f"circuit: {circuit.name} — {circuit.num_gates()} gates, depth {circuit.depth()}")
+
+    # How good is this budget?  Invert Theorem 1 for our three properties.
+    from repro import hoeffding_epsilon
+
+    epsilon = hoeffding_epsilon(3, trajectories, delta=0.05)
+    print(f"M = {trajectories} trajectories -> eps = {epsilon:.3f} at 95% confidence "
+          f"(Theorem 1)")
+
+    zeros = "0" * num_qubits
+    ones = "1" * num_qubits
+    result = simulate_stochastic(
+        circuit,
+        noise_model=NoiseModel.paper_defaults(),
+        properties=[BasisProbability(zeros), BasisProbability(ones), IdealFidelity()],
+        trajectories=trajectories,
+        seed=2021,
+    )
+
+    print()
+    print(result.summary())
+    print()
+    print("noiseless expectation: P(|0...0>) = P(|1...1>) = 0.5, F(ideal) = 1")
+    print("the gap you see is the physical error model at work.")
+
+    # For the full paper protocol (M = 30 000 <-> 1000 properties at 1%):
+    m_paper = hoeffding_samples(1000, 0.01, 0.05, paper_convention=True)
+    print(f"\npaper's budget: M = {m_paper} trajectories "
+          "(1000 properties, eps < 0.01, 95%)")
+
+
+if __name__ == "__main__":
+    main()

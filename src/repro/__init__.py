@@ -1,0 +1,129 @@
+"""repro — Stochastic Quantum Circuit Simulation Using Decision Diagrams.
+
+A Python reproduction of Fuss, Grurl, Kueng, Wille (DATE 2021): noisy
+quantum circuits are simulated by Monte-Carlo sampling of pure-state
+trajectories, each executed on a decision-diagram engine, with concurrency
+across independent trajectories.
+
+Quickstart::
+
+    from repro import ghz, NoiseModel, simulate_stochastic, BasisProbability
+
+    circuit = ghz(10)
+    result = simulate_stochastic(
+        circuit,
+        noise_model=NoiseModel.paper_defaults(),
+        properties=[BasisProbability("0" * 10), BasisProbability("1" * 10)],
+        trajectories=2000,
+    )
+    print(result.summary())
+
+See DESIGN.md for the subsystem map and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from .circuits import QuantumCircuit, parse_qasm, parse_qasm_file
+from .circuits.drawing import draw_circuit
+from .circuits.library import (
+    basis_trotter,
+    bernstein_vazirani,
+    bigadder,
+    counterfeit_coin,
+    deutsch_jozsa,
+    entanglement,
+    ghz,
+    grover,
+    ising,
+    multiplier,
+    qaoa_maxcut,
+    qasmbench_circuit,
+    qft,
+    qpe,
+    random_circuit,
+    sat,
+    seca,
+    simon,
+    vqe_uccsd,
+    w_state,
+)
+from .circuits.optimize import fuse_single_qubit_runs
+from .dd import DDPackage
+from .noise import ErrorRates, NoiseModel
+from .simulators import (
+    DDBackend,
+    DensityMatrixSimulator,
+    StatevectorBackend,
+    circuit_unitary_dd,
+    circuit_unitary_matrix,
+    circuits_equivalent,
+    execute_circuit,
+)
+from .stochastic import (
+    AdaptiveRun,
+    BasisProbability,
+    ClassicalOutcome,
+    ExpectationZ,
+    IdealFidelity,
+    PauliExpectation,
+    StateFidelity,
+    StochasticResult,
+    StochasticSimulator,
+    hoeffding_epsilon,
+    hoeffding_samples,
+    run_until_precision,
+    simulate_stochastic,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AdaptiveRun",
+    "BasisProbability",
+    "ClassicalOutcome",
+    "DDBackend",
+    "DDPackage",
+    "DensityMatrixSimulator",
+    "ErrorRates",
+    "ExpectationZ",
+    "IdealFidelity",
+    "NoiseModel",
+    "PauliExpectation",
+    "QuantumCircuit",
+    "StateFidelity",
+    "StatevectorBackend",
+    "StochasticResult",
+    "StochasticSimulator",
+    "__version__",
+    "basis_trotter",
+    "bernstein_vazirani",
+    "bigadder",
+    "circuit_unitary_dd",
+    "circuit_unitary_matrix",
+    "circuits_equivalent",
+    "counterfeit_coin",
+    "deutsch_jozsa",
+    "draw_circuit",
+    "entanglement",
+    "execute_circuit",
+    "fuse_single_qubit_runs",
+    "ghz",
+    "grover",
+    "hoeffding_epsilon",
+    "hoeffding_samples",
+    "ising",
+    "multiplier",
+    "parse_qasm",
+    "parse_qasm_file",
+    "qaoa_maxcut",
+    "qasmbench_circuit",
+    "qft",
+    "qpe",
+    "random_circuit",
+    "run_until_precision",
+    "sat",
+    "seca",
+    "simon",
+    "simulate_stochastic",
+    "vqe_uccsd",
+    "w_state",
+]

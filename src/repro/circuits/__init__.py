@@ -1,0 +1,27 @@
+"""Quantum circuit IR, gate registry, OpenQASM front-end, circuit library."""
+
+from .circuit import QuantumCircuit
+from .gates import gate_matrix, is_known_gate
+from .operations import (
+    BarrierOperation,
+    ClassicalCondition,
+    GateOperation,
+    MeasureOperation,
+    Operation,
+    ResetOperation,
+)
+from .qasm import parse_qasm, parse_qasm_file
+
+__all__ = [
+    "BarrierOperation",
+    "ClassicalCondition",
+    "GateOperation",
+    "MeasureOperation",
+    "Operation",
+    "QuantumCircuit",
+    "ResetOperation",
+    "gate_matrix",
+    "is_known_gate",
+    "parse_qasm",
+    "parse_qasm_file",
+]

@@ -1,0 +1,442 @@
+"""Quantum circuit intermediate representation.
+
+:class:`QuantumCircuit` is a flat, ordered list of operations over ``n``
+qubits and ``m`` classical bits, with fluent builder methods for the common
+gate set.  The register convention follows the paper: qubit 0 is the *most
+significant* qubit (the top level of a decision diagram, the leftmost bit of
+basis-state labels such as ``|q0 q1 ... >``).
+
+Circuits are picklable (a requirement for multi-process stochastic runs) and
+can be exported to OpenQASM 2.0; together with the parser in
+:mod:`repro.circuits.qasm` this gives a round-trippable interchange format.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .operations import (
+    BarrierOperation,
+    ClassicalCondition,
+    GateOperation,
+    MeasureOperation,
+    Operation,
+    ResetOperation,
+)
+
+__all__ = ["QuantumCircuit"]
+
+
+class QuantumCircuit:
+    """An ordered sequence of operations over a qubit/clbit register."""
+
+    def __init__(self, num_qubits: int, num_clbits: int = 0, name: str = "circuit") -> None:
+        if num_qubits < 1:
+            raise ValueError("a circuit needs at least one qubit")
+        if num_clbits < 0:
+            raise ValueError("num_clbits must be non-negative")
+        self.num_qubits = num_qubits
+        self.num_clbits = num_clbits
+        self.name = name
+        self._operations: List[Operation] = []
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def operations(self) -> Tuple[Operation, ...]:
+        """The instruction sequence (immutable view)."""
+        return tuple(self._operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self._operations)
+
+    def __len__(self) -> int:
+        return len(self._operations)
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantumCircuit(name={self.name!r}, qubits={self.num_qubits}, "
+            f"clbits={self.num_clbits}, ops={len(self._operations)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Generic appends
+    # ------------------------------------------------------------------
+
+    def _check_qubit(self, qubit: int) -> None:
+        if not 0 <= qubit < self.num_qubits:
+            raise IndexError(f"qubit {qubit} out of range [0, {self.num_qubits})")
+
+    def _check_clbit(self, clbit: int) -> None:
+        if not 0 <= clbit < self.num_clbits:
+            raise IndexError(f"clbit {clbit} out of range [0, {self.num_clbits})")
+
+    def append(self, operation: Operation) -> "QuantumCircuit":
+        """Append a pre-built operation (validating its indices)."""
+        for qubit in operation.qubits:
+            self._check_qubit(qubit)
+        if isinstance(operation, MeasureOperation):
+            self._check_clbit(operation.clbit)
+        if isinstance(operation, GateOperation) and operation.condition is not None:
+            for clbit in operation.condition.clbits:
+                self._check_clbit(clbit)
+        self._operations.append(operation)
+        return self
+
+    def gate(
+        self,
+        name: str,
+        target: int,
+        params: Sequence[float] = (),
+        controls: Optional[Dict[int, int]] = None,
+        condition: Optional[ClassicalCondition] = None,
+    ) -> "QuantumCircuit":
+        """Append a gate by OpenQASM name."""
+        control_items = tuple(sorted((controls or {}).items()))
+        return self.append(
+            GateOperation(name, tuple(float(p) for p in params), target, control_items, condition)
+        )
+
+    def extend(self, other: "QuantumCircuit") -> "QuantumCircuit":
+        """Append all operations of another circuit over the same registers."""
+        if other.num_qubits > self.num_qubits or other.num_clbits > self.num_clbits:
+            raise ValueError("extending circuit does not fit this register")
+        for operation in other:
+            self.append(operation)
+        return self
+
+    # ------------------------------------------------------------------
+    # Single-qubit gates
+    # ------------------------------------------------------------------
+
+    def i(self, qubit: int) -> "QuantumCircuit":
+        """Identity (explicit idle step; errors still attach to it)."""
+        return self.gate("id", qubit)
+
+    def x(self, qubit: int) -> "QuantumCircuit":
+        """Pauli X."""
+        return self.gate("x", qubit)
+
+    def y(self, qubit: int) -> "QuantumCircuit":
+        """Pauli Y."""
+        return self.gate("y", qubit)
+
+    def z(self, qubit: int) -> "QuantumCircuit":
+        """Pauli Z."""
+        return self.gate("z", qubit)
+
+    def h(self, qubit: int) -> "QuantumCircuit":
+        """Hadamard."""
+        return self.gate("h", qubit)
+
+    def s(self, qubit: int) -> "QuantumCircuit":
+        """Phase gate S."""
+        return self.gate("s", qubit)
+
+    def sdg(self, qubit: int) -> "QuantumCircuit":
+        """Inverse phase gate S-dagger."""
+        return self.gate("sdg", qubit)
+
+    def t(self, qubit: int) -> "QuantumCircuit":
+        """T gate."""
+        return self.gate("t", qubit)
+
+    def tdg(self, qubit: int) -> "QuantumCircuit":
+        """T-dagger gate."""
+        return self.gate("tdg", qubit)
+
+    def sx(self, qubit: int) -> "QuantumCircuit":
+        """Square root of X."""
+        return self.gate("sx", qubit)
+
+    def rx(self, theta: float, qubit: int) -> "QuantumCircuit":
+        """X rotation."""
+        return self.gate("rx", qubit, (theta,))
+
+    def ry(self, theta: float, qubit: int) -> "QuantumCircuit":
+        """Y rotation."""
+        return self.gate("ry", qubit, (theta,))
+
+    def rz(self, theta: float, qubit: int) -> "QuantumCircuit":
+        """Z rotation."""
+        return self.gate("rz", qubit, (theta,))
+
+    def p(self, lam: float, qubit: int) -> "QuantumCircuit":
+        """Phase gate diag(1, e^{i lambda})."""
+        return self.gate("u1", qubit, (lam,))
+
+    def u1(self, lam: float, qubit: int) -> "QuantumCircuit":
+        """OpenQASM u1."""
+        return self.gate("u1", qubit, (lam,))
+
+    def u2(self, phi: float, lam: float, qubit: int) -> "QuantumCircuit":
+        """OpenQASM u2."""
+        return self.gate("u2", qubit, (phi, lam))
+
+    def u3(self, theta: float, phi: float, lam: float, qubit: int) -> "QuantumCircuit":
+        """OpenQASM u3 (generic single-qubit gate)."""
+        return self.gate("u3", qubit, (theta, phi, lam))
+
+    # ------------------------------------------------------------------
+    # Controlled gates
+    # ------------------------------------------------------------------
+
+    def cx(self, control: int, target: int) -> "QuantumCircuit":
+        """Controlled X (CNOT)."""
+        return self.gate("x", target, controls={control: 1})
+
+    def cy(self, control: int, target: int) -> "QuantumCircuit":
+        """Controlled Y."""
+        return self.gate("y", target, controls={control: 1})
+
+    def cz(self, control: int, target: int) -> "QuantumCircuit":
+        """Controlled Z."""
+        return self.gate("z", target, controls={control: 1})
+
+    def ch(self, control: int, target: int) -> "QuantumCircuit":
+        """Controlled Hadamard."""
+        return self.gate("h", target, controls={control: 1})
+
+    def crx(self, theta: float, control: int, target: int) -> "QuantumCircuit":
+        """Controlled X rotation."""
+        return self.gate("rx", target, (theta,), controls={control: 1})
+
+    def cry(self, theta: float, control: int, target: int) -> "QuantumCircuit":
+        """Controlled Y rotation."""
+        return self.gate("ry", target, (theta,), controls={control: 1})
+
+    def crz(self, theta: float, control: int, target: int) -> "QuantumCircuit":
+        """Controlled Z rotation."""
+        return self.gate("rz", target, (theta,), controls={control: 1})
+
+    def cp(self, lam: float, control: int, target: int) -> "QuantumCircuit":
+        """Controlled phase (cu1)."""
+        return self.gate("u1", target, (lam,), controls={control: 1})
+
+    def cu1(self, lam: float, control: int, target: int) -> "QuantumCircuit":
+        """Controlled u1."""
+        return self.gate("u1", target, (lam,), controls={control: 1})
+
+    def cu3(
+        self, theta: float, phi: float, lam: float, control: int, target: int
+    ) -> "QuantumCircuit":
+        """Controlled u3."""
+        return self.gate("u3", target, (theta, phi, lam), controls={control: 1})
+
+    def ccx(self, control1: int, control2: int, target: int) -> "QuantumCircuit":
+        """Toffoli (doubly-controlled X)."""
+        return self.gate("x", target, controls={control1: 1, control2: 1})
+
+    def mcx(self, controls: Iterable[int], target: int) -> "QuantumCircuit":
+        """Multi-controlled X with an arbitrary number of controls."""
+        return self.gate("x", target, controls={c: 1 for c in controls})
+
+    def mcz(self, controls: Iterable[int], target: int) -> "QuantumCircuit":
+        """Multi-controlled Z."""
+        return self.gate("z", target, controls={c: 1 for c in controls})
+
+    def swap(self, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        """SWAP, decomposed into three CNOTs (the qelib1 definition)."""
+        self.cx(qubit_a, qubit_b)
+        self.cx(qubit_b, qubit_a)
+        self.cx(qubit_a, qubit_b)
+        return self
+
+    def cswap(self, control: int, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        """Fredkin gate: controlled SWAP via Toffolis."""
+        self.cx(qubit_b, qubit_a)
+        self.gate("x", qubit_b, controls={control: 1, qubit_a: 1})
+        self.cx(qubit_b, qubit_a)
+        return self
+
+    # ------------------------------------------------------------------
+    # Non-unitary operations
+    # ------------------------------------------------------------------
+
+    def measure(self, qubit: int, clbit: int) -> "QuantumCircuit":
+        """Measure ``qubit`` into classical bit ``clbit``."""
+        return self.append(MeasureOperation(qubit, clbit))
+
+    def measure_all(self) -> "QuantumCircuit":
+        """Measure every qubit into the identically indexed classical bit.
+
+        Grows the classical register if it is too small.
+        """
+        if self.num_clbits < self.num_qubits:
+            self.num_clbits = self.num_qubits
+        for qubit in range(self.num_qubits):
+            self.measure(qubit, qubit)
+        return self
+
+    def reset(self, qubit: int) -> "QuantumCircuit":
+        """Reset a qubit to |0>."""
+        return self.append(ResetOperation(qubit))
+
+    def barrier(self, *qubits: int) -> "QuantumCircuit":
+        """Barrier across the given qubits (all qubits when none given)."""
+        chosen = qubits if qubits else tuple(range(self.num_qubits))
+        return self.append(BarrierOperation(tuple(chosen)))
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+
+    def gate_operations(self) -> List[GateOperation]:
+        """All unitary gate instructions, in order."""
+        return [op for op in self._operations if isinstance(op, GateOperation)]
+
+    def count_ops(self) -> Dict[str, int]:
+        """Histogram of instruction kinds, e.g. ``{'h': 1, 'cx': 2}``."""
+        counts: Dict[str, int] = {}
+        for operation in self._operations:
+            if isinstance(operation, GateOperation):
+                key = "c" * len(operation.controls) + operation.name
+            elif isinstance(operation, MeasureOperation):
+                key = "measure"
+            elif isinstance(operation, ResetOperation):
+                key = "reset"
+            else:
+                key = "barrier"
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def depth(self) -> int:
+        """Circuit depth: longest chain of operations over shared qubits."""
+        level: Dict[int, int] = {q: 0 for q in range(self.num_qubits)}
+        for operation in self._operations:
+            if isinstance(operation, BarrierOperation):
+                continue
+            touched = operation.qubits
+            if not touched:
+                continue
+            new_level = max(level[q] for q in touched) + 1
+            for q in touched:
+                level[q] = new_level
+        return max(level.values(), default=0)
+
+    def num_gates(self) -> int:
+        """Number of unitary gate instructions."""
+        return sum(1 for op in self._operations if isinstance(op, GateOperation))
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def to_qasm(self) -> str:
+        """Serialise to OpenQASM 2.0 (round-trips through the parser)."""
+        lines = [
+            "OPENQASM 2.0;",
+            'include "qelib1.inc";',
+            f"qreg q[{self.num_qubits}];",
+        ]
+        if self.num_clbits:
+            lines.append(f"creg c[{self.num_clbits}];")
+        for operation in self._operations:
+            lines.append(self._operation_to_qasm(operation))
+        return "\n".join(lines) + "\n"
+
+    def _operation_to_qasm(self, operation: Operation) -> str:
+        if isinstance(operation, MeasureOperation):
+            return f"measure q[{operation.qubit}] -> c[{operation.clbit}];"
+        if isinstance(operation, ResetOperation):
+            return f"reset q[{operation.qubit}];"
+        if isinstance(operation, BarrierOperation):
+            qubits = ", ".join(f"q[{q}]" for q in operation.barrier_qubits)
+            return f"barrier {qubits};"
+        assert isinstance(operation, GateOperation)
+        return self._gate_to_qasm(operation)
+
+    def _gate_to_qasm(self, gate: GateOperation) -> str:
+        params = ""
+        if gate.params:
+            params = "(" + ", ".join(repr(p) for p in gate.params) + ")"
+        positive = [q for q, polarity in gate.controls if polarity == 1]
+        negative = [q for q, polarity in gate.controls if polarity == 0]
+        prefix = ""
+        suffix = ""
+        # Negative controls have no OpenQASM 2.0 syntax: surround with X.
+        for qubit in negative:
+            prefix += f"x q[{qubit}];\n"
+            suffix += f"\nx q[{qubit}];"
+        qasm_name = self._qasm_gate_name(gate, positive + negative)
+        qubits = ", ".join(
+            f"q[{q}]" for q in (positive + negative + [gate.target])
+        )
+        statement = f"{qasm_name}{params} {qubits};"
+        if gate.condition is not None:
+            statement = f"if (c == {gate.condition.value}) {statement}"
+        return prefix + statement + suffix
+
+    @staticmethod
+    def _qasm_gate_name(gate: GateOperation, controls: List[int]) -> str:
+        if not controls:
+            return gate.name
+        if len(controls) == 1 and gate.name in ("x", "y", "z", "h", "rz", "u1", "u3"):
+            return "c" + gate.name
+        if len(controls) == 2 and gate.name == "x":
+            return "ccx"
+        # Fall back to the generic multi-control spelling our parser accepts.
+        return "c" * len(controls) + gate.name
+
+    # ------------------------------------------------------------------
+    # Utility constructors
+    # ------------------------------------------------------------------
+
+    def copy(self, name: Optional[str] = None) -> "QuantumCircuit":
+        """Shallow copy (operations are immutable, so sharing is safe)."""
+        duplicate = QuantumCircuit(self.num_qubits, self.num_clbits, name or self.name)
+        duplicate._operations = list(self._operations)
+        return duplicate
+
+    def inverse(self, name: Optional[str] = None) -> "QuantumCircuit":
+        """Adjoint circuit (unitary gates only).
+
+        Raises if the circuit contains measurements or resets, which are not
+        invertible.
+        """
+        inverted = QuantumCircuit(self.num_qubits, self.num_clbits, name or f"{self.name}_dg")
+        for operation in reversed(self._operations):
+            if isinstance(operation, BarrierOperation):
+                inverted.append(operation)
+                continue
+            if not isinstance(operation, GateOperation):
+                raise ValueError("cannot invert a circuit with measurements/resets")
+            inverted.append(_inverse_gate(operation))
+        return inverted
+
+
+_SELF_INVERSE = {"id", "i", "x", "y", "z", "h"}
+_DAGGER_PAIRS = {"s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t", "sx": "sxdg", "sxdg": "sx"}
+_NEGATE_PARAM = {"rx", "ry", "rz", "u1", "p"}
+
+
+def _inverse_gate(gate: GateOperation) -> GateOperation:
+    """Adjoint of one gate operation."""
+    if gate.name in _SELF_INVERSE:
+        return gate
+    if gate.name in _DAGGER_PAIRS:
+        return GateOperation(
+            _DAGGER_PAIRS[gate.name], gate.params, gate.target, gate.controls, gate.condition
+        )
+    if gate.name in _NEGATE_PARAM:
+        return GateOperation(
+            gate.name, (-gate.params[0],), gate.target, gate.controls, gate.condition
+        )
+    if gate.name in ("u3", "u", "U"):
+        theta, phi, lam = gate.params
+        return GateOperation(
+            gate.name, (-theta, -lam, -phi), gate.target, gate.controls, gate.condition
+        )
+    if gate.name == "u2":
+        phi, lam = gate.params
+        return GateOperation(
+            "u3",
+            (-math.pi / 2, -lam, -phi),
+            gate.target,
+            gate.controls,
+            gate.condition,
+        )
+    raise ValueError(f"no inverse rule for gate '{gate.name}'")

@@ -1,0 +1,125 @@
+"""ASCII circuit rendering.
+
+:func:`draw_circuit` renders a :class:`~repro.circuits.circuit.QuantumCircuit`
+as fixed-width text, one row per qubit (plus a classical row when the
+circuit measures), gates stacked left-to-right into time slots by the same
+scheduling rule :meth:`QuantumCircuit.depth` uses::
+
+    q0: ─[H]──●────────M0─
+    q1: ──────[X]──●───M1─
+    q2: ───────────[X]─M2─
+
+Conventions: ``●`` regular control, ``○`` negated control, ``[..]`` gate
+box on the target, ``M<k>`` measurement into classical bit ``k``, ``R``
+reset, ``▒`` barrier column, ``?`` marks classically conditioned gates
+(the condition is printed in a footnote line).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .circuit import QuantumCircuit
+from .operations import (
+    BarrierOperation,
+    GateOperation,
+    MeasureOperation,
+    Operation,
+    ResetOperation,
+)
+
+__all__ = ["draw_circuit"]
+
+#: Render at most this many time slots before eliding the middle.
+_MAX_SLOTS = 200
+
+
+def _gate_symbol(gate: GateOperation) -> str:
+    if gate.params:
+        args = ",".join(f"{p:.3g}" for p in gate.params)
+        label = f"{gate.name}({args})"
+    else:
+        label = gate.name.upper() if len(gate.name) == 1 else gate.name
+    if gate.condition is not None:
+        label += "?"
+    return f"[{label}]"
+
+
+def _assign_slots(circuit: QuantumCircuit) -> List[Tuple[int, Operation]]:
+    """Greedy left-alignment: each op lands in the earliest free slot."""
+    level: Dict[int, int] = {q: 0 for q in range(circuit.num_qubits)}
+    placed: List[Tuple[int, Operation]] = []
+    for operation in circuit:
+        touched = operation.qubits
+        if isinstance(operation, BarrierOperation):
+            slot = max(level.values(), default=0)
+            placed.append((slot, operation))
+            for qubit in level:
+                level[qubit] = slot + 1
+            continue
+        if not touched:
+            continue
+        slot = max(level[q] for q in touched)
+        placed.append((slot, operation))
+        for qubit in touched:
+            level[qubit] = slot + 1
+    return placed
+
+
+def draw_circuit(circuit: QuantumCircuit) -> str:
+    """Render the circuit as ASCII art (see module docstring)."""
+    placed = _assign_slots(circuit)
+    num_slots = max((slot for slot, _ in placed), default=-1) + 1
+    elided = num_slots > _MAX_SLOTS
+
+    # cells[qubit][slot] -> string
+    cells: List[List[str]] = [["" for _ in range(num_slots)] for _ in range(circuit.num_qubits)]
+    footnotes: List[str] = []
+
+    for slot, operation in placed:
+        if isinstance(operation, BarrierOperation):
+            for qubit in operation.qubits:
+                cells[qubit][slot] = "▒"
+            continue
+        if isinstance(operation, MeasureOperation):
+            cells[operation.qubit][slot] = f"M{operation.clbit}"
+            continue
+        if isinstance(operation, ResetOperation):
+            cells[operation.qubit][slot] = "R"
+            continue
+        assert isinstance(operation, GateOperation)
+        for qubit, polarity in operation.controls:
+            cells[qubit][slot] = "●" if polarity else "○"
+        cells[operation.target][slot] = _gate_symbol(operation)
+        if operation.condition is not None:
+            footnotes.append(
+                f"? on {operation.label()}: if c[{operation.condition.clbits[0]}"
+                f"..{operation.condition.clbits[-1]}] == {operation.condition.value}"
+            )
+
+    slots_to_render = range(num_slots) if not elided else list(range(_MAX_SLOTS))
+    widths = [
+        max((len(cells[q][s]) for q in range(circuit.num_qubits)), default=1) or 1
+        for s in slots_to_render
+    ]
+
+    label_width = len(f"q{circuit.num_qubits - 1}: ")
+    lines: List[str] = []
+    for qubit in range(circuit.num_qubits):
+        parts = [f"q{qubit}: ".rjust(label_width)]
+        for index, slot in enumerate(slots_to_render):
+            cell = cells[qubit][slot]
+            width = widths[index]
+            if cell:
+                padded = cell.center(width, "─")
+            else:
+                padded = "─" * width
+            parts.append("─" + padded + "─")
+        line = "".join(parts)
+        if elided:
+            line += " …"
+        lines.append(line)
+    if elided:
+        lines.append(f"(… {num_slots - _MAX_SLOTS} more time slots elided)")
+    lines.extend(footnotes)
+    return "\n".join(lines)

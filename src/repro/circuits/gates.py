@@ -1,0 +1,167 @@
+"""Standard gate matrices (OpenQASM 2.0 / qelib1 gate set).
+
+Every gate the library, the QASM front-end, and the simulators use reduces
+to a single-qubit 2x2 unitary plus a (possibly empty) set of controls; this
+module is the registry of those 2x2 matrices.
+
+Fixed gates are module-level constants; parametrised gates are functions of
+their angle parameters.  :func:`gate_matrix` resolves a gate *name* (as used
+in OpenQASM) and parameter list to the concrete matrix and is the single
+lookup point for the rest of the library.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "I",
+    "X",
+    "Y",
+    "Z",
+    "H",
+    "S",
+    "SDG",
+    "T",
+    "TDG",
+    "SX",
+    "SXDG",
+    "rx",
+    "ry",
+    "rz",
+    "phase",
+    "u2",
+    "u3",
+    "gate_matrix",
+    "is_known_gate",
+    "FIXED_GATES",
+    "PARAMETRIC_GATES",
+]
+
+SQRT2_INV = 1.0 / math.sqrt(2.0)
+
+I = np.eye(2, dtype=complex)
+X = np.array([[0, 1], [1, 0]], dtype=complex)
+Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+Z = np.array([[1, 0], [0, -1]], dtype=complex)
+H = np.array([[SQRT2_INV, SQRT2_INV], [SQRT2_INV, -SQRT2_INV]], dtype=complex)
+S = np.array([[1, 0], [0, 1j]], dtype=complex)
+SDG = np.array([[1, 0], [0, -1j]], dtype=complex)
+T = np.array([[1, 0], [0, cmath.exp(1j * math.pi / 4)]], dtype=complex)
+TDG = np.array([[1, 0], [0, cmath.exp(-1j * math.pi / 4)]], dtype=complex)
+SX = 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex)
+SXDG = 0.5 * np.array([[1 - 1j, 1 + 1j], [1 + 1j, 1 - 1j]], dtype=complex)
+
+
+def rx(theta: float) -> np.ndarray:
+    """Rotation about the X axis by ``theta``."""
+    cos = math.cos(theta / 2)
+    sin = math.sin(theta / 2)
+    return np.array([[cos, -1j * sin], [-1j * sin, cos]], dtype=complex)
+
+
+def ry(theta: float) -> np.ndarray:
+    """Rotation about the Y axis by ``theta``."""
+    cos = math.cos(theta / 2)
+    sin = math.sin(theta / 2)
+    return np.array([[cos, -sin], [sin, cos]], dtype=complex)
+
+
+def rz(theta: float) -> np.ndarray:
+    """Rotation about the Z axis by ``theta`` (symmetric phase convention)."""
+    return np.array(
+        [[cmath.exp(-1j * theta / 2), 0], [0, cmath.exp(1j * theta / 2)]],
+        dtype=complex,
+    )
+
+
+def phase(lam: float) -> np.ndarray:
+    """Phase gate ``u1(lambda)`` = diag(1, e^{i lambda})."""
+    return np.array([[1, 0], [0, cmath.exp(1j * lam)]], dtype=complex)
+
+
+def u2(phi: float, lam: float) -> np.ndarray:
+    """OpenQASM ``u2(phi, lambda)`` gate."""
+    return SQRT2_INV * np.array(
+        [
+            [1, -cmath.exp(1j * lam)],
+            [cmath.exp(1j * phi), cmath.exp(1j * (phi + lam))],
+        ],
+        dtype=complex,
+    )
+
+
+def u3(theta: float, phi: float, lam: float) -> np.ndarray:
+    """OpenQASM ``u3(theta, phi, lambda)`` — the generic single-qubit gate."""
+    cos = math.cos(theta / 2)
+    sin = math.sin(theta / 2)
+    return np.array(
+        [
+            [cos, -cmath.exp(1j * lam) * sin],
+            [cmath.exp(1j * phi) * sin, cmath.exp(1j * (phi + lam)) * cos],
+        ],
+        dtype=complex,
+    )
+
+
+#: Fixed (parameter-free) single-qubit gates by OpenQASM name.
+FIXED_GATES: Dict[str, np.ndarray] = {
+    "id": I,
+    "i": I,
+    "x": X,
+    "y": Y,
+    "z": Z,
+    "h": H,
+    "s": S,
+    "sdg": SDG,
+    "t": T,
+    "tdg": TDG,
+    "sx": SX,
+    "sxdg": SXDG,
+}
+
+#: Parametrised single-qubit gates: name -> (parameter count, constructor).
+PARAMETRIC_GATES: Dict[str, Tuple[int, Callable[..., np.ndarray]]] = {
+    "rx": (1, rx),
+    "ry": (1, ry),
+    "rz": (1, rz),
+    "u1": (1, phase),
+    "p": (1, phase),
+    "u2": (2, u2),
+    "u3": (3, u3),
+    "u": (3, u3),
+    "U": (3, u3),
+}
+
+
+def is_known_gate(name: str) -> bool:
+    """True when ``name`` resolves to a registered single-qubit matrix."""
+    return name in FIXED_GATES or name in PARAMETRIC_GATES
+
+
+def gate_matrix(name: str, params: Sequence[float] = ()) -> np.ndarray:
+    """Resolve a gate name and parameters to its 2x2 unitary.
+
+    Raises
+    ------
+    KeyError
+        For unknown gate names.
+    ValueError
+        When the parameter count does not match the gate's arity.
+    """
+    if name in FIXED_GATES:
+        if params:
+            raise ValueError(f"gate '{name}' takes no parameters, got {len(params)}")
+        return FIXED_GATES[name]
+    if name in PARAMETRIC_GATES:
+        arity, constructor = PARAMETRIC_GATES[name]
+        if len(params) != arity:
+            raise ValueError(
+                f"gate '{name}' takes {arity} parameter(s), got {len(params)}"
+            )
+        return constructor(*params)
+    raise KeyError(f"unknown gate '{name}'")

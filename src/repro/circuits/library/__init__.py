@@ -1,0 +1,82 @@
+"""Circuit generators for the paper's benchmark workloads.
+
+* :func:`ghz` / :func:`entanglement` — Table Ia ("Entanglement").
+* :func:`qft` — Table Ib.
+* QASMBench-style circuits for Table Ic: :func:`bernstein_vazirani`,
+  :func:`bigadder`, :func:`multiplier`, :func:`sat`, :func:`seca`,
+  :func:`counterfeit_coin`, :func:`ising`, :func:`vqe_uccsd`,
+  :func:`basis_trotter`.
+* Extras: :func:`grover`, :func:`qpe`, :func:`w_state`,
+  :func:`random_circuit`.
+
+:data:`QASMBENCH_CIRCUITS` maps the paper's Table Ic rows to generators at
+the published qubit counts.
+"""
+
+from typing import Callable, Dict, List, Tuple
+
+from ..circuit import QuantumCircuit
+from .adders import bigadder, multiplier, ripple_carry_adder
+from .basis_trotter import basis_trotter
+from .bv import bernstein_vazirani
+from .cc import counterfeit_coin
+from .ghz import entanglement, ghz
+from .grover import grover, sat
+from .ising import ising
+from .misc import qpe, random_circuit, w_state
+from .oracles import deutsch_jozsa, simon
+from .qaoa import qaoa_maxcut, ring_graph
+from .qft import inverse_qft, qft
+from .seca import seca
+from .vqe import vqe_uccsd
+
+__all__ = [
+    "QASMBENCH_CIRCUITS",
+    "basis_trotter",
+    "bernstein_vazirani",
+    "bigadder",
+    "counterfeit_coin",
+    "deutsch_jozsa",
+    "entanglement",
+    "ghz",
+    "grover",
+    "inverse_qft",
+    "ising",
+    "multiplier",
+    "qaoa_maxcut",
+    "qasmbench_circuit",
+    "qft",
+    "qpe",
+    "random_circuit",
+    "ring_graph",
+    "simon",
+    "ripple_carry_adder",
+    "sat",
+    "seca",
+    "vqe_uccsd",
+    "w_state",
+]
+
+#: Table Ic rows: name -> (qubit count from the paper, generator thunk).
+QASMBENCH_CIRCUITS: Dict[str, Tuple[int, Callable[[], QuantumCircuit]]] = {
+    "basis_trotter": (4, lambda: basis_trotter(4)),
+    "vqe_uccsd_6": (6, lambda: vqe_uccsd(6)),
+    "vqe_uccsd_8": (8, lambda: vqe_uccsd(8)),
+    "ising": (10, lambda: ising(10)),
+    "seca": (11, lambda: seca(11)),
+    "sat": (11, lambda: sat(11)),
+    "multiplier": (15, lambda: multiplier(3)),
+    "bigadder": (18, lambda: bigadder(18)),
+    "cc": (18, lambda: counterfeit_coin(18)),
+    "bv": (19, lambda: bernstein_vazirani(19)),
+}
+
+
+def qasmbench_circuit(name: str) -> QuantumCircuit:
+    """Instantiate one of the Table Ic benchmark circuits by row name."""
+    try:
+        _, generator = QASMBENCH_CIRCUITS[name]
+    except KeyError:
+        known = ", ".join(sorted(QASMBENCH_CIRCUITS))
+        raise KeyError(f"unknown QASMBench circuit '{name}'; known: {known}") from None
+    return generator()

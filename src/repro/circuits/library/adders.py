@@ -1,0 +1,155 @@
+"""Ripple-carry arithmetic circuits (QASMBench ``bigadder`` and ``multiplier``).
+
+``bigadder`` (Table Ic, n = 18) is the Cuccaro/CDKM ripple-carry adder over
+two 8-bit registers plus carry-in/carry-out qubits.  ``multiplier``
+(Table Ic, n = 15) is a shift-and-add multiplier built from controlled
+ripple additions.  Both act on computational basis states throughout, so
+their decision diagrams stay narrow and the DD simulator wins by orders of
+magnitude — exactly the shape of the paper's Table Ic rows.
+"""
+
+from __future__ import annotations
+
+from ..circuit import QuantumCircuit
+
+__all__ = ["ripple_carry_adder", "bigadder", "multiplier"]
+
+
+def _majority(circuit: QuantumCircuit, a: int, b: int, c: int, controls=()) -> None:
+    """CDKM MAJ block, optionally under additional controls."""
+    extra = {q: 1 for q in controls}
+    circuit.gate("x", b, controls={c: 1, **extra})
+    circuit.gate("x", a, controls={c: 1, **extra})
+    circuit.gate("x", c, controls={a: 1, b: 1, **extra})
+
+
+def _unmajority(circuit: QuantumCircuit, a: int, b: int, c: int, controls=()) -> None:
+    """CDKM UMA block (majority-undo plus sum), optionally controlled."""
+    extra = {q: 1 for q in controls}
+    circuit.gate("x", c, controls={a: 1, b: 1, **extra})
+    circuit.gate("x", a, controls={c: 1, **extra})
+    circuit.gate("x", b, controls={a: 1, **extra})
+
+
+def ripple_carry_adder(
+    bits: int,
+    a_value: int = 0,
+    b_value: int = 0,
+    measure: bool = True,
+) -> QuantumCircuit:
+    """Cuccaro ripple-carry adder computing ``b := a + b`` over ``bits`` bits.
+
+    Register layout (``2 * bits + 2`` qubits): carry-in ``cin``, interleaved
+    ``a``/``b`` registers, carry-out ``cout``.  Initial values are loaded
+    with X gates so the circuit is self-contained, like the QASMBench file.
+    """
+    if bits < 1:
+        raise ValueError("adder needs at least one bit")
+    num_qubits = 2 * bits + 2
+    circuit = QuantumCircuit(num_qubits, bits + 1, name=f"adder_{num_qubits}")
+    cin = 0
+    a = [1 + 2 * i for i in range(bits)]  # a[i] at odd positions
+    b = [2 + 2 * i for i in range(bits)]  # b[i] at even positions (after a[i])
+    cout = num_qubits - 1
+
+    for i in range(bits):
+        if (a_value >> i) & 1:
+            circuit.x(a[i])
+        if (b_value >> i) & 1:
+            circuit.x(b[i])
+
+    _majority(circuit, cin, b[0], a[0])
+    for i in range(1, bits):
+        _majority(circuit, a[i - 1], b[i], a[i])
+    circuit.cx(a[bits - 1], cout)
+    for i in range(bits - 1, 0, -1):
+        _unmajority(circuit, a[i - 1], b[i], a[i])
+    _unmajority(circuit, cin, b[0], a[0])
+
+    if measure:
+        for i in range(bits):
+            circuit.measure(b[i], i)
+        circuit.measure(cout, bits)
+    return circuit
+
+
+def bigadder(num_qubits: int = 18, a_value: int = 170, b_value: int = 85) -> QuantumCircuit:
+    """QASMBench-style ``bigadder``: an 8-bit ripple-carry addition (n = 18).
+
+    ``num_qubits`` must be of the form ``2 * bits + 2``; the default matches
+    the paper's Table Ic row.  Default operands exercise carries through the
+    whole register (``0b10101010 + 0b01010101``).
+    """
+    if num_qubits % 2 != 0 or num_qubits < 4:
+        raise ValueError("bigadder width must be even and >= 4")
+    bits = (num_qubits - 2) // 2
+    circuit = ripple_carry_adder(bits, a_value=a_value, b_value=b_value)
+    circuit.name = f"bigadder_{num_qubits}"
+    return circuit
+
+
+def _controlled_cdkm_add(
+    circuit: QuantumCircuit,
+    control: int,
+    addend: list,
+    target: list,
+    cin: int,
+    cout: int,
+) -> None:
+    """CDKM ripple addition ``target += addend`` controlled on ``control``.
+
+    Every MAJ/UMA gate carries the extra control, which implements the
+    controlled version of the whole adder unitary.  ``addend`` and ``cin``
+    are restored by construction.
+    """
+    bits = len(addend)
+    controls = (control,)
+    _majority(circuit, cin, target[0], addend[0], controls)
+    for i in range(1, bits):
+        _majority(circuit, addend[i - 1], target[i], addend[i], controls)
+    circuit.gate("x", cout, controls={addend[bits - 1]: 1, control: 1})
+    for i in range(bits - 1, 0, -1):
+        _unmajority(circuit, addend[i - 1], target[i], addend[i], controls)
+    _unmajority(circuit, cin, target[0], addend[0], controls)
+
+
+def multiplier(bits: int = 3, a_value: int = 3, b_value: int = 5) -> QuantumCircuit:
+    """Shift-and-add multiplier over ``bits``-bit operands.
+
+    Register layout (``5 * bits`` qubits; ``bits = 3`` gives the 15 qubits of
+    the paper's Table Ic row): operand ``a`` (``bits``), operand ``b``
+    (``bits``), product (``2 * bits``), and one carry-in ancilla per shift
+    stage.  For each bit ``a[i]``, a controlled CDKM ripple addition adds
+    ``b << i`` into the product register.
+    """
+    if bits < 1:
+        raise ValueError("multiplier needs at least one bit")
+    num_p = 2 * bits
+    num_qubits = 2 * bits + num_p + bits
+    circuit = QuantumCircuit(num_qubits, num_p, name=f"multiplier_{num_qubits}")
+    a = list(range(bits))
+    b = list(range(bits, 2 * bits))
+    product = list(range(2 * bits, 2 * bits + num_p))
+    ancillas = list(range(2 * bits + num_p, num_qubits))
+
+    for i in range(bits):
+        if (a_value >> i) & 1:
+            circuit.x(a[i])
+        if (b_value >> i) & 1:
+            circuit.x(b[i])
+
+    for i in range(bits):
+        # Add b << i into product, controlled on a[i].  The adder spans
+        # product bits i .. i+bits-1 with carry-out into product[i+bits]
+        # (the product of two ``bits``-bit values always fits 2*bits bits,
+        # and for the top shift the carry lands on the final product bit).
+        target = product[i : i + bits]
+        if i + bits < num_p:
+            cout = product[i + bits]
+            _controlled_cdkm_add(circuit, a[i], b, target, ancillas[i], cout)
+        else:  # pragma: no cover - cannot happen for bits >= 1
+            raise AssertionError("product register too small")
+
+    for index, qubit in enumerate(product):
+        circuit.measure(qubit, index)
+    return circuit

@@ -1,0 +1,69 @@
+"""Counterfeit-coin finding circuit (QASMBench ``cc``, Table Ic n = 18).
+
+The quantum counterfeit-coin protocol (Terhal/Smolin) finds the single fake
+coin among ``k`` coins with one balance query.  The QASMBench realisation
+uses ``k`` coin qubits plus one balance ancilla, a mid-circuit measurement
+of the balance qubit and classically conditioned corrections — which this
+reproduction keeps, as it exercises the simulators' measurement and
+classical-control paths.
+
+The paper reports this circuit as one of the DD simulator's *losses* (it
+hits the one-hour timeout at n = 18): after the balance query the register
+holds superpositions with little structure, and the conditional branch
+doubles the work per trajectory.
+"""
+
+from __future__ import annotations
+
+from ..circuit import QuantumCircuit
+from ..operations import ClassicalCondition
+
+__all__ = ["counterfeit_coin"]
+
+
+def counterfeit_coin(num_qubits: int = 18, false_coin: int = 3) -> QuantumCircuit:
+    """Counterfeit-coin finding over ``num_qubits - 1`` coins.
+
+    Parameters
+    ----------
+    num_qubits:
+        Total width: coins plus one balance ancilla (paper row: 18).
+    false_coin:
+        Index of the counterfeit coin the oracle marks.
+    """
+    if num_qubits < 3:
+        raise ValueError("counterfeit-coin needs at least 3 qubits")
+    coins = num_qubits - 1
+    if not 0 <= false_coin < coins:
+        raise ValueError(f"false coin {false_coin} out of range [0, {coins})")
+
+    # Classical bits: balance measurement + final coin readout.
+    circuit = QuantumCircuit(num_qubits, 1 + coins, name=f"cc_{num_qubits}")
+    balance = num_qubits - 1
+
+    # Query superposition over all even-weight coin subsets.
+    for coin in range(coins):
+        circuit.h(coin)
+    for coin in range(coins):
+        circuit.cx(coin, balance)
+    circuit.h(balance)
+    circuit.measure(balance, 0)
+
+    # Post-selection branch: when the balance collapsed to |1> the register
+    # holds the odd-weight subsets; the conditioned corrections map them
+    # back into the even-weight query superposition.
+    condition = ClassicalCondition((0,), 1)
+    for coin in range(coins):
+        circuit.gate("h", coin, condition=condition)
+        circuit.gate("x", coin, condition=condition)
+        circuit.gate("h", coin, condition=condition)
+
+    # Balance query: the fake coin imprints a phase.
+    circuit.z(false_coin)
+
+    # Decode: Hadamards reveal the fake coin index.
+    for coin in range(coins):
+        circuit.h(coin)
+    for coin in range(coins):
+        circuit.measure(coin, 1 + coin)
+    return circuit

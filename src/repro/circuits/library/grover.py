@@ -1,0 +1,163 @@
+"""Grover search circuits, including the SAT-oracle variant (QASMBench ``sat``).
+
+The paper's Table Ic ``sat`` row (n = 11) runs Grover iterations against a
+small boolean-satisfiability oracle.  Structured oracles keep the state in a
+low-rank superposition, so the DD simulator wins comfortably — the shape the
+reproduction targets.
+
+Exports:
+
+* :func:`grover` — textbook Grover search for a marked basis state,
+* :func:`sat` — Grover with a CNF clause oracle over data + clause ancillas.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from ..circuit import QuantumCircuit
+
+__all__ = ["grover", "sat"]
+
+
+def _diffuser(circuit: QuantumCircuit, qubits: Sequence[int]) -> None:
+    """Inversion about the mean over ``qubits``."""
+    for qubit in qubits:
+        circuit.h(qubit)
+        circuit.x(qubit)
+    circuit.mcz([q for q in qubits[:-1]], qubits[-1])
+    for qubit in qubits:
+        circuit.x(qubit)
+        circuit.h(qubit)
+
+
+def grover(
+    num_qubits: int,
+    marked: Optional[int] = None,
+    iterations: Optional[int] = None,
+    measure: bool = True,
+) -> QuantumCircuit:
+    """Grover search for one marked computational basis state.
+
+    Parameters
+    ----------
+    num_qubits:
+        Width of the search register.
+    marked:
+        Index of the marked state; defaults to the all-ones state.
+    iterations:
+        Number of Grover iterations; defaults to the optimal
+        ``floor(pi/4 * sqrt(2^n))``.
+    """
+    if num_qubits < 2:
+        raise ValueError("Grover search needs at least 2 qubits")
+    size = 1 << num_qubits
+    if marked is None:
+        marked = size - 1
+    if not 0 <= marked < size:
+        raise ValueError(f"marked state {marked} out of range")
+    if iterations is None:
+        iterations = max(1, int(math.floor(math.pi / 4.0 * math.sqrt(size))))
+
+    circuit = QuantumCircuit(num_qubits, num_qubits, name=f"grover_{num_qubits}")
+    qubits = list(range(num_qubits))
+    for qubit in qubits:
+        circuit.h(qubit)
+    # Bits of the marked state, qubit 0 = most significant.
+    marked_bits = [(marked >> (num_qubits - 1 - q)) & 1 for q in qubits]
+    for _ in range(iterations):
+        # Phase oracle: flip the sign of |marked>.
+        for qubit, bit in zip(qubits, marked_bits):
+            if not bit:
+                circuit.x(qubit)
+        circuit.mcz(qubits[:-1], qubits[-1])
+        for qubit, bit in zip(qubits, marked_bits):
+            if not bit:
+                circuit.x(qubit)
+        _diffuser(circuit, qubits)
+    if measure:
+        for qubit in qubits:
+            circuit.measure(qubit, qubit)
+    return circuit
+
+
+Clause = Tuple[Tuple[int, bool], ...]
+
+
+def _default_clauses(num_variables: int, num_clauses: int) -> List[Clause]:
+    """A satisfiable 3-SAT-style instance touching every variable."""
+    clauses: List[Clause] = []
+    for index in range(num_clauses):
+        a = index % num_variables
+        b = (index + 1) % num_variables
+        c = (index + 2) % num_variables
+        clauses.append(((a, True), (b, index % 2 == 0), (c, True)))
+    return clauses
+
+
+def sat(
+    num_qubits: int = 11,
+    clauses: Optional[Sequence[Clause]] = None,
+    iterations: int = 1,
+    measure: bool = True,
+) -> QuantumCircuit:
+    """Grover search with a CNF-clause oracle (QASMBench-style ``sat``).
+
+    Register layout: ``v`` variable qubits, one ancilla per clause, and one
+    phase-kickback qubit; ``num_qubits = v + len(clauses) + 1``.  With the
+    default clause set and ``num_qubits = 11`` this gives 5 variables and 5
+    clauses, matching the Table Ic row's width.
+
+    Each clause ancilla computes the OR of its literals (via De Morgan:
+    X-conjugated multi-controlled X), the phase qubit flips when all clauses
+    hold, and the oracle is uncomputed before the diffuser.
+    """
+    if clauses is None:
+        num_variables = (num_qubits - 1) // 2
+        clauses = _default_clauses(num_variables, num_qubits - 1 - num_variables)
+    else:
+        num_variables = num_qubits - 1 - len(clauses)
+    num_clauses = len(clauses)
+    if num_variables < 2:
+        raise ValueError("sat circuit needs at least 2 variable qubits")
+    if num_variables + num_clauses + 1 != num_qubits:
+        raise ValueError(
+            f"register mismatch: {num_variables} variables + {num_clauses} clauses "
+            f"+ 1 phase qubit != {num_qubits}"
+        )
+    for clause in clauses:
+        for variable, _ in clause:
+            if not 0 <= variable < num_variables:
+                raise ValueError(f"clause variable {variable} out of range")
+
+    circuit = QuantumCircuit(num_qubits, num_variables, name=f"sat_{num_qubits}")
+    variables = list(range(num_variables))
+    ancillas = list(range(num_variables, num_variables + num_clauses))
+    phase = num_qubits - 1
+
+    for qubit in variables:
+        circuit.h(qubit)
+    # Phase kickback qubit in |->.
+    circuit.x(phase)
+    circuit.h(phase)
+
+    def compute_clauses() -> None:
+        for ancilla, clause in zip(ancillas, clauses):
+            # ancilla = OR of literals = NOT(AND of negated literals).
+            controls = {}
+            for variable, positive in clause:
+                controls[variable] = 0 if positive else 1
+            circuit.x(ancilla)
+            circuit.gate("x", ancilla, controls=controls)
+
+    for _ in range(iterations):
+        compute_clauses()
+        circuit.gate("x", phase, controls={a: 1 for a in ancillas})
+        compute_clauses()  # self-inverse uncompute
+        _diffuser(circuit, variables)
+
+    if measure:
+        for qubit in variables:
+            circuit.measure(qubit, qubit)
+    return circuit

@@ -1,0 +1,107 @@
+"""Additional circuit generators: W state, QPE, and random circuits.
+
+These round out the library beyond the paper's tables: the W state and
+quantum phase estimation are classic structured workloads, and the random
+circuit generator produces DD-hostile dense states — used by the ablation
+benchmarks and the property-based tests.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+from ..circuit import QuantumCircuit
+
+__all__ = ["w_state", "qpe", "random_circuit"]
+
+
+def w_state(num_qubits: int, measure: bool = False) -> QuantumCircuit:
+    """W-state preparation via the cascade of controlled rotations."""
+    if num_qubits < 2:
+        raise ValueError("W state needs at least 2 qubits")
+    circuit = QuantumCircuit(num_qubits, name=f"wstate_{num_qubits}")
+    circuit.x(0)
+    for k in range(num_qubits - 1):
+        # Rotate amplitude from qubit k onto qubit k+1.
+        remaining = num_qubits - k
+        theta = 2.0 * math.acos(math.sqrt(1.0 / remaining))
+        circuit.cry(theta, k, k + 1)
+        circuit.cx(k + 1, k)
+    if measure:
+        circuit.measure_all()
+    return circuit
+
+
+def qpe(
+    precision_qubits: int,
+    phase: float = 0.25,
+    measure: bool = True,
+) -> QuantumCircuit:
+    """Quantum phase estimation of a ``u1(2*pi*phase)`` eigenphase.
+
+    Register: ``precision_qubits`` counting qubits plus one eigenstate
+    qubit (prepared in |1>, the u1 eigenstate).  With ``phase`` a dyadic
+    rational of ``precision_qubits`` bits the readout is deterministic.
+    """
+    if precision_qubits < 1:
+        raise ValueError("QPE needs at least one precision qubit")
+    num_qubits = precision_qubits + 1
+    circuit = QuantumCircuit(num_qubits, precision_qubits, name=f"qpe_{num_qubits}")
+    eigenstate = precision_qubits
+    circuit.x(eigenstate)
+    for qubit in range(precision_qubits):
+        circuit.h(qubit)
+    for qubit in range(precision_qubits):
+        # Counting qubit `qubit` accumulates phase 2^(precision-1-qubit).
+        repetitions = 1 << (precision_qubits - 1 - qubit)
+        circuit.cu1(2.0 * math.pi * phase * repetitions, qubit, eigenstate)
+    # Inverse QFT on the counting register.  After the phase stage, qubit q
+    # carries e^{2 pi i k / 2^(q+1)} — exactly QFT|k> in this library's
+    # MSB-first convention — so the library inverse recovers |k> directly.
+    from .qft import inverse_qft
+
+    circuit.extend(inverse_qft(precision_qubits, do_swaps=True))
+    if measure:
+        for qubit in range(precision_qubits):
+            # Qubit 0 holds the most significant bit of k.
+            circuit.measure(qubit, precision_qubits - 1 - qubit)
+    return circuit
+
+
+def random_circuit(
+    num_qubits: int,
+    depth: int,
+    seed: Optional[int] = None,
+    two_qubit_probability: float = 0.4,
+    measure: bool = False,
+) -> QuantumCircuit:
+    """Random circuit of single-qubit rotations and CNOTs.
+
+    Dense and structure-free by design: the worst case for decision
+    diagrams, used by ablation benches and as a fuzzing source in tests.
+    """
+    if num_qubits < 1:
+        raise ValueError("random circuit needs at least one qubit")
+    if depth < 1:
+        raise ValueError("depth must be positive")
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"random_{num_qubits}x{depth}")
+    single_gates = ("h", "x", "y", "z", "s", "t", "rx", "ry", "rz")
+    for _ in range(depth):
+        for qubit in range(num_qubits):
+            if num_qubits > 1 and rng.random() < two_qubit_probability:
+                partner = rng.randrange(num_qubits - 1)
+                if partner >= qubit:
+                    partner += 1
+                circuit.cx(qubit, partner)
+                continue
+            name = rng.choice(single_gates)
+            if name in ("rx", "ry", "rz"):
+                circuit.gate(name, qubit, (rng.uniform(0, 2.0 * math.pi),))
+            else:
+                circuit.gate(name, qubit)
+    if measure:
+        circuit.measure_all()
+    return circuit

@@ -1,0 +1,104 @@
+"""Oracle-style algorithms: Deutsch-Jozsa and Simon.
+
+Completes the library's coverage of QASMBench's algorithm families (both
+appear in the suite at various widths).  Like Bernstein-Vazirani they are
+Clifford-dominated and DD-friendly — useful additional structured
+workloads for the harness.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..circuit import QuantumCircuit
+
+__all__ = ["deutsch_jozsa", "simon"]
+
+
+def deutsch_jozsa(
+    num_qubits: int,
+    balanced: bool = True,
+    pattern: Optional[Sequence[int]] = None,
+    measure: bool = True,
+) -> QuantumCircuit:
+    """Deutsch-Jozsa: decide whether the oracle is constant or balanced.
+
+    Parameters
+    ----------
+    num_qubits:
+        Total width (data qubits plus one ancilla).
+    balanced:
+        Use a balanced oracle (inner product with ``pattern``); a constant
+        oracle otherwise.
+    pattern:
+        Mask defining the balanced function ``f(x) = pattern . x``;
+        defaults to all ones.  Ignored for constant oracles.
+    measure:
+        Measure the data register (all zeros <=> constant).
+    """
+    if num_qubits < 2:
+        raise ValueError("Deutsch-Jozsa needs at least 2 qubits")
+    data = num_qubits - 1
+    ancilla = num_qubits - 1
+    if pattern is None:
+        pattern = [1] * data
+    if len(pattern) != data:
+        raise ValueError(f"pattern must have {data} bits")
+    circuit = QuantumCircuit(num_qubits, data, name=f"dj_{num_qubits}")
+    circuit.x(ancilla)
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    if balanced:
+        for qubit, bit in enumerate(pattern):
+            if bit:
+                circuit.cx(qubit, ancilla)
+    # Constant oracle: f == 0, nothing to apply.
+    for qubit in range(data):
+        circuit.h(qubit)
+    if measure:
+        for qubit in range(data):
+            circuit.measure(qubit, qubit)
+    return circuit
+
+
+def simon(
+    num_data_qubits: int,
+    secret: Optional[Sequence[int]] = None,
+    measure: bool = True,
+) -> QuantumCircuit:
+    """One query round of Simon's algorithm for a hidden XOR mask.
+
+    Register: ``n`` data qubits plus ``n`` output qubits (total ``2n``).
+    The oracle implements the standard 2-to-1 function ``f(x) = x XOR
+    (x[j] ? secret : 0)`` via CNACs: copy ``x`` to the output register,
+    then, controlled on the first set bit of ``secret``, XOR ``secret``
+    into the output.  Measuring the data register after the final
+    Hadamards yields a string ``y`` with ``y . secret == 0`` — which the
+    tests verify over many trajectories.
+    """
+    if num_data_qubits < 2:
+        raise ValueError("Simon's algorithm needs at least 2 data qubits")
+    if secret is None:
+        secret = [1] + [0] * (num_data_qubits - 2) + [1]
+    if len(secret) != num_data_qubits or not any(secret):
+        raise ValueError("secret must be a non-zero mask over the data qubits")
+    n = num_data_qubits
+    circuit = QuantumCircuit(2 * n, n, name=f"simon_{2 * n}")
+    data = list(range(n))
+    output = list(range(n, 2 * n))
+    pivot = next(index for index, bit in enumerate(secret) if bit)
+
+    for qubit in data:
+        circuit.h(qubit)
+    # f(x) = x with the secret coset folded in: copy, then conditional XOR.
+    for index in range(n):
+        circuit.cx(data[index], output[index])
+    for index, bit in enumerate(secret):
+        if bit:
+            circuit.cx(data[pivot], output[index])
+    for qubit in data:
+        circuit.h(qubit)
+    if measure:
+        for index in range(n):
+            circuit.measure(data[index], index)
+    return circuit

@@ -1,0 +1,40 @@
+"""Quantum Fourier Transform circuits (paper Table Ib).
+
+The textbook QFT: per qubit a Hadamard followed by controlled phase
+rotations of decreasing angle, with an optional final qubit-reversal SWAP
+network.  Applied to a computational basis state the output is a tensor
+product of single-qubit states, so its decision diagram stays linear in the
+number of qubits — the property the paper's Table Ib exploits (the proposed
+simulator reaches 64 qubits; note the growing runtimes versus GHZ caused by
+the quadratic gate count and denser intermediate diagrams under noise).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..circuit import QuantumCircuit
+
+__all__ = ["qft", "inverse_qft"]
+
+
+def qft(num_qubits: int, do_swaps: bool = True, measure: bool = False) -> QuantumCircuit:
+    """Quantum Fourier Transform on ``num_qubits`` qubits."""
+    circuit = QuantumCircuit(num_qubits, name=f"qft_{num_qubits}")
+    for target in range(num_qubits):
+        circuit.h(target)
+        for offset, control in enumerate(range(target + 1, num_qubits), start=2):
+            circuit.cu1(2.0 * math.pi / (1 << offset), control, target)
+    if do_swaps:
+        for qubit in range(num_qubits // 2):
+            circuit.swap(qubit, num_qubits - 1 - qubit)
+    if measure:
+        circuit.measure_all()
+    return circuit
+
+
+def inverse_qft(num_qubits: int, do_swaps: bool = True) -> QuantumCircuit:
+    """Adjoint of :func:`qft` (used by phase estimation)."""
+    forward = qft(num_qubits, do_swaps=do_swaps)
+    inverse = forward.inverse(name=f"iqft_{num_qubits}")
+    return inverse

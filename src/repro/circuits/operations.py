@@ -1,0 +1,156 @@
+"""Circuit operations: the instruction set of the intermediate representation.
+
+Every instruction a :class:`~repro.circuits.circuit.QuantumCircuit` can hold
+is one of the dataclasses below.  All of them are immutable and picklable —
+a hard requirement, because the stochastic runner ships whole circuits to
+worker processes (paper Section IV-C).
+
+The gate model is deliberately minimal: a *single-qubit unitary plus a set
+of (qubit, polarity) controls*.  Every OpenQASM 2.0 gate reduces to this
+form (the standard requires composite gates to be definable from ``U`` and
+``CX``), and it maps one-to-one onto the DD package's efficient
+controlled-gate constructor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .gates import gate_matrix
+
+__all__ = [
+    "Operation",
+    "GateOperation",
+    "MeasureOperation",
+    "ResetOperation",
+    "BarrierOperation",
+    "ClassicalCondition",
+]
+
+
+@dataclass(frozen=True)
+class ClassicalCondition:
+    """Classical control: execute only when a bit group equals ``value``.
+
+    ``clbits`` lists classical bit indices from least significant to most
+    significant, mirroring OpenQASM's ``if (creg == value)`` semantics.
+    """
+
+    clbits: Tuple[int, ...]
+    value: int
+
+    def is_satisfied(self, classical_bits) -> bool:
+        """Evaluate the condition against a classical bit array."""
+        register_value = 0
+        for position, clbit in enumerate(self.clbits):
+            if classical_bits[clbit]:
+                register_value |= 1 << position
+        return register_value == self.value
+
+
+@dataclass(frozen=True)
+class Operation:
+    """Base class for all circuit instructions."""
+
+    @property
+    def qubits(self) -> Tuple[int, ...]:
+        """All qubits the instruction touches (noise is applied to these)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class GateOperation(Operation):
+    """A unitary gate: single-qubit matrix on ``target`` plus controls.
+
+    Parameters
+    ----------
+    name:
+        OpenQASM gate name, resolved via :func:`repro.circuits.gates.gate_matrix`.
+    params:
+        Gate angle parameters (empty for fixed gates).
+    target:
+        Qubit the 2x2 unitary acts on.
+    controls:
+        Sorted tuple of ``(qubit, polarity)`` pairs; polarity 1 is a regular
+        control, 0 a negated control.
+    condition:
+        Optional classical condition (OpenQASM ``if``).
+    """
+
+    name: str
+    params: Tuple[float, ...] = ()
+    target: int = 0
+    controls: Tuple[Tuple[int, int], ...] = ()
+    condition: Optional[ClassicalCondition] = None
+
+    def __post_init__(self) -> None:
+        control_qubits = [qubit for qubit, _ in self.controls]
+        if self.target in control_qubits:
+            raise ValueError(f"target {self.target} duplicated in controls")
+        if len(set(control_qubits)) != len(control_qubits):
+            raise ValueError("duplicate control qubits")
+
+    @property
+    def qubits(self) -> Tuple[int, ...]:
+        return tuple(qubit for qubit, _ in self.controls) + (self.target,)
+
+    @property
+    def num_qubits(self) -> int:
+        """Total qubits this gate spans (controls + target)."""
+        return len(self.controls) + 1
+
+    def matrix(self) -> np.ndarray:
+        """The 2x2 unitary applied to the target qubit."""
+        return gate_matrix(self.name, self.params)
+
+    def control_dict(self) -> dict:
+        """Controls as the ``{qubit: polarity}`` dict the DD package expects."""
+        return dict(self.controls)
+
+    def with_condition(self, condition: ClassicalCondition) -> "GateOperation":
+        """Copy of this gate gated on a classical condition."""
+        return GateOperation(self.name, self.params, self.target, self.controls, condition)
+
+    def label(self) -> str:
+        """Human-readable label, e.g. ``cx q0, q1`` or ``rz(0.5) q3``."""
+        params = f"({', '.join(f'{p:g}' for p in self.params)})" if self.params else ""
+        prefix = "c" * len(self.controls)
+        qubits = ", ".join(f"q{q}" for q in self.qubits)
+        return f"{prefix}{self.name}{params} {qubits}"
+
+
+@dataclass(frozen=True)
+class MeasureOperation(Operation):
+    """Projective measurement of ``qubit`` into classical bit ``clbit``."""
+
+    qubit: int
+    clbit: int
+
+    @property
+    def qubits(self) -> Tuple[int, ...]:
+        return (self.qubit,)
+
+
+@dataclass(frozen=True)
+class ResetOperation(Operation):
+    """Reset ``qubit`` to |0> (measure and conditionally flip)."""
+
+    qubit: int
+
+    @property
+    def qubits(self) -> Tuple[int, ...]:
+        return (self.qubit,)
+
+
+@dataclass(frozen=True)
+class BarrierOperation(Operation):
+    """Scheduling barrier; a no-op for simulation but kept for fidelity."""
+
+    barrier_qubits: Tuple[int, ...] = field(default=())
+
+    @property
+    def qubits(self) -> Tuple[int, ...]:
+        return self.barrier_qubits

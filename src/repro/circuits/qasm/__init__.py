@@ -1,0 +1,15 @@
+"""OpenQASM 2.0 front-end: lexer, expression evaluator, and parser."""
+
+from .expressions import QasmExpressionError
+from .lexer import QasmLexerError, Token, tokenize
+from .parser import QasmParserError, parse_qasm, parse_qasm_file
+
+__all__ = [
+    "QasmExpressionError",
+    "QasmLexerError",
+    "QasmParserError",
+    "Token",
+    "parse_qasm",
+    "parse_qasm_file",
+    "tokenize",
+]

@@ -1,0 +1,117 @@
+"""Arithmetic expression AST and evaluator for OpenQASM gate parameters.
+
+OpenQASM 2.0 gate parameters are real-valued expressions over literals,
+``pi``, the enclosing gate definition's formal parameters, the binary
+operators ``+ - * / ^`` and the unary functions ``sin cos tan exp ln sqrt``.
+The parser builds these small ASTs; evaluation happens when a gate call is
+expanded with concrete parameter bindings.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Union
+
+__all__ = [
+    "Expression",
+    "Number",
+    "Parameter",
+    "Binary",
+    "Unary",
+    "FunctionCall",
+    "QasmExpressionError",
+]
+
+
+class QasmExpressionError(ValueError):
+    """Raised when an expression cannot be evaluated."""
+
+
+@dataclass(frozen=True)
+class Number:
+    """A literal constant (``pi`` is parsed into its numeric value)."""
+
+    value: float
+
+    def evaluate(self, bindings: Mapping[str, float]) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """Reference to a formal gate parameter, bound at expansion time."""
+
+    name: str
+
+    def evaluate(self, bindings: Mapping[str, float]) -> float:
+        try:
+            return bindings[self.name]
+        except KeyError:
+            raise QasmExpressionError(f"unbound parameter '{self.name}'") from None
+
+
+_BINARY_OPS: Dict[str, Callable[[float, float], float]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "^": lambda a, b: a**b,
+}
+
+_FUNCTIONS: Dict[str, Callable[[float], float]] = {
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "exp": math.exp,
+    "ln": math.log,
+    "sqrt": math.sqrt,
+}
+
+
+@dataclass(frozen=True)
+class Binary:
+    """A binary arithmetic operation."""
+
+    op: str
+    left: "Expression"
+    right: "Expression"
+
+    def evaluate(self, bindings: Mapping[str, float]) -> float:
+        try:
+            return _BINARY_OPS[self.op](
+                self.left.evaluate(bindings), self.right.evaluate(bindings)
+            )
+        except ZeroDivisionError:
+            raise QasmExpressionError("division by zero in gate parameter") from None
+
+
+@dataclass(frozen=True)
+class Unary:
+    """Unary negation."""
+
+    operand: "Expression"
+
+    def evaluate(self, bindings: Mapping[str, float]) -> float:
+        return -self.operand.evaluate(bindings)
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    """A builtin unary function such as ``sin`` or ``sqrt``."""
+
+    name: str
+    argument: "Expression"
+
+    def evaluate(self, bindings: Mapping[str, float]) -> float:
+        try:
+            function = _FUNCTIONS[self.name]
+        except KeyError:
+            raise QasmExpressionError(f"unknown function '{self.name}'") from None
+        return function(self.argument.evaluate(bindings))
+
+
+Expression = Union[Number, Parameter, Binary, Unary, FunctionCall]
+
+#: Names usable as functions inside parameter expressions.
+FUNCTION_NAMES = frozenset(_FUNCTIONS)

@@ -1,0 +1,87 @@
+"""Tokenizer for OpenQASM 2.0.
+
+A small regex-driven lexer producing a flat token stream.  Comments
+(``// ...``) and whitespace are skipped; line/column information is kept on
+every token so the parser can produce precise error messages for the
+QASMBench-style input files this front-end is meant to consume.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+__all__ = ["Token", "QasmLexerError", "tokenize"]
+
+KEYWORDS = {
+    "OPENQASM",
+    "include",
+    "qreg",
+    "creg",
+    "gate",
+    "opaque",
+    "measure",
+    "reset",
+    "barrier",
+    "if",
+    "pi",
+}
+
+_TOKEN_SPEC = [
+    ("COMMENT", r"//[^\n]*"),
+    ("REAL", r"(\d+\.\d*|\.\d+)([eE][+-]?\d+)?|\d+[eE][+-]?\d+"),
+    ("INT", r"\d+"),
+    ("STRING", r'"[^"\n]*"'),
+    ("ID", r"[A-Za-z_][A-Za-z0-9_]*"),
+    ("ARROW", r"->"),
+    ("EQ", r"=="),
+    ("SYMBOL", r"[{}()\[\];,+\-*/^]"),
+    ("NEWLINE", r"\n"),
+    ("SKIP", r"[ \t\r]+"),
+    ("MISMATCH", r"."),
+]
+
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+
+class QasmLexerError(ValueError):
+    """Raised for characters the OpenQASM 2.0 grammar does not allow."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with source position (1-based line/column)."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize OpenQASM source into a list of tokens (EOF excluded)."""
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    for match in _TOKEN_RE.finditer(source):
+        kind = match.lastgroup or "MISMATCH"
+        text = match.group()
+        column = match.start() - line_start + 1
+        if kind == "NEWLINE":
+            line += 1
+            line_start = match.end()
+            continue
+        if kind in ("SKIP", "COMMENT"):
+            continue
+        if kind == "MISMATCH":
+            raise QasmLexerError(f"unexpected character {text!r} at {line}:{column}")
+        if kind == "ID" and text in KEYWORDS:
+            kind = "KEYWORD"
+        if kind == "STRING":
+            text = text[1:-1]
+        tokens.append(Token(kind, text, line, column))
+    return tokens

@@ -1,0 +1,687 @@
+"""Recursive-descent parser for OpenQASM 2.0.
+
+Parses the language subset every QASMBench circuit uses (which is, in
+practice, all of OpenQASM 2.0):
+
+* ``OPENQASM 2.0;`` header and ``include`` statements,
+* ``qreg`` / ``creg`` declarations (multiple registers are flattened into a
+  single qubit/clbit index space, in declaration order),
+* the builtin gates ``U`` and ``CX`` plus the whole ``qelib1.inc`` gate set
+  as *native* gates (qelib1 semantics are built in, so the include file
+  itself is not needed on disk),
+* user ``gate`` definitions with parameters, expanded (inlined) recursively
+  at call sites,
+* ``measure``, ``reset``, ``barrier``, ``opaque`` and ``if`` statements,
+* register broadcasting (applying a gate to whole registers element-wise).
+
+The output is a flat :class:`~repro.circuits.circuit.QuantumCircuit` whose
+gates all carry a plain 2x2 matrix plus controls — directly consumable by
+both simulators.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..circuit import QuantumCircuit
+from ..operations import ClassicalCondition
+from .expressions import (
+    Binary,
+    Expression,
+    FunctionCall,
+    Number,
+    Parameter,
+    FUNCTION_NAMES,
+    Unary,
+)
+from .lexer import Token, tokenize
+
+__all__ = ["QasmParserError", "parse_qasm", "parse_qasm_file"]
+
+
+class QasmParserError(ValueError):
+    """Raised on syntactically or semantically invalid OpenQASM input."""
+
+
+@dataclass(frozen=True)
+class _GateCall:
+    """A gate invocation inside a gate-definition body."""
+
+    name: str
+    params: Tuple[Expression, ...]
+    qargs: Tuple[str, ...]
+    line: int
+
+
+@dataclass(frozen=True)
+class _BodyBarrier:
+    """A barrier inside a gate-definition body (ignored on expansion)."""
+
+    qargs: Tuple[str, ...]
+
+
+_BodyStatement = Union[_GateCall, _BodyBarrier]
+
+
+@dataclass(frozen=True)
+class _GateDefinition:
+    """A user ``gate`` definition awaiting expansion."""
+
+    name: str
+    params: Tuple[str, ...]
+    qargs: Tuple[str, ...]
+    body: Tuple[_BodyStatement, ...]
+
+
+#: Maximum gate-expansion nesting.  OpenQASM 2.0 requires definition before
+#: use, which rules out recursion, but a defensive limit converts bugs and
+#: adversarial inputs into clean errors.
+_MAX_EXPANSION_DEPTH = 64
+
+
+class _Parser:
+    """Single-use parser instance over one token stream."""
+
+    def __init__(self, source: str, path: Optional[str] = None, name: str = "qasm") -> None:
+        self.tokens = tokenize(source)
+        self.position = 0
+        self.path = path
+        self.circuit_name = name
+        self.qregs: Dict[str, Tuple[int, int]] = {}
+        self.cregs: Dict[str, Tuple[int, int]] = {}
+        self.num_qubits = 0
+        self.num_clbits = 0
+        self.gate_defs: Dict[str, _GateDefinition] = {}
+        self.opaque_gates: set = set()
+        self.circuit: Optional[QuantumCircuit] = None
+        #: Operations buffered until register sizes are known.
+        self._pending: List[Callable[[QuantumCircuit], None]] = []
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+
+    def _peek(self) -> Optional[Token]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise QasmParserError("unexpected end of input")
+        self.position += 1
+        return token
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self._next()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text or kind
+            raise QasmParserError(
+                f"expected {wanted!r} but found {token.text!r} at {token.line}:{token.column}"
+            )
+        return token
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        token = self._peek()
+        if token is not None and token.kind == kind and (text is None or token.text == text):
+            self.position += 1
+            return token
+        return None
+
+    def _error(self, message: str, token: Optional[Token] = None) -> QasmParserError:
+        location = f" at {token.line}:{token.column}" if token else ""
+        return QasmParserError(message + location)
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+
+    def parse(self) -> QuantumCircuit:
+        """Parse the token stream into a flat circuit."""
+        self._parse_header()
+        statements: List[Callable[[QuantumCircuit], None]] = []
+        while self._peek() is not None:
+            self._parse_statement()
+        if self.num_qubits == 0:
+            raise QasmParserError("no qreg declared")
+        circuit = QuantumCircuit(self.num_qubits, max(self.num_clbits, 0), self.circuit_name)
+        for emit in self._pending:
+            emit(circuit)
+        return circuit
+
+    def _parse_header(self) -> None:
+        self._expect("KEYWORD", "OPENQASM")
+        version = self._next()
+        if version.text not in ("2.0", "2"):
+            raise self._error(f"unsupported OPENQASM version {version.text!r}", version)
+        self._expect("SYMBOL", ";")
+
+    def _parse_statement(self) -> None:
+        token = self._peek()
+        assert token is not None
+        if token.kind == "KEYWORD":
+            handler = {
+                "include": self._parse_include,
+                "qreg": self._parse_qreg,
+                "creg": self._parse_creg,
+                "gate": self._parse_gate_definition,
+                "opaque": self._parse_opaque,
+                "measure": self._parse_measure,
+                "reset": self._parse_reset,
+                "barrier": self._parse_barrier,
+                "if": self._parse_if,
+            }.get(token.text)
+            if handler is None:
+                raise self._error(f"unexpected keyword {token.text!r}", token)
+            handler()
+            return
+        if token.kind == "ID":
+            self._parse_gate_statement(condition=None)
+            return
+        raise self._error(f"unexpected token {token.text!r}", token)
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+
+    def _parse_include(self) -> None:
+        self._expect("KEYWORD", "include")
+        filename = self._expect("STRING").text
+        self._expect("SYMBOL", ";")
+        if os.path.basename(filename) == "qelib1.inc":
+            return  # qelib1 semantics are built in
+        candidate = filename
+        if self.path is not None:
+            candidate = os.path.join(os.path.dirname(self.path), filename)
+        if not os.path.exists(candidate):
+            raise QasmParserError(f"cannot resolve include {filename!r}")
+        with open(candidate, "r", encoding="utf-8") as handle:
+            included = handle.read()
+        # Splice the included tokens (minus any OPENQASM header) in place.
+        tokens = tokenize(included)
+        if tokens and tokens[0].kind == "KEYWORD" and tokens[0].text == "OPENQASM":
+            # Drop "OPENQASM <ver> ;"
+            tokens = tokens[3:]
+        self.tokens = self.tokens[: self.position] + tokens + self.tokens[self.position :]
+
+    def _parse_qreg(self) -> None:
+        self._expect("KEYWORD", "qreg")
+        name = self._expect("ID").text
+        self._expect("SYMBOL", "[")
+        size = int(self._expect("INT").text)
+        self._expect("SYMBOL", "]")
+        self._expect("SYMBOL", ";")
+        if size < 1:
+            raise QasmParserError(f"qreg '{name}' must have positive size")
+        if name in self.qregs or name in self.cregs:
+            raise QasmParserError(f"register '{name}' redeclared")
+        self.qregs[name] = (self.num_qubits, size)
+        self.num_qubits += size
+
+    def _parse_creg(self) -> None:
+        self._expect("KEYWORD", "creg")
+        name = self._expect("ID").text
+        self._expect("SYMBOL", "[")
+        size = int(self._expect("INT").text)
+        self._expect("SYMBOL", "]")
+        self._expect("SYMBOL", ";")
+        if size < 1:
+            raise QasmParserError(f"creg '{name}' must have positive size")
+        if name in self.cregs or name in self.qregs:
+            raise QasmParserError(f"register '{name}' redeclared")
+        self.cregs[name] = (self.num_clbits, size)
+        self.num_clbits += size
+
+    def _parse_opaque(self) -> None:
+        self._expect("KEYWORD", "opaque")
+        name = self._expect("ID").text
+        self.opaque_gates.add(name)
+        # Consume the remainder of the declaration.
+        while self._accept("SYMBOL", ";") is None:
+            self._next()
+
+    # ------------------------------------------------------------------
+    # Gate definitions
+    # ------------------------------------------------------------------
+
+    def _parse_gate_definition(self) -> None:
+        self._expect("KEYWORD", "gate")
+        name = self._expect("ID").text
+        params: List[str] = []
+        if self._accept("SYMBOL", "("):
+            if self._accept("SYMBOL", ")") is None:
+                params.append(self._expect("ID").text)
+                while self._accept("SYMBOL", ","):
+                    params.append(self._expect("ID").text)
+                self._expect("SYMBOL", ")")
+        qargs = [self._expect("ID").text]
+        while self._accept("SYMBOL", ","):
+            qargs.append(self._expect("ID").text)
+        self._expect("SYMBOL", "{")
+        body: List[_BodyStatement] = []
+        while self._accept("SYMBOL", "}") is None:
+            body.append(self._parse_body_statement(set(params), set(qargs)))
+        self.gate_defs[name] = _GateDefinition(
+            name, tuple(params), tuple(qargs), tuple(body)
+        )
+
+    def _parse_body_statement(self, params: set, qargs: set) -> _BodyStatement:
+        token = self._peek()
+        assert token is not None
+        if token.kind == "KEYWORD" and token.text == "barrier":
+            self._next()
+            names = [self._expect("ID").text]
+            while self._accept("SYMBOL", ","):
+                names.append(self._expect("ID").text)
+            self._expect("SYMBOL", ";")
+            return _BodyBarrier(tuple(names))
+        name_token = self._next()
+        if name_token.kind not in ("ID", "KEYWORD"):
+            raise self._error(f"unexpected token {name_token.text!r} in gate body", name_token)
+        call_params: List[Expression] = []
+        if self._accept("SYMBOL", "("):
+            if self._accept("SYMBOL", ")") is None:
+                call_params.append(self._parse_expression(params))
+                while self._accept("SYMBOL", ","):
+                    call_params.append(self._parse_expression(params))
+                self._expect("SYMBOL", ")")
+        call_qargs = [self._expect("ID").text]
+        while self._accept("SYMBOL", ","):
+            call_qargs.append(self._expect("ID").text)
+        self._expect("SYMBOL", ";")
+        for qarg in call_qargs:
+            if qarg not in qargs:
+                raise self._error(
+                    f"gate body references undeclared qubit argument '{qarg}'", name_token
+                )
+        return _GateCall(name_token.text, tuple(call_params), tuple(call_qargs), name_token.line)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _parse_expression(self, params: set) -> Expression:
+        return self._parse_additive(params)
+
+    def _parse_additive(self, params: set) -> Expression:
+        left = self._parse_multiplicative(params)
+        while True:
+            if self._accept("SYMBOL", "+"):
+                left = Binary("+", left, self._parse_multiplicative(params))
+            elif self._accept("SYMBOL", "-"):
+                left = Binary("-", left, self._parse_multiplicative(params))
+            else:
+                return left
+
+    def _parse_multiplicative(self, params: set) -> Expression:
+        left = self._parse_power(params)
+        while True:
+            if self._accept("SYMBOL", "*"):
+                left = Binary("*", left, self._parse_power(params))
+            elif self._accept("SYMBOL", "/"):
+                left = Binary("/", left, self._parse_power(params))
+            else:
+                return left
+
+    def _parse_power(self, params: set) -> Expression:
+        base = self._parse_unary(params)
+        if self._accept("SYMBOL", "^"):
+            return Binary("^", base, self._parse_power(params))
+        return base
+
+    def _parse_unary(self, params: set) -> Expression:
+        if self._accept("SYMBOL", "-"):
+            return Unary(self._parse_unary(params))
+        if self._accept("SYMBOL", "+"):
+            return self._parse_unary(params)
+        return self._parse_primary(params)
+
+    def _parse_primary(self, params: set) -> Expression:
+        token = self._next()
+        if token.kind in ("INT", "REAL"):
+            return Number(float(token.text))
+        if token.kind == "KEYWORD" and token.text == "pi":
+            return Number(math.pi)
+        if token.kind == "ID":
+            if token.text in FUNCTION_NAMES:
+                self._expect("SYMBOL", "(")
+                argument = self._parse_expression(params)
+                self._expect("SYMBOL", ")")
+                return FunctionCall(token.text, argument)
+            if token.text in params:
+                return Parameter(token.text)
+            raise self._error(f"unknown identifier '{token.text}' in expression", token)
+        if token.kind == "SYMBOL" and token.text == "(":
+            inner = self._parse_expression(params)
+            self._expect("SYMBOL", ")")
+            return inner
+        raise self._error(f"unexpected token {token.text!r} in expression", token)
+
+    # ------------------------------------------------------------------
+    # Quantum operations at program level
+    # ------------------------------------------------------------------
+
+    def _parse_argument(self) -> Tuple[str, Optional[int], Token]:
+        name_token = self._expect("ID")
+        index: Optional[int] = None
+        if self._accept("SYMBOL", "["):
+            index = int(self._expect("INT").text)
+            self._expect("SYMBOL", "]")
+        return name_token.text, index, name_token
+
+    def _resolve_qubits(self, name: str, index: Optional[int], token: Token) -> List[int]:
+        if name not in self.qregs:
+            raise self._error(f"unknown quantum register '{name}'", token)
+        offset, size = self.qregs[name]
+        if index is None:
+            return [offset + i for i in range(size)]
+        if not 0 <= index < size:
+            raise self._error(f"index {index} out of range for qreg '{name}'", token)
+        return [offset + index]
+
+    def _resolve_clbits(self, name: str, index: Optional[int], token: Token) -> List[int]:
+        if name not in self.cregs:
+            raise self._error(f"unknown classical register '{name}'", token)
+        offset, size = self.cregs[name]
+        if index is None:
+            return [offset + i for i in range(size)]
+        if not 0 <= index < size:
+            raise self._error(f"index {index} out of range for creg '{name}'", token)
+        return [offset + index]
+
+    def _parse_gate_statement(self, condition: Optional[ClassicalCondition]) -> None:
+        name_token = self._next()
+        name = name_token.text
+        params: List[float] = []
+        if self._accept("SYMBOL", "("):
+            if self._accept("SYMBOL", ")") is None:
+                params.append(self._parse_expression(set()).evaluate({}))
+                while self._accept("SYMBOL", ","):
+                    params.append(self._parse_expression(set()).evaluate({}))
+                self._expect("SYMBOL", ")")
+        arguments = [self._parse_argument()]
+        while self._accept("SYMBOL", ","):
+            arguments.append(self._parse_argument())
+        self._expect("SYMBOL", ";")
+
+        qubit_lists = [self._resolve_qubits(n, i, t) for n, i, t in arguments]
+        broadcast = max(len(lst) for lst in qubit_lists)
+        for lst in qubit_lists:
+            if len(lst) not in (1, broadcast):
+                raise self._error("register sizes do not broadcast", name_token)
+
+        def emit(circuit: QuantumCircuit, name=name, params=tuple(params)) -> None:
+            for shot in range(broadcast):
+                qubits = [lst[0] if len(lst) == 1 else lst[shot] for lst in qubit_lists]
+                self._apply_gate(circuit, name, params, qubits, condition, name_token, 0)
+
+        self._pending.append(emit)
+
+    def _parse_measure(self) -> None:
+        self._expect("KEYWORD", "measure")
+        q_name, q_index, q_token = self._parse_argument()
+        self._expect("ARROW")
+        c_name, c_index, c_token = self._parse_argument()
+        self._expect("SYMBOL", ";")
+        qubits = self._resolve_qubits(q_name, q_index, q_token)
+        clbits = self._resolve_clbits(c_name, c_index, c_token)
+        if len(qubits) != len(clbits):
+            raise self._error("measure register sizes differ", q_token)
+
+        def emit(circuit: QuantumCircuit) -> None:
+            for qubit, clbit in zip(qubits, clbits):
+                circuit.measure(qubit, clbit)
+
+        self._pending.append(emit)
+
+    def _parse_reset(self) -> None:
+        self._expect("KEYWORD", "reset")
+        name, index, token = self._parse_argument()
+        self._expect("SYMBOL", ";")
+        qubits = self._resolve_qubits(name, index, token)
+
+        def emit(circuit: QuantumCircuit) -> None:
+            for qubit in qubits:
+                circuit.reset(qubit)
+
+        self._pending.append(emit)
+
+    def _parse_barrier(self) -> None:
+        self._expect("KEYWORD", "barrier")
+        arguments = [self._parse_argument()]
+        while self._accept("SYMBOL", ","):
+            arguments.append(self._parse_argument())
+        self._expect("SYMBOL", ";")
+        qubits: List[int] = []
+        for name, index, token in arguments:
+            qubits.extend(self._resolve_qubits(name, index, token))
+
+        def emit(circuit: QuantumCircuit) -> None:
+            circuit.barrier(*qubits)
+
+        self._pending.append(emit)
+
+    def _parse_if(self) -> None:
+        self._expect("KEYWORD", "if")
+        self._expect("SYMBOL", "(")
+        creg_token = self._expect("ID")
+        self._expect("EQ")
+        value = int(self._expect("INT").text)
+        self._expect("SYMBOL", ")")
+        if creg_token.text not in self.cregs:
+            raise self._error(f"unknown classical register '{creg_token.text}'", creg_token)
+        offset, size = self.cregs[creg_token.text]
+        condition = ClassicalCondition(tuple(range(offset, offset + size)), value)
+        token = self._peek()
+        if token is None:
+            raise QasmParserError("dangling 'if'")
+        if token.kind == "KEYWORD" and token.text in ("measure", "reset"):
+            raise self._error("conditional measure/reset is not supported", token)
+        self._parse_gate_statement(condition)
+
+    # ------------------------------------------------------------------
+    # Gate application and expansion
+    # ------------------------------------------------------------------
+
+    def _apply_gate(
+        self,
+        circuit: QuantumCircuit,
+        name: str,
+        params: Sequence[float],
+        qubits: Sequence[int],
+        condition: Optional[ClassicalCondition],
+        token: Token,
+        depth: int,
+    ) -> None:
+        if depth > _MAX_EXPANSION_DEPTH:
+            raise self._error(f"gate expansion too deep at '{name}'", token)
+        if len(set(qubits)) != len(qubits):
+            raise self._error(f"gate '{name}' applied to duplicate qubits", token)
+        definition = self.gate_defs.get(name)
+        if definition is not None:
+            self._expand_definition(circuit, definition, params, qubits, condition, token, depth)
+            return
+        if self._emit_native(circuit, name, params, qubits, condition, token):
+            return
+        if name in self.opaque_gates:
+            raise self._error(f"opaque gate '{name}' cannot be simulated", token)
+        raise self._error(f"unknown gate '{name}'", token)
+
+    def _expand_definition(
+        self,
+        circuit: QuantumCircuit,
+        definition: _GateDefinition,
+        params: Sequence[float],
+        qubits: Sequence[int],
+        condition: Optional[ClassicalCondition],
+        token: Token,
+        depth: int,
+    ) -> None:
+        if len(params) != len(definition.params):
+            raise self._error(
+                f"gate '{definition.name}' takes {len(definition.params)} parameter(s), "
+                f"got {len(params)}",
+                token,
+            )
+        if len(qubits) != len(definition.qargs):
+            raise self._error(
+                f"gate '{definition.name}' takes {len(definition.qargs)} qubit(s), "
+                f"got {len(qubits)}",
+                token,
+            )
+        bindings = dict(zip(definition.params, params))
+        qubit_map = dict(zip(definition.qargs, qubits))
+        for statement in definition.body:
+            if isinstance(statement, _BodyBarrier):
+                continue
+            call_params = [expr.evaluate(bindings) for expr in statement.params]
+            call_qubits = [qubit_map[qarg] for qarg in statement.qargs]
+            self._apply_gate(
+                circuit, statement.name, call_params, call_qubits, condition, token, depth + 1
+            )
+
+    def _emit_native(
+        self,
+        circuit: QuantumCircuit,
+        name: str,
+        params: Sequence[float],
+        qubits: Sequence[int],
+        condition: Optional[ClassicalCondition],
+        token: Token,
+    ) -> bool:
+        """Emit one of the built-in (qelib1) gates.  Returns False if unknown."""
+
+        def check(n_params: int, n_qubits: int) -> None:
+            if len(params) != n_params or len(qubits) != n_qubits:
+                raise self._error(
+                    f"gate '{name}' expects {n_params} param(s) and {n_qubits} qubit(s)",
+                    token,
+                )
+
+        single_fixed = {
+            "id": "id", "u0": "id", "x": "x", "y": "y", "z": "z", "h": "h",
+            "s": "s", "sdg": "sdg", "t": "t", "tdg": "tdg", "sx": "sx", "sxdg": "sxdg",
+        }
+        if name in single_fixed:
+            if name == "u0":
+                check(1, 1)  # u0(gamma) q: wait cycles, identity semantics
+            else:
+                check(0, 1)
+            circuit.gate(single_fixed[name], qubits[0], condition=condition)
+            return True
+        if name in ("rx", "ry", "rz", "u1", "p"):
+            check(1, 1)
+            qasm_name = "u1" if name == "p" else name
+            circuit.gate(qasm_name, qubits[0], params, condition=condition)
+            return True
+        if name == "u2":
+            check(2, 1)
+            circuit.gate("u2", qubits[0], params, condition=condition)
+            return True
+        if name in ("u3", "u", "U"):
+            check(3, 1)
+            circuit.gate("u3", qubits[0], params, condition=condition)
+            return True
+        if name in ("CX", "cx"):
+            check(0, 2)
+            circuit.gate("x", qubits[1], controls={qubits[0]: 1}, condition=condition)
+            return True
+        if name in ("cy", "cz", "ch", "csx"):
+            check(0, 2)
+            circuit.gate(name[1:], qubits[1], controls={qubits[0]: 1}, condition=condition)
+            return True
+        if name in ("crx", "cry", "crz", "cu1", "cp"):
+            check(1, 2)
+            base = {"crx": "rx", "cry": "ry", "crz": "rz", "cu1": "u1", "cp": "u1"}[name]
+            circuit.gate(base, qubits[1], params, controls={qubits[0]: 1}, condition=condition)
+            return True
+        if name == "cu3":
+            check(3, 2)
+            circuit.gate("u3", qubits[1], params, controls={qubits[0]: 1}, condition=condition)
+            return True
+        if name == "cu":
+            check(4, 2)
+            theta, phi, lam, gamma = params
+            circuit.gate("u1", qubits[0], (gamma,), condition=condition)
+            circuit.gate(
+                "u3", qubits[1], (theta, phi, lam), controls={qubits[0]: 1}, condition=condition
+            )
+            return True
+        if name == "ccx":
+            check(0, 3)
+            circuit.gate(
+                "x", qubits[2], controls={qubits[0]: 1, qubits[1]: 1}, condition=condition
+            )
+            return True
+        if name == "ccz":
+            check(0, 3)
+            circuit.gate(
+                "z", qubits[2], controls={qubits[0]: 1, qubits[1]: 1}, condition=condition
+            )
+            return True
+        if name == "swap":
+            check(0, 2)
+            a, b = qubits
+            circuit.gate("x", b, controls={a: 1}, condition=condition)
+            circuit.gate("x", a, controls={b: 1}, condition=condition)
+            circuit.gate("x", b, controls={a: 1}, condition=condition)
+            return True
+        if name == "cswap":
+            check(0, 3)
+            control, a, b = qubits
+            circuit.gate("x", a, controls={b: 1}, condition=condition)
+            circuit.gate("x", b, controls={control: 1, a: 1}, condition=condition)
+            circuit.gate("x", a, controls={b: 1}, condition=condition)
+            return True
+        if name == "rzz":
+            check(1, 2)
+            a, b = qubits
+            circuit.gate("x", b, controls={a: 1}, condition=condition)
+            circuit.gate("rz", b, params, condition=condition)
+            circuit.gate("x", b, controls={a: 1}, condition=condition)
+            return True
+        if name == "rxx":
+            check(1, 2)
+            a, b = qubits
+            circuit.gate("h", a, condition=condition)
+            circuit.gate("h", b, condition=condition)
+            circuit.gate("x", b, controls={a: 1}, condition=condition)
+            circuit.gate("rz", b, params, condition=condition)
+            circuit.gate("x", b, controls={a: 1}, condition=condition)
+            circuit.gate("h", a, condition=condition)
+            circuit.gate("h", b, condition=condition)
+            return True
+        # Generic multi-control spelling c...c<base> (e.g. "cccx"), the form
+        # this library's own QASM export uses for >2 controls.
+        from ..gates import FIXED_GATES, PARAMETRIC_GATES
+
+        stripped = name.lstrip("c")
+        num_controls = len(name) - len(stripped)
+        if num_controls >= 1 and (stripped in FIXED_GATES or stripped in PARAMETRIC_GATES):
+            expected_params = (
+                0 if stripped in FIXED_GATES else PARAMETRIC_GATES[stripped][0]
+            )
+            check(expected_params, num_controls + 1)
+            controls = {qubit: 1 for qubit in qubits[:num_controls]}
+            circuit.gate(
+                stripped, qubits[-1], params, controls=controls, condition=condition
+            )
+            return True
+        return False
+
+
+def parse_qasm(source: str, name: str = "qasm", path: Optional[str] = None) -> QuantumCircuit:
+    """Parse OpenQASM 2.0 source text into a :class:`QuantumCircuit`."""
+    return _Parser(source, path=path, name=name).parse()
+
+
+def parse_qasm_file(path: str) -> QuantumCircuit:
+    """Parse an OpenQASM 2.0 file into a :class:`QuantumCircuit`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    base = os.path.splitext(os.path.basename(path))[0]
+    return parse_qasm(source, name=base, path=path)

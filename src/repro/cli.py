@@ -1,0 +1,314 @@
+"""Command-line interface: ``repro-sim`` / ``python -m repro``.
+
+Subcommands:
+
+* ``run`` — stochastically simulate an OpenQASM 2.0 file or a library
+  circuit under a noise model and print property estimates and the sampled
+  outcome histogram;
+* ``table`` — regenerate one of the paper's tables (Ia/Ib/Ic) at a chosen
+  scale;
+* ``circuits`` — list the built-in benchmark circuit generators;
+* ``dot`` — export a circuit's final-state decision diagram as Graphviz dot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .circuits import parse_qasm_file
+from .circuits.library import QASMBENCH_CIRCUITS, ghz, qft
+from .dd import to_dot
+from .harness import run_table1a, run_table1b, run_table1c
+from .noise import ErrorRates, NoiseModel
+from .simulators import DDBackend, execute_circuit
+from .stochastic import BasisProbability, IdealFidelity, simulate_stochastic
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_circuit(spec: str):
+    """Resolve a circuit argument: a QASM path or ``name[:qubits]``."""
+    if spec.endswith(".qasm"):
+        return parse_qasm_file(spec)
+    name, _, size = spec.partition(":")
+    if name == "ghz":
+        return ghz(int(size or 8))
+    if name == "qft":
+        return qft(int(size or 8))
+    if name in QASMBENCH_CIRCUITS:
+        return QASMBENCH_CIRCUITS[name][1]()
+    raise SystemExit(
+        f"unknown circuit {spec!r}: expected a .qasm path, ghz:<n>, qft:<n>, "
+        f"or one of {', '.join(sorted(QASMBENCH_CIRCUITS))}"
+    )
+
+
+def _noise_from_args(args: argparse.Namespace) -> NoiseModel:
+    if args.noiseless:
+        return NoiseModel.noiseless()
+    return NoiseModel(
+        default=ErrorRates(
+            depolarizing=args.depolarizing,
+            amplitude_damping=args.damping,
+            phase_flip=args.phase_flip,
+        )
+    )
+
+
+def _add_noise_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--depolarizing", type=float, default=0.001,
+        help="depolarization probability per gate/qubit (paper: 0.001)",
+    )
+    parser.add_argument(
+        "--damping", type=float, default=0.002,
+        help="amplitude damping (T1) probability (paper: 0.002)",
+    )
+    parser.add_argument(
+        "--phase-flip", type=float, default=0.001,
+        help="phase flip (T2) probability (paper: 0.001)",
+    )
+    parser.add_argument("--noiseless", action="store_true", help="disable all errors")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Stochastic quantum circuit simulation using decision diagrams",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="simulate a circuit stochastically")
+    run.add_argument("circuit", help=".qasm file, ghz:<n>, qft:<n>, or a QASMBench name")
+    run.add_argument("-M", "--trajectories", type=int, default=1000)
+    run.add_argument("-b", "--backend", choices=("dd", "statevector"), default="dd")
+    run.add_argument("-w", "--workers", type=int, default=1)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--shots", type=int, default=1, help="histogram samples per trajectory")
+    run.add_argument("--timeout", type=float, default=None)
+    run.add_argument(
+        "--fidelity", action="store_true",
+        help="estimate fidelity with the noiseless output (measurement-free circuits)",
+    )
+    run.add_argument(
+        "--probability", action="append", default=[], metavar="BITSTRING",
+        help="estimate P(|bitstring>); repeatable",
+    )
+    run.add_argument(
+        "--pauli", action="append", default=[], metavar="STRING",
+        help="estimate a Pauli-string expectation, e.g. ZZIII; repeatable",
+    )
+    run.add_argument(
+        "--outcome", action="append", default=[], type=int, metavar="VALUE",
+        help="estimate P(classical register == VALUE); repeatable",
+    )
+    _add_noise_arguments(run)
+
+    table = subparsers.add_parser("table", help="regenerate a paper table")
+    table.add_argument("which", choices=("1a", "1b", "1c"))
+    table.add_argument("-M", "--trajectories", type=int, default=None)
+    table.add_argument("--timeout", type=float, default=None)
+    table.add_argument("-w", "--workers", type=int, default=1)
+
+    report = subparsers.add_parser(
+        "report", help="regenerate all paper tables as a Markdown report"
+    )
+    report.add_argument("-M", "--trajectories", type=int, default=10)
+    report.add_argument("--timeout", type=float, default=30.0)
+    report.add_argument("-o", "--output", default=None, help="output path (default stdout)")
+
+    subparsers.add_parser("circuits", help="list built-in benchmark circuits")
+
+    dot = subparsers.add_parser("dot", help="export a final-state DD as Graphviz dot")
+    dot.add_argument("circuit", help=".qasm file, ghz:<n>, qft:<n>, or a QASMBench name")
+    dot.add_argument("-o", "--output", default=None, help="output path (default stdout)")
+
+    draw = subparsers.add_parser("draw", help="render a circuit as ASCII art")
+    draw.add_argument("circuit", help=".qasm file, ghz:<n>, qft:<n>, or a QASMBench name")
+
+    equiv = subparsers.add_parser(
+        "equiv", help="DD-based equivalence check of two circuits"
+    )
+    equiv.add_argument("first", help="first circuit (.qasm / ghz:<n> / name)")
+    equiv.add_argument("second", help="second circuit (.qasm / ghz:<n> / name)")
+    equiv.add_argument(
+        "--strict", action="store_true", help="require equality including global phase"
+    )
+
+    fuse = subparsers.add_parser(
+        "fuse", help="fuse single-qubit gate runs and print the optimised QASM"
+    )
+    fuse.add_argument("circuit", help=".qasm file, ghz:<n>, qft:<n>, or a QASMBench name")
+    fuse.add_argument("-o", "--output", default=None, help="output path (default stdout)")
+
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    from .stochastic import ClassicalOutcome, PauliExpectation
+
+    circuit = _load_circuit(args.circuit)
+    properties: List = [BasisProbability(bits) for bits in args.probability]
+    properties.extend(PauliExpectation(p) for p in args.pauli)
+    properties.extend(ClassicalOutcome(v) for v in args.outcome)
+    if args.fidelity:
+        properties.append(IdealFidelity())
+    result = simulate_stochastic(
+        circuit,
+        noise_model=_noise_from_args(args),
+        properties=properties,
+        trajectories=args.trajectories,
+        backend=args.backend,
+        workers=args.workers,
+        seed=args.seed,
+        sample_shots=args.shots,
+        timeout=args.timeout,
+    )
+    print(result.summary())
+    return 0
+
+
+def _command_table(args: argparse.Namespace) -> int:
+    if args.which == "1a":
+        report = run_table1a(
+            trajectories=args.trajectories or 50,
+            timeout=args.timeout or 30.0,
+            workers=args.workers,
+        )
+    elif args.which == "1b":
+        report = run_table1b(
+            trajectories=args.trajectories or 50,
+            timeout=args.timeout or 30.0,
+            workers=args.workers,
+        )
+    else:
+        report = run_table1c(
+            trajectories=args.trajectories or 20,
+            timeout=args.timeout or 60.0,
+            workers=args.workers,
+        )
+    print(report.render())
+    return 0
+
+
+def _command_circuits() -> int:
+    print("built-in circuits (name: paper qubit count):")
+    for name, (qubits, _) in sorted(QASMBENCH_CIRCUITS.items()):
+        print(f"  {name}: {qubits}")
+    print("parameterised: ghz:<n>, qft:<n>")
+    return 0
+
+
+def _command_dot(args: argparse.Namespace) -> int:
+    import random
+
+    circuit = _load_circuit(args.circuit)
+    backend = DDBackend(circuit.num_qubits)
+    execute_circuit(backend, circuit, random.Random(0))
+    dot_source = to_dot(backend.state, name=circuit.name.replace("-", "_"))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(dot_source + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(dot_source)
+    return 0
+
+
+def _command_draw(args: argparse.Namespace) -> int:
+    from .circuits.drawing import draw_circuit
+
+    print(draw_circuit(_load_circuit(args.circuit)))
+    return 0
+
+
+def _command_equiv(args: argparse.Namespace) -> int:
+    from .simulators import circuits_equivalent
+
+    first = _load_circuit(args.first)
+    second = _load_circuit(args.second)
+    equivalent = circuits_equivalent(
+        first, second, up_to_global_phase=not args.strict
+    )
+    phase_note = "" if args.strict else " (up to global phase)"
+    print(f"{'EQUIVALENT' if equivalent else 'NOT equivalent'}{phase_note}")
+    return 0 if equivalent else 1
+
+
+def _command_fuse(args: argparse.Namespace) -> int:
+    from .circuits.optimize import fuse_single_qubit_runs
+
+    circuit = _load_circuit(args.circuit)
+    fused = fuse_single_qubit_runs(circuit)
+    qasm = fused.to_qasm()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(qasm)
+        print(
+            f"wrote {args.output}: {circuit.num_gates()} -> {fused.num_gates()} gates"
+        )
+    else:
+        print(qasm)
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    from .harness import report_markdown, run_table1b, run_table1c
+
+    reports = [
+        run_table1a(
+            qubit_range=(4, 8, 12, 16, 20, 32),
+            trajectories=args.trajectories,
+            timeout=args.timeout,
+        ),
+        run_table1b(
+            qubit_range=(4, 8, 12, 16, 20),
+            trajectories=args.trajectories,
+            timeout=args.timeout,
+        ),
+        run_table1c(trajectories=args.trajectories, timeout=args.timeout),
+    ]
+    text = report_markdown(
+        reports,
+        title="Stochastic DD simulation — table regeneration",
+        notes=(
+            "Scaled-down reproduction of the paper's Tables Ia-Ic; see "
+            "EXPERIMENTS.md for the shape analysis."
+        ),
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "table":
+        return _command_table(args)
+    if args.command == "report":
+        return _command_report(args)
+    if args.command == "circuits":
+        return _command_circuits()
+    if args.command == "dot":
+        return _command_dot(args)
+    if args.command == "draw":
+        return _command_draw(args)
+    if args.command == "equiv":
+        return _command_equiv(args)
+    if args.command == "fuse":
+        return _command_fuse(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Decision-diagram engine (the paper's substrate, reference [39]).
+
+Public entry point is :class:`DDPackage`; the remaining classes are exposed
+for tests, diagnostics, and advanced users building custom DD algorithms.
+"""
+
+from .analysis import count_paths, level_widths, memory_estimate, sparsity
+from .complex_table import ComplexTable, ComplexValue, DEFAULT_TOLERANCE
+from .compute_table import ComputeTable
+from .edge import Edge
+from .io import structure_lines, to_dot
+from .node import TERMINAL_VAR, Node
+from .package import DDPackage
+from .serialization import deserialize_edge, serialize_edge
+from .unique_table import UniqueTable
+
+__all__ = [
+    "ComplexTable",
+    "ComplexValue",
+    "ComputeTable",
+    "DDPackage",
+    "DEFAULT_TOLERANCE",
+    "Edge",
+    "Node",
+    "TERMINAL_VAR",
+    "UniqueTable",
+    "count_paths",
+    "deserialize_edge",
+    "level_widths",
+    "memory_estimate",
+    "serialize_edge",
+    "sparsity",
+    "structure_lines",
+    "to_dot",
+]

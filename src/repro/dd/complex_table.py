@@ -1,0 +1,249 @@
+"""Canonicalisation of complex edge weights.
+
+Decision diagrams only stay compact if *numerically equal* edge weights are
+recognised as *identical* objects.  Floating-point arithmetic introduces tiny
+rounding differences (``0.7071067811865476`` vs ``0.7071067811865475``) that
+would otherwise make structurally identical nodes distinct and blow the
+diagram up.  The JKU decision-diagram package (Zulehner, Hillmich, Wille,
+*"How to efficiently handle complex values?"*, ICCAD 2019 -- the paper's
+reference [39]) solves this with a table of canonical real numbers looked up
+within a tolerance.  This module is a faithful Python port of that idea:
+
+* :class:`RealTable` stores canonical ``float`` values in tolerance buckets.
+  A lookup returns an already-stored value if one lies within ``tolerance``,
+  otherwise it stores and returns the queried value.
+* :class:`ComplexTable` builds on two such lookups (real and imaginary part)
+  and hash-conses the resulting pair into a :class:`ComplexValue`.  Equal
+  weights are therefore *the same object*, so nodes can be hashed and
+  compared by identity.
+
+The tables also pre-seed frequently used constants (0, 1, 1/sqrt(2), ...) so
+those always canonicalise exactly.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Dict, Optional, Tuple
+
+__all__ = ["ComplexValue", "RealTable", "ComplexTable", "DEFAULT_TOLERANCE"]
+
+#: Default absolute tolerance under which two reals are considered equal.
+#: Matches the order of magnitude used by the JKU package (which uses
+#: a configurable tolerance around 1e-13 by default).
+DEFAULT_TOLERANCE = 1e-12
+
+SQRT2_2 = math.sqrt(2.0) / 2.0
+
+
+class ComplexValue:
+    """A canonical (hash-consed) complex number used as a DD edge weight.
+
+    Instances are only ever created by :class:`ComplexTable`; two values that
+    compare equal within tolerance are guaranteed to be the same object, so
+    identity comparison (``is``) is both correct and fast.
+    """
+
+    __slots__ = ("real", "imag", "_hash")
+
+    def __init__(self, real: float, imag: float) -> None:
+        self.real = real
+        self.imag = imag
+        self._hash = hash((real, imag))
+
+    def __complex__(self) -> complex:
+        return complex(self.real, self.imag)
+
+    @property
+    def value(self) -> complex:
+        """The plain :class:`complex` this entry represents."""
+        return complex(self.real, self.imag)
+
+    def magnitude_squared(self) -> float:
+        """Return ``|w|^2`` without intermediate object creation."""
+        return self.real * self.real + self.imag * self.imag
+
+    def magnitude(self) -> float:
+        """Return ``|w|``."""
+        return math.hypot(self.real, self.imag)
+
+    def is_zero(self) -> bool:
+        """True when this entry is the canonical zero weight."""
+        return self.real == 0.0 and self.imag == 0.0
+
+    def is_one(self) -> bool:
+        """True when this entry is the canonical unit weight."""
+        return self.real == 1.0 and self.imag == 0.0
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        # Canonicalisation guarantees identity for table members, but support
+        # value equality so ComplexValues from *different* tables compare
+        # sanely (used in tests).
+        if isinstance(other, ComplexValue):
+            return self.real == other.real and self.imag == other.imag
+        if isinstance(other, (int, float, complex)):
+            return self.value == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"ComplexValue({self.real!r}, {self.imag!r})"
+
+    def __str__(self) -> str:
+        return format_complex(self.value)
+
+
+def format_complex(value: complex, precision: int = 6) -> str:
+    """Format a complex number compactly (used by DD printers and dot export)."""
+    re = round(value.real, precision)
+    im = round(value.imag, precision)
+    if im == 0.0:
+        return f"{re:g}"
+    if re == 0.0:
+        return f"{im:g}i"
+    sign = "+" if im > 0 else "-"
+    return f"{re:g}{sign}{abs(im):g}i"
+
+
+class RealTable:
+    """Tolerance-bucketed table of canonical real numbers.
+
+    Values are bucketed by ``round(value / tolerance)``.  A lookup inspects
+    the value's own bucket and both neighbouring buckets, which is sufficient
+    because any stored value within ``tolerance`` of the query must fall into
+    one of those three buckets.
+    """
+
+    def __init__(self, tolerance: float = DEFAULT_TOLERANCE) -> None:
+        if tolerance <= 0.0:
+            raise ValueError("tolerance must be positive")
+        self.tolerance = tolerance
+        self._buckets: Dict[int, float] = {}
+        self.hits = 0
+        self.misses = 0
+        # Seed exact constants so common amplitudes canonicalise to them.
+        for constant in (0.0, 0.5, SQRT2_2, 1.0, -1.0, -0.5, -SQRT2_2):
+            self._buckets[self._key(constant)] = constant
+
+    def _key(self, value: float) -> int:
+        return int(round(value / self.tolerance))
+
+    def lookup(self, value: float) -> float:
+        """Return the canonical representative of ``value``."""
+        if value == 0.0:  # also catches -0.0
+            return 0.0
+        key = self._key(value)
+        for candidate_key in (key, key - 1, key + 1):
+            stored = self._buckets.get(candidate_key)
+            if stored is not None and abs(stored - value) <= self.tolerance:
+                self.hits += 1
+                return stored
+        self.misses += 1
+        self._buckets[key] = value
+        return value
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+
+class ComplexTable:
+    """Hash-consing table for :class:`ComplexValue` edge weights."""
+
+    def __init__(self, tolerance: float = DEFAULT_TOLERANCE) -> None:
+        self._reals = RealTable(tolerance)
+        self._entries: Dict[Tuple[float, float], ComplexValue] = {}
+        #: Canonical zero and one, used pervasively by the DD package.
+        self.zero = self.lookup(0.0 + 0.0j)
+        self.one = self.lookup(1.0 + 0.0j)
+
+    @property
+    def tolerance(self) -> float:
+        """Absolute tolerance used when canonicalising components."""
+        return self._reals.tolerance
+
+    def lookup(self, value: complex) -> ComplexValue:
+        """Return the canonical :class:`ComplexValue` for ``value``."""
+        real = self._reals.lookup(value.real)
+        imag = self._reals.lookup(value.imag)
+        key = (real, imag)
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = ComplexValue(real, imag)
+            self._entries[key] = entry
+        return entry
+
+    def lookup_real(self, value: float) -> ComplexValue:
+        """Canonicalise a purely real weight."""
+        return self.lookup(complex(value, 0.0))
+
+    def multiply(self, a: ComplexValue, b: ComplexValue) -> ComplexValue:
+        """Canonical product of two table entries (with fast paths)."""
+        if a.is_zero() or b.is_zero():
+            return self.zero
+        if a.is_one():
+            return b
+        if b.is_one():
+            return a
+        return self.lookup(a.value * b.value)
+
+    def add(self, a: ComplexValue, b: ComplexValue) -> ComplexValue:
+        """Canonical sum of two table entries (with fast paths)."""
+        if a.is_zero():
+            return b
+        if b.is_zero():
+            return a
+        return self.lookup(a.value + b.value)
+
+    def divide(self, a: ComplexValue, b: ComplexValue) -> ComplexValue:
+        """Canonical quotient ``a / b``; ``b`` must be non-zero."""
+        if b.is_zero():
+            raise ZeroDivisionError("division by canonical zero weight")
+        if a.is_zero():
+            return self.zero
+        if b.is_one():
+            return a
+        return self.lookup(a.value / b.value)
+
+    def conjugate(self, a: ComplexValue) -> ComplexValue:
+        """Canonical complex conjugate."""
+        if a.imag == 0.0:
+            return a
+        return self.lookup(complex(a.real, -a.imag))
+
+    def phase(self, a: ComplexValue) -> ComplexValue:
+        """Canonical unit-magnitude phase ``a / |a|`` (``1`` for zero input)."""
+        if a.is_zero():
+            return self.one
+        if a.imag == 0.0 and a.real > 0.0:
+            return self.one
+        magnitude = a.magnitude()
+        return self.lookup(complex(a.real / magnitude, a.imag / magnitude))
+
+    def approximately_equal(self, a: complex, b: complex) -> bool:
+        """Component-wise comparison within the table tolerance."""
+        tol = self.tolerance
+        return abs(a.real - b.real) <= tol and abs(a.imag - b.imag) <= tol
+
+    def approximately_zero(self, a: complex) -> bool:
+        """True when both components of ``a`` are within tolerance of zero."""
+        tol = self.tolerance
+        return abs(a.real) <= tol and abs(a.imag) <= tol
+
+    def exp_i(self, angle: float) -> ComplexValue:
+        """Canonical ``exp(i * angle)``."""
+        return self.lookup(cmath.exp(1j * angle))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        """Table occupancy and hit statistics (for diagnostics and benches)."""
+        return {
+            "entries": len(self._entries),
+            "real_entries": len(self._reals),
+            "real_hits": self._reals.hits,
+            "real_misses": self._reals.misses,
+        }

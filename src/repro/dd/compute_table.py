@@ -1,0 +1,82 @@
+"""Memoisation ("compute") tables for decision-diagram operations.
+
+Recursive DD operations (addition, multiplication, Kronecker products, inner
+products) revisit the same operand pairs many times; without memoisation the
+recursions degenerate to exponential time even on compact diagrams.  A
+compute table caches ``operation(operands) -> result`` keyed by operand
+*identities* (valid because nodes and weights are hash-consed).
+
+Entries may reference nodes that a later garbage collection removes, so the
+package clears all compute tables after every collection — the same
+invalidation policy as the JKU package.
+
+The table is bounded: beyond ``max_entries`` it evicts wholesale (cheap and
+effective for the access patterns of DD arithmetic, where stale entries are
+rarely revisited).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, Optional, TypeVar
+
+__all__ = ["ComputeTable"]
+
+V = TypeVar("V")
+
+
+class ComputeTable(Generic[V]):
+    """A bounded memoisation cache with hit/miss statistics.
+
+    ``max_entries = 0`` disables the table entirely (every lookup misses,
+    inserts are dropped) — used by the cache-ablation benchmark to measure
+    what memoisation buys.
+    """
+
+    def __init__(self, name: str, max_entries: int = 1 << 18) -> None:
+        self.name = name
+        self.max_entries = max_entries
+        self._table: Dict[Hashable, V] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def lookup(self, key: Hashable) -> Optional[V]:
+        """Return the cached result for ``key`` or ``None``."""
+        result = self._table.get(key)
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
+
+    def insert(self, key: Hashable, value: V) -> V:
+        """Cache ``value`` under ``key`` and return it."""
+        if self.max_entries == 0:
+            return value
+        if len(self._table) >= self.max_entries:
+            self._table.clear()
+            self.evictions += 1
+        self._table[key] = value
+        return value
+
+    def clear(self) -> None:
+        """Drop all entries (required after unique-table garbage collection)."""
+        self._table.clear()
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def hit_ratio(self) -> float:
+        """Fraction of lookups answered from cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """Occupancy and hit statistics."""
+        return {
+            "entries": len(self._table),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_ratio": self.hit_ratio(),
+        }

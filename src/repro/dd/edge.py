@@ -1,0 +1,59 @@
+"""Weighted edges of a decision diagram.
+
+An :class:`Edge` pairs a target :class:`~repro.dd.node.Node` with a canonical
+complex weight (:class:`~repro.dd.complex_table.ComplexValue`).  The value
+represented by a path through the diagram is the product of the edge weights
+along it (paper, Example 4).  A whole decision diagram is identified by its
+*root edge*; the root weight carries the global scalar factor, which for the
+sum-of-squares vector normalisation used here equals the norm of the
+represented state (see :mod:`repro.dd.package`).
+"""
+
+from __future__ import annotations
+
+from .complex_table import ComplexValue
+from .node import Node
+
+__all__ = ["Edge"]
+
+
+class Edge:
+    """An edge ``(node, weight)``; immutable and cheaply hashable.
+
+    Because nodes and weights are both hash-consed, two edges are equal iff
+    node and weight are *identical* objects.
+    """
+
+    __slots__ = ("node", "weight", "_hash")
+
+    def __init__(self, node: Node, weight: ComplexValue) -> None:
+        self.node = node
+        self.weight = weight
+        self._hash = hash((id(node), weight))
+
+    @property
+    def is_terminal(self) -> bool:
+        """True when the edge points at the terminal node."""
+        return self.node.is_terminal
+
+    @property
+    def is_zero(self) -> bool:
+        """True for the canonical zero edge (terminal with weight 0)."""
+        return self.node.is_terminal and self.weight.is_zero()
+
+    def weighted(self, table, factor: ComplexValue) -> "Edge":
+        """Return this edge with its weight multiplied by ``factor``."""
+        if factor.is_one():
+            return self
+        return Edge(self.node, table.multiply(self.weight, factor))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Edge):
+            return self.node is other.node and self.weight is other.weight
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"Edge({self.node!r}, {self.weight})"

@@ -1,0 +1,104 @@
+"""Export helpers for decision diagrams.
+
+Provides Graphviz ``dot`` export (used by ``examples/figure1_decision_diagrams.py``
+to regenerate the paper's Fig. 1) and a plain-text structural dump used in
+tests and debugging.  Zero edges are rendered as ``0``-stubs and unit weights
+are omitted, matching the drawing conventions of the paper's Fig. 1
+(footnote 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .complex_table import format_complex
+from .edge import Edge
+from .node import Node
+
+__all__ = ["to_dot", "structure_lines"]
+
+
+def to_dot(edge: Edge, name: str = "dd") -> str:
+    """Render a decision diagram rooted at ``edge`` as Graphviz dot source."""
+    lines: List[str] = [
+        f"digraph {name} {{",
+        "  rankdir=TB;",
+        "  root [shape=point];",
+        "  terminal [shape=box, label=\"1\"];",
+    ]
+    ids: Dict[int, str] = {}
+    counter = [0]
+
+    def node_id(node: Node) -> str:
+        if node.is_terminal:
+            return "terminal"
+        key = id(node)
+        if key not in ids:
+            ids[key] = f"n{counter[0]}"
+            counter[0] += 1
+        return ids[key]
+
+    def edge_label(weight) -> str:
+        if weight.is_one():
+            return ""
+        return format_complex(weight.value)
+
+    visited: set = set()
+
+    def walk(node: Node) -> None:
+        if node.is_terminal or id(node) in visited:
+            return
+        visited.add(id(node))
+        me = node_id(node)
+        lines.append(f'  {me} [shape=circle, label="q{node.var}"];')
+        for index, child in enumerate(node.edges):
+            if child.is_zero:
+                stub = f"{me}_z{index}"
+                lines.append(f'  {stub} [shape=none, label="0"];')
+                lines.append(f"  {me} -> {stub} [label=\"\", style=dashed];")
+                continue
+            label = edge_label(child.weight)
+            lines.append(f'  {me} -> {node_id(child.node)} [label="{label}"];')
+            walk(child.node)
+
+    root_label = edge_label(edge.weight)
+    if edge.is_zero:
+        lines.append('  zero [shape=none, label="0"];')
+        lines.append("  root -> zero;")
+    else:
+        lines.append(f'  root -> {node_id(edge.node)} [label="{root_label}"];')
+        walk(edge.node)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def structure_lines(edge: Edge) -> List[str]:
+    """Deterministic structural dump: one line per node plus the root edge.
+
+    Used by tests asserting the node/edge structure of the paper's Fig. 1.
+    """
+    lines = [f"root -> {format_complex(edge.weight.value)}"]
+    visited: set = set()
+    order: List[Node] = []
+
+    def collect(node: Node) -> None:
+        if node.is_terminal or id(node) in visited:
+            return
+        visited.add(id(node))
+        order.append(node)
+        for child in node.edges:
+            collect(child.node)
+
+    collect(edge.node)
+    labels = {id(node): f"n{i}" for i, node in enumerate(order)}
+
+    def describe(child: Edge) -> str:
+        if child.is_zero:
+            return "0-stub"
+        target = "T" if child.node.is_terminal else labels[id(child.node)]
+        return f"{format_complex(child.weight.value)}*{target}"
+
+    for node in order:
+        children = ", ".join(describe(child) for child in node.edges)
+        lines.append(f"{labels[id(node)]}: q{node.var} [{children}]")
+    return lines

@@ -1,0 +1,94 @@
+"""Decision-diagram node structures.
+
+A decision diagram over an ``n``-qubit register is a rooted DAG.  Each inner
+node is labelled with the qubit it decides (``var``); the *top* node decides
+the most significant qubit ``q0`` (as in the paper, Section IV-B) and levels
+increase downwards until the shared :data:`terminal <Node.is_terminal>` node
+is reached below qubit ``n - 1``.
+
+* Vector nodes carry **two** outgoing edges (amplitude sub-vectors for the
+  qubit being |0> and |1>).
+* Matrix nodes carry **four** outgoing edges (the four quadrants of the
+  operator matrix, in row-major order: top-left, top-right, bottom-left,
+  bottom-right).
+
+Nodes are immutable after construction and *hash-consed* by the unique table
+(:mod:`repro.dd.unique_table`): structurally identical nodes are guaranteed
+to be the same Python object, so equality is identity.  The mutable ``ref``
+field is bookkeeping for garbage collection and does not take part in node
+identity.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .edge import Edge
+
+__all__ = ["Node", "TERMINAL_VAR"]
+
+#: Sentinel ``var`` value used by the terminal node.  The terminal sits below
+#: every qubit level; using a plain sentinel keeps level comparisons cheap.
+TERMINAL_VAR = -1
+
+
+class Node:
+    """A single decision-diagram node (vector, matrix, or terminal).
+
+    Parameters
+    ----------
+    var:
+        Qubit index this node decides; ``TERMINAL_VAR`` for the terminal.
+    edges:
+        Outgoing edges: empty for the terminal, two entries for a vector
+        node, four for a matrix node.
+    """
+
+    __slots__ = ("var", "edges", "ref", "_hash")
+
+    def __init__(self, var: int, edges: Tuple["Edge", ...]) -> None:
+        if var == TERMINAL_VAR:
+            if edges:
+                raise ValueError("terminal node must not have edges")
+        elif len(edges) not in (2, 4):
+            raise ValueError(
+                f"inner node needs 2 (vector) or 4 (matrix) edges, got {len(edges)}"
+            )
+        self.var = var
+        self.edges = edges
+        #: Reference count maintained by the unique table / package.
+        self.ref = 0
+        self._hash = hash((var,) + tuple((id(e.node), e.weight) for e in edges))
+
+    @property
+    def is_terminal(self) -> bool:
+        """True for the shared terminal node."""
+        return self.var == TERMINAL_VAR
+
+    @property
+    def is_vector_node(self) -> bool:
+        """True for nodes with two successors (state-vector DDs)."""
+        return len(self.edges) == 2
+
+    @property
+    def is_matrix_node(self) -> bool:
+        """True for nodes with four successors (operator DDs)."""
+        return len(self.edges) == 4
+
+    def structural_key(self) -> tuple:
+        """Key used by the unique table: label plus successor identities.
+
+        Successor nodes and weights are themselves hash-consed, so identity
+        (`id`) comparison is exact.
+        """
+        return (self.var,) + tuple((id(e.node), id(e.weight)) for e in self.edges)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        if self.is_terminal:
+            return "Node(terminal)"
+        kind = "V" if self.is_vector_node else "M"
+        return f"Node({kind}, q{self.var}, ref={self.ref})"

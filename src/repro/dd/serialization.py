@@ -1,0 +1,96 @@
+"""Serialisation of decision diagrams to/from plain dictionaries.
+
+Lets states and operators survive process boundaries and disk without
+expanding to dense arrays: the DAG is flattened into a node list (children
+referenced by index, weights as ``[real, imag]`` pairs), which is JSON- and
+pickle-friendly and linear in the *diagram* size rather than ``2**n``.
+
+Round-trip guarantee: deserialisation rebuilds through the target package's
+``make_*_node`` constructors, so the result is canonical in that package
+even if the source used a different tolerance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .edge import Edge
+from .node import Node
+from .package import DDPackage
+
+__all__ = ["serialize_edge", "deserialize_edge"]
+
+_FORMAT_VERSION = 1
+
+
+def serialize_edge(edge: Edge) -> dict:
+    """Flatten a DD (vector or matrix) into a plain dictionary."""
+    order: List[Node] = []
+    index_of: Dict[int, int] = {}
+
+    def collect(node: Node) -> None:
+        if node.is_terminal or id(node) in index_of:
+            return
+        index_of[id(node)] = len(order)
+        order.append(node)
+        for child in node.edges:
+            collect(child.node)
+
+    collect(edge.node)
+
+    def edge_record(child: Edge) -> list:
+        target = -1 if child.node.is_terminal else index_of[id(child.node)]
+        return [target, child.weight.real, child.weight.imag]
+
+    return {
+        "version": _FORMAT_VERSION,
+        "kind": (
+            "terminal"
+            if edge.node.is_terminal
+            else ("vector" if edge.node.is_vector_node else "matrix")
+        ),
+        "root": edge_record(edge),
+        "nodes": [
+            {"var": node.var, "edges": [edge_record(child) for child in node.edges]}
+            for node in order
+        ],
+    }
+
+
+def deserialize_edge(data: dict, package: DDPackage) -> Edge:
+    """Rebuild a DD inside ``package`` from :func:`serialize_edge` output."""
+    version = data.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported DD serialisation version {version!r}")
+    kind = data["kind"]
+    if kind not in ("terminal", "vector", "matrix"):
+        raise ValueError(f"unknown DD kind {kind!r}")
+
+    records = data["nodes"]
+    rebuilt: List[Edge] = [None] * len(records)  # type: ignore[list-item]
+
+    def resolve(record: list) -> Edge:
+        target, real, imag = record
+        weight = package.complex_table.lookup(complex(real, imag))
+        if weight.is_zero():
+            return package.zero_edge
+        if target == -1:
+            return Edge(package.terminal, weight)
+        child = rebuilt[target]
+        if child is None:
+            raise ValueError("serialized nodes are not in topological order")
+        return child.weighted(package.complex_table, weight)
+
+    # Nodes were emitted in DFS preorder, so children always appear after
+    # their parents; rebuild in reverse.
+    for index in range(len(records) - 1, -1, -1):
+        record = records[index]
+        child_edges = [resolve(child) for child in record["edges"]]
+        if len(child_edges) == 2:
+            rebuilt[index] = package.make_vector_node(
+                record["var"], child_edges[0], child_edges[1]
+            )
+        else:
+            rebuilt[index] = package.make_matrix_node(record["var"], tuple(child_edges))
+
+    return resolve(data["root"])

@@ -1,0 +1,138 @@
+"""Hash-consing unique table with reference counting and garbage collection.
+
+The unique table guarantees *canonicity*: whenever the package wants a node
+``(var, edges)``, the table either returns an already existing structurally
+identical node or stores the fresh one.  Structurally identical sub-vectors /
+sub-matrices are therefore represented by one shared node, which is what
+makes decision diagrams compact (paper, Section IV-B).
+
+The table also implements the reference-counting scheme of the JKU package:
+
+* ``inc_ref`` / ``dec_ref`` walk an edge's sub-DAG adjusting node counts.
+  Simulators keep exactly the *live* states/operators referenced.
+* :meth:`UniqueTable.garbage_collect` drops nodes whose count is zero.  The
+  package clears its compute tables afterwards because memoised results may
+  reference collected nodes.
+
+Garbage collection is optional for correctness in Python (the interpreter
+would reclaim unreachable nodes if the table did not hold strong references)
+but essential for *memory bounds* during long stochastic runs: without it
+the table grows with every intermediate state of every trajectory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from .edge import Edge
+from .node import TERMINAL_VAR, Node
+
+__all__ = ["UniqueTable"]
+
+
+class UniqueTable:
+    """Unique table for either vector or matrix nodes."""
+
+    def __init__(self, gc_initial_limit: int = 65536) -> None:
+        self._table: Dict[tuple, Node] = {}
+        self.hits = 0
+        self.misses = 0
+        self.collections = 0
+        #: Node-count threshold that :meth:`maybe_garbage_collect` uses; it
+        #: doubles whenever a collection frees less than half the table, the
+        #: same adaptive policy the JKU package uses.
+        self.gc_limit = gc_initial_limit
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def lookup(self, var: int, edges: Tuple[Edge, ...]) -> Node:
+        """Return the canonical node for ``(var, edges)``.
+
+        ``edges`` must already be normalised; the table performs pure
+        hash-consing and no arithmetic.
+        """
+        key = (var,) + tuple((id(e.node), id(e.weight)) for e in edges)
+        node = self._table.get(key)
+        if node is not None:
+            self.hits += 1
+            return node
+        self.misses += 1
+        node = Node(var, edges)
+        self._table[key] = node
+        return node
+
+    # ------------------------------------------------------------------
+    # Reference counting
+    # ------------------------------------------------------------------
+
+    def inc_ref(self, edge: Edge) -> Edge:
+        """Increment reference counts for the sub-DAG rooted at ``edge``.
+
+        Counts saturate per the usual DD-package convention: a node whose
+        count ever hit the saturation level is pinned until the next
+        collection that sees it unreferenced (we simply never saturate in
+        Python, as ints are unbounded, so this is a straight increment).
+        Returns ``edge`` for call chaining.
+        """
+        node = edge.node
+        if node.var == TERMINAL_VAR:
+            return edge
+        node.ref += 1
+        if node.ref == 1:
+            # First external reference: pin the children transitively.
+            for child in node.edges:
+                self.inc_ref(child)
+        return edge
+
+    def dec_ref(self, edge: Edge) -> None:
+        """Decrement reference counts for the sub-DAG rooted at ``edge``."""
+        node = edge.node
+        if node.var == TERMINAL_VAR:
+            return
+        if node.ref <= 0:
+            raise RuntimeError("reference count underflow in unique table")
+        node.ref -= 1
+        if node.ref == 0:
+            for child in node.edges:
+                self.dec_ref(child)
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+
+    def garbage_collect(self) -> int:
+        """Remove all nodes with a zero reference count.
+
+        Returns the number of collected nodes.  The caller (the package) is
+        responsible for clearing compute tables that may reference them.
+        """
+        before = len(self._table)
+        self._table = {
+            key: node for key, node in self._table.items() if node.ref > 0
+        }
+        collected = before - len(self._table)
+        self.collections += 1
+        if collected * 2 < before:
+            # Collection was not very effective; back off so we do not
+            # thrash (adaptive limit, mirroring the JKU package policy).
+            self.gc_limit *= 2
+        return collected
+
+    def should_collect(self) -> bool:
+        """True when the table exceeds its adaptive size limit."""
+        return len(self._table) > self.gc_limit
+
+    def nodes(self) -> Iterable[Node]:
+        """Iterate over all live nodes (diagnostics only)."""
+        return self._table.values()
+
+    def stats(self) -> Dict[str, int]:
+        """Occupancy and hit statistics."""
+        return {
+            "entries": len(self._table),
+            "hits": self.hits,
+            "misses": self.misses,
+            "collections": self.collections,
+            "gc_limit": self.gc_limit,
+        }

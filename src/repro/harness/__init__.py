@@ -1,0 +1,19 @@
+"""Benchmark harness: timed runs and paper-table regeneration."""
+
+from .report import report_markdown, table_markdown
+from .runner import TimedRun, timed_stochastic_run
+from .table1 import TableReport, run_table1a, run_table1b, run_table1c
+from .tables import format_cell, render_table
+
+__all__ = [
+    "TableReport",
+    "TimedRun",
+    "format_cell",
+    "render_table",
+    "report_markdown",
+    "run_table1a",
+    "run_table1b",
+    "run_table1c",
+    "table_markdown",
+    "timed_stochastic_run",
+]

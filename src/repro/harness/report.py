@@ -1,0 +1,69 @@
+"""Markdown experiment reports.
+
+Converts :class:`~repro.harness.table1.TableReport` objects (and ad-hoc
+measurements) into the Markdown sections EXPERIMENTS.md is built from, so
+the paper-versus-measured record can be regenerated mechanically::
+
+    from repro.harness import run_table1a, report_markdown
+    print(report_markdown([run_table1a()], title="Reproduction run"))
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+from typing import Iterable, List, Optional
+
+from .table1 import TableReport
+from .tables import format_cell
+
+__all__ = ["table_markdown", "report_markdown"]
+
+
+def table_markdown(report: TableReport) -> str:
+    """One TableReport as a GitHub-flavoured Markdown table."""
+    headers = list(report.headers) + ["speedup (sv/dd)"]
+    lines = [
+        f"### {report.title}",
+        "",
+        f"M = {report.trajectories}, timeout = {report.timeout} s.",
+        "",
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    speedups = report.speedups()
+    for label, runs in report.rows:
+        cells: List[str] = [label]
+        for backend_header in report.headers[1:]:
+            backend = backend_header.split()[0]
+            run = runs.get(backend)
+            if run is None:
+                cells.append("-")
+            elif run.infeasible:
+                cells.append("mem")
+            else:
+                cells.append(format_cell(run.seconds, report.timeout))
+        ratio = speedups.get(label)
+        cells.append(f"{ratio:.1f}x" if ratio else "—")
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def report_markdown(
+    reports: Iterable[TableReport],
+    title: str = "Benchmark report",
+    notes: Optional[str] = None,
+) -> str:
+    """A full Markdown document for a set of table regenerations."""
+    sections = [
+        f"# {title}",
+        "",
+        f"Python {sys.version.split()[0]} on {platform.platform()}.",
+        "",
+    ]
+    if notes:
+        sections.extend([notes, ""])
+    for report in reports:
+        sections.append(table_markdown(report))
+        sections.append("")
+    return "\n".join(sections).rstrip() + "\n"

@@ -1,0 +1,44 @@
+"""Plain-text table rendering for benchmark reports.
+
+Produces the same row layout as the paper's Table I: one row per circuit
+size/name, one runtime column per simulator, with ``>T`` markers for runs
+that hit the timeout — so harness output can be compared to the published
+tables side by side.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["format_cell", "render_table"]
+
+
+def format_cell(seconds: Optional[float], timeout: Optional[float]) -> str:
+    """Format one runtime cell; ``None`` means the run exceeded ``timeout``."""
+    if seconds is None:
+        if timeout is None:
+            return "n/a"
+        return f">{timeout:g}"
+    if seconds >= 100.0:
+        return f"{seconds:.1f}"
+    return f"{seconds:.2f}"
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+) -> str:
+    """Render an aligned plain-text table with a title line."""
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    separator = "-+-".join("-" * width for width in widths)
+    body = [title, line(headers), separator]
+    body.extend(line(row) for row in rows)
+    return "\n".join(body)

@@ -1,0 +1,23 @@
+"""Noise modelling: error channels, noise models, stochastic insertion."""
+
+from .channels import (
+    DEPOLARIZING_PAULIS,
+    amplitude_damping_kraus,
+    depolarizing_kraus,
+    phase_flip_kraus,
+    validate_kraus,
+)
+from .model import ErrorRates, NoiseModel
+from .stochastic import StochasticErrorApplier, exact_channel_factory
+
+__all__ = [
+    "DEPOLARIZING_PAULIS",
+    "ErrorRates",
+    "NoiseModel",
+    "StochasticErrorApplier",
+    "amplitude_damping_kraus",
+    "depolarizing_kraus",
+    "exact_channel_factory",
+    "phase_flip_kraus",
+    "validate_kraus",
+]

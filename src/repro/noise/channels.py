@@ -1,0 +1,154 @@
+"""Kraus-operator representations of the paper's error channels.
+
+Section II-B of the paper considers three physically motivated errors:
+
+* **depolarization** (gate error): with probability ``p`` the qubit is
+  replaced by a uniformly random Pauli frame — realised by applying I, X, Y
+  or Z each with probability ``p/4`` (paper Example 3);
+* **amplitude damping** (T1): relaxation of |1> toward |0>, with the
+  *state-dependent* branch probabilities of paper Example 6 — note the
+  paper's printed ``A_1`` matrix contains a typo (``sqrt(p)`` instead of
+  ``sqrt(1-p)``); this module uses the correct Nielsen-Chuang form, which
+  is also what the accompanying probabilities in Example 6 imply;
+* **phase flip** (T2): with probability ``p`` a Z is applied.
+
+These exact Kraus sets feed both the stochastic insertion (trajectory
+branches) and the density-matrix oracle (channel sums), so the two agree in
+expectation — the property Theorem 1's validation tests check.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "depolarizing_kraus",
+    "amplitude_damping_kraus",
+    "phase_flip_kraus",
+    "thermal_relaxation_kraus",
+    "DEPOLARIZING_PAULIS",
+    "TWO_QUBIT_PAULIS",
+    "validate_kraus",
+]
+
+_I = np.eye(2, dtype=complex)
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+
+#: The four Pauli frames a firing depolarization error chooses among.
+DEPOLARIZING_PAULIS: Tuple[np.ndarray, ...] = (_I, _X, _Y, _Z)
+
+
+def _check_probability(p: float, name: str) -> None:
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"{name} probability must lie in [0, 1], got {p}")
+
+
+def depolarizing_kraus(p: float) -> List[np.ndarray]:
+    """Kraus operators of the depolarizing channel with firing probability ``p``.
+
+    ``rho -> (1 - 3p/4) rho + (p/4)(X rho X + Y rho Y + Z rho Z)`` — the
+    channel induced by applying a uniformly random Pauli with probability
+    ``p`` (the I branch merges into the no-error term).
+    """
+    _check_probability(p, "depolarizing")
+    return [
+        math.sqrt(1.0 - 3.0 * p / 4.0) * _I,
+        math.sqrt(p / 4.0) * _X,
+        math.sqrt(p / 4.0) * _Y,
+        math.sqrt(p / 4.0) * _Z,
+    ]
+
+
+def amplitude_damping_kraus(p: float) -> List[np.ndarray]:
+    """Kraus operators of the amplitude-damping (T1) channel.
+
+    Returned in the order ``[A_no_decay, A_decay]``; the *decay* operator
+    ``A_decay = [[0, sqrt(p)], [0, 0]]`` maps |1> to |0> (paper Example 6's
+    ``A_0``).
+    """
+    _check_probability(p, "amplitude damping")
+    no_decay = np.array([[1, 0], [0, math.sqrt(1.0 - p)]], dtype=complex)
+    decay = np.array([[0, math.sqrt(p)], [0, 0]], dtype=complex)
+    return [no_decay, decay]
+
+
+def phase_flip_kraus(p: float) -> List[np.ndarray]:
+    """Kraus operators of the phase-flip (T2) channel."""
+    _check_probability(p, "phase flip")
+    return [math.sqrt(1.0 - p) * _I, math.sqrt(p) * _Z]
+
+
+def thermal_relaxation_kraus(
+    t1_us: float,
+    t2_us: float,
+    duration_us: float,
+    excited_population: float = 0.0,
+) -> List[np.ndarray]:
+    """Kraus operators of the combined T1/T2 thermal-relaxation channel.
+
+    The standard first-principles model for idle decoherence over a time
+    window ``duration_us``: amplitude damping toward the thermal state
+    (|0> for ``excited_population`` = 0) with ``p_reset = 1 - exp(-t/T1)``
+    composed with pure dephasing so the total coherence decay matches
+    ``exp(-t/T2)``.  Requires the physical constraint ``T2 <= 2 T1``.
+
+    Returned operators (for ``excited_population`` = 0): damping pair plus
+    a residual phase-flip pair — five operators with zeros stripped.
+    """
+    if t1_us <= 0 or t2_us <= 0 or duration_us < 0:
+        raise ValueError("T1, T2 must be positive and duration non-negative")
+    if t2_us > 2 * t1_us + 1e-12:
+        raise ValueError("unphysical relaxation times: T2 must be <= 2*T1")
+    if not 0.0 <= excited_population <= 1.0:
+        raise ValueError("excited_population must lie in [0, 1]")
+    decay = 1.0 - math.exp(-duration_us / t1_us)
+    total_dephase = math.exp(-duration_us / t2_us)
+    # Coherences decay by sqrt(1-decay) from damping alone; the remainder is
+    # pure dephasing with phase-flip probability p_z.
+    residual = total_dephase / math.sqrt(1.0 - decay) if decay < 1.0 else 0.0
+    residual = min(max(residual, 0.0), 1.0)
+    p_z = (1.0 - residual) / 2.0
+
+    cold = math.sqrt(1.0 - excited_population)
+    hot = math.sqrt(excited_population)
+    operators = [
+        # Damping toward |0> (weight: cold).
+        cold * np.array([[1, 0], [0, math.sqrt(1 - decay)]], dtype=complex),
+        cold * np.array([[0, math.sqrt(decay)], [0, 0]], dtype=complex),
+        # Excitation toward |1> (weight: hot).
+        hot * np.array([[math.sqrt(1 - decay), 0], [0, 1]], dtype=complex),
+        hot * np.array([[0, 0], [math.sqrt(decay), 0]], dtype=complex),
+    ]
+    operators = [op for op in operators if np.any(np.abs(op) > 0)]
+    if p_z > 0.0:
+        # Compose the residual dephasing into every operator branch.
+        dephased: List[np.ndarray] = []
+        z = np.diag([1.0, -1.0]).astype(complex)
+        for op in operators:
+            dephased.append(math.sqrt(1.0 - p_z) * op)
+            dephased.append(math.sqrt(p_z) * z @ op)
+        operators = dephased
+    return operators
+
+
+#: The fifteen non-identity two-qubit Pauli pairs used by the correlated
+#: (crosstalk) depolarizing error, as (first-qubit, second-qubit) factors.
+TWO_QUBIT_PAULIS: Tuple[Tuple[np.ndarray, np.ndarray], ...] = tuple(
+    (a, b)
+    for a in DEPOLARIZING_PAULIS
+    for b in DEPOLARIZING_PAULIS
+    if not (a is DEPOLARIZING_PAULIS[0] and b is DEPOLARIZING_PAULIS[0])
+)
+
+
+def validate_kraus(kraus_operators: List[np.ndarray], atol: float = 1e-12) -> bool:
+    """Check the completeness relation ``sum_k K^dagger K = I``."""
+    total = np.zeros((2, 2), dtype=complex)
+    for kraus in kraus_operators:
+        total += kraus.conj().T @ kraus
+    return bool(np.allclose(total, np.eye(2), atol=atol))

@@ -1,0 +1,146 @@
+"""Simulator backend protocol and the shared circuit-execution engine.
+
+Both simulators — the proposed decision-diagram engine and the dense
+state-vector baseline — expose the same primitive operations
+(:class:`StateBackend`), so one executor (:func:`execute_circuit`) runs
+circuits on either, including measurements, resets, classically-conditioned
+gates, and the stochastic error hook the noise layer plugs in after every
+gate (paper Section III).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.operations import (
+    BarrierOperation,
+    GateOperation,
+    MeasureOperation,
+    ResetOperation,
+)
+
+__all__ = ["StateBackend", "RunResult", "ErrorHook", "execute_circuit"]
+
+
+class StateBackend(Protocol):
+    """Primitive state operations every simulator backend provides."""
+
+    num_qubits: int
+
+    def apply_gate(self, matrix: np.ndarray, target: int, controls: Dict[int, int]) -> None:
+        """Apply a (controlled) single-qubit unitary to the state."""
+
+    def probability_of_one(self, qubit: int) -> float:
+        """Probability that measuring ``qubit`` yields 1."""
+
+    def measure(self, qubit: int, rng: random.Random) -> int:
+        """Projective measurement with collapse; returns the outcome bit."""
+
+    def reset(self, qubit: int, rng: random.Random) -> None:
+        """Reset ``qubit`` to |0> (measure, flip on outcome 1)."""
+
+    def apply_kraus_branch(
+        self, kraus_operators: Sequence[np.ndarray], qubit: int, rng: random.Random
+    ) -> int:
+        """Stochastically select and apply one Kraus branch (normalised).
+
+        Branch probabilities are the squared norms of the candidate states
+        (the state-dependent selection of paper Example 6).  Returns the
+        selected branch index.
+        """
+
+    def probability_of_basis(self, bits: Sequence[int]) -> float:
+        """Squared amplitude of one computational basis state."""
+
+    def snapshot(self):
+        """An immutable handle to the current state (for later fidelity)."""
+
+    def fidelity(self, handle) -> float:
+        """Quadratic overlap ``|<handle|state>|^2`` with a snapshot handle."""
+
+    def statevector(self) -> np.ndarray:
+        """Dense copy of the state (exponential; tests and small circuits)."""
+
+    def sample_counts(self, shots: int, rng: random.Random) -> Dict[str, int]:
+        """Sample measurement outcomes of all qubits without collapsing."""
+
+
+#: Called after every executed gate with the backend and the touched qubits;
+#: the stochastic noise layer uses this to inject errors.
+ErrorHook = Callable[["StateBackend", Tuple[int, ...], str], None]
+
+
+@dataclass
+class RunResult:
+    """Outcome of a single circuit execution (one trajectory)."""
+
+    classical_bits: List[int]
+    measured_qubits: Dict[int, int] = field(default_factory=dict)
+    applied_gates: int = 0
+
+    def classical_value(self) -> int:
+        """Classical register interpreted as an integer (bit 0 = LSB)."""
+        value = 0
+        for position, bit in enumerate(self.classical_bits):
+            if bit:
+                value |= 1 << position
+        return value
+
+    def bitstring(self) -> str:
+        """Classical bits as a string, most significant (highest index) first."""
+        return "".join(str(bit) for bit in reversed(self.classical_bits))
+
+
+def execute_circuit(
+    backend: StateBackend,
+    circuit: QuantumCircuit,
+    rng: random.Random,
+    error_hook: Optional[ErrorHook] = None,
+) -> RunResult:
+    """Run ``circuit`` on ``backend``, returning the classical outcome.
+
+    ``error_hook`` — when given — is invoked after every unitary gate with
+    the qubits the gate touched, implementing the paper's per-gate/per-qubit
+    stochastic error insertion.  Measurements and resets also trigger the
+    hook (hardware readout is noisy too), matching the treatment in the
+    authors' stochastic simulator.
+    """
+    if circuit.num_qubits != backend.num_qubits:
+        raise ValueError(
+            f"circuit has {circuit.num_qubits} qubits but backend has {backend.num_qubits}"
+        )
+    classical_bits = [0] * circuit.num_clbits
+    result = RunResult(classical_bits)
+    for operation in circuit:
+        if isinstance(operation, BarrierOperation):
+            continue
+        if isinstance(operation, MeasureOperation):
+            before_measure = getattr(error_hook, "before_measure", None)
+            if before_measure is not None:
+                before_measure(backend, operation.qubit)
+            outcome = backend.measure(operation.qubit, rng)
+            classical_bits[operation.clbit] = outcome
+            result.measured_qubits[operation.qubit] = outcome
+            if error_hook is not None:
+                error_hook(backend, (operation.qubit,), "measure")
+            continue
+        if isinstance(operation, ResetOperation):
+            backend.reset(operation.qubit, rng)
+            if error_hook is not None:
+                error_hook(backend, (operation.qubit,), "reset")
+            continue
+        assert isinstance(operation, GateOperation)
+        if operation.condition is not None and not operation.condition.is_satisfied(
+            classical_bits
+        ):
+            continue
+        backend.apply_gate(operation.matrix(), operation.target, operation.control_dict())
+        result.applied_gates += 1
+        if error_hook is not None:
+            error_hook(backend, operation.qubits, operation.name)
+    return result

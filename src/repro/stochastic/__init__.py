@@ -1,0 +1,35 @@
+"""Stochastic quantum circuit simulation (the paper's core contribution)."""
+
+from .adaptive import AdaptiveRun, run_until_precision
+from .properties import (
+    BasisProbability,
+    ClassicalOutcome,
+    ExpectationZ,
+    IdealFidelity,
+    PauliExpectation,
+    PropertySpec,
+    StateFidelity,
+    hoeffding_epsilon,
+    hoeffding_samples,
+)
+from .results import PropertyEstimate, StochasticResult
+from .runner import BACKEND_KINDS, StochasticSimulator, simulate_stochastic
+
+__all__ = [
+    "AdaptiveRun",
+    "BACKEND_KINDS",
+    "BasisProbability",
+    "run_until_precision",
+    "ClassicalOutcome",
+    "ExpectationZ",
+    "IdealFidelity",
+    "PauliExpectation",
+    "PropertyEstimate",
+    "PropertySpec",
+    "StateFidelity",
+    "StochasticResult",
+    "StochasticSimulator",
+    "hoeffding_epsilon",
+    "hoeffding_samples",
+    "simulate_stochastic",
+]

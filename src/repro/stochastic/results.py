@@ -1,0 +1,155 @@
+"""Aggregated results of stochastic simulation runs.
+
+A :class:`StochasticResult` collects, over ``M`` trajectories: per-property
+running sums (mean / variance / Hoeffding and CLT confidence intervals),
+the histogram of sampled measurement outcomes, error-firing statistics, and
+engine diagnostics (runtime, peak DD nodes).  Partial results from worker
+processes are merged with :meth:`StochasticResult.merge`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["PropertyEstimate", "StochasticResult"]
+
+
+@dataclass
+class PropertyEstimate:
+    """Streaming estimate of one quadratic property."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    total_squared: float = 0.0
+
+    def add(self, value: float) -> None:
+        """Fold one trajectory's property value into the estimate."""
+        self.count += 1
+        self.total += value
+        self.total_squared += value * value
+
+    def merge(self, other: "PropertyEstimate") -> None:
+        """Fold another partial estimate (from a worker) into this one."""
+        if other.name != self.name:
+            raise ValueError(f"merging estimates of different properties: "
+                             f"{self.name!r} vs {other.name!r}")
+        self.count += other.count
+        self.total += other.total
+        self.total_squared += other.total_squared
+
+    @property
+    def mean(self) -> float:
+        """The Monte-Carlo estimate ``o_hat`` (paper Section III)."""
+        if self.count == 0:
+            raise ValueError("no samples accumulated")
+        return self.total / self.count
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance of the per-trajectory values."""
+        if self.count < 2:
+            return 0.0
+        mean = self.mean
+        return max(
+            0.0, (self.total_squared - self.count * mean * mean) / (self.count - 1)
+        )
+
+    @property
+    def std_error(self) -> float:
+        """Standard error of the mean."""
+        if self.count == 0:
+            return float("inf")
+        return math.sqrt(self.variance / self.count)
+
+    def hoeffding_halfwidth(self, delta: float = 0.05, value_range: float = 1.0) -> float:
+        """Hoeffding confidence half-width at level ``1 - delta``.
+
+        ``value_range`` is the width of the property's value interval
+        (1 for probabilities/fidelities, 2 for Pauli expectations).
+        """
+        if self.count == 0:
+            return float("inf")
+        return value_range * math.sqrt(math.log(2.0 / delta) / (2.0 * self.count))
+
+    def confidence_interval(self, delta: float = 0.05, value_range: float = 1.0) -> Tuple[float, float]:
+        """Hoeffding interval containing the true value w.p. >= 1 - delta."""
+        halfwidth = self.hoeffding_halfwidth(delta, value_range)
+        return self.mean - halfwidth, self.mean + halfwidth
+
+
+@dataclass
+class StochasticResult:
+    """Complete outcome of a stochastic (Monte-Carlo) simulation."""
+
+    circuit_name: str
+    backend_kind: str
+    requested_trajectories: int
+    completed_trajectories: int = 0
+    estimates: Dict[str, PropertyEstimate] = field(default_factory=dict)
+    outcome_counts: Dict[str, int] = field(default_factory=dict)
+    errors_fired: Dict[str, int] = field(
+        default_factory=lambda: {"depolarizing": 0, "amplitude_damping": 0, "phase_flip": 0}
+    )
+    elapsed_seconds: float = 0.0
+    peak_nodes: int = 0
+    workers: int = 1
+    timed_out: bool = False
+
+    def merge(self, other: "StochasticResult") -> None:
+        """Fold a worker's partial result into this aggregate."""
+        self.completed_trajectories += other.completed_trajectories
+        for name, estimate in other.estimates.items():
+            if name in self.estimates:
+                self.estimates[name].merge(estimate)
+            else:
+                self.estimates[name] = estimate
+        for outcome, count in other.outcome_counts.items():
+            self.outcome_counts[outcome] = self.outcome_counts.get(outcome, 0) + count
+        for kind, count in other.errors_fired.items():
+            self.errors_fired[kind] = self.errors_fired.get(kind, 0) + count
+        self.peak_nodes = max(self.peak_nodes, other.peak_nodes)
+        self.timed_out = self.timed_out or other.timed_out
+
+    def mean(self, property_name: str) -> float:
+        """Estimate of one property by name."""
+        return self.estimates[property_name].mean
+
+    def outcome_distribution(self) -> Dict[str, float]:
+        """Sampled measurement outcomes as relative frequencies."""
+        total = sum(self.outcome_counts.values())
+        if total == 0:
+            return {}
+        return {key: count / total for key, count in sorted(self.outcome_counts.items())}
+
+    def trajectories_per_second(self) -> float:
+        """Monte-Carlo throughput."""
+        if self.elapsed_seconds <= 0.0:
+            return float("inf")
+        return self.completed_trajectories / self.elapsed_seconds
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"circuit: {self.circuit_name} ({self.backend_kind} backend, "
+            f"{self.workers} worker(s))",
+            f"trajectories: {self.completed_trajectories}/{self.requested_trajectories}"
+            + (" [TIMED OUT]" if self.timed_out else ""),
+            f"elapsed: {self.elapsed_seconds:.3f} s "
+            f"({self.trajectories_per_second():.1f} traj/s)",
+            f"errors fired: {self.errors_fired}",
+        ]
+        if self.peak_nodes:
+            lines.append(f"peak DD nodes: {self.peak_nodes}")
+        for name, estimate in sorted(self.estimates.items()):
+            low, high = estimate.confidence_interval()
+            lines.append(
+                f"  {name}: {estimate.mean:.6f} "
+                f"(95% Hoeffding [{low:.6f}, {high:.6f}], se {estimate.std_error:.2e})"
+            )
+        if self.outcome_counts:
+            top = sorted(self.outcome_counts.items(), key=lambda kv: -kv[1])[:8]
+            lines.append("  top outcomes: " + ", ".join(f"{k}: {v}" for k, v in top))
+        return "\n".join(lines)

@@ -1,0 +1,192 @@
+"""Unit tests for the QuantumCircuit IR."""
+
+import math
+import pickle
+import random
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, parse_qasm
+from repro.circuits.operations import GateOperation, MeasureOperation
+from repro.simulators import DDBackend, execute_circuit
+
+
+def simulate(circuit):
+    backend = DDBackend(circuit.num_qubits)
+    execute_circuit(backend, circuit, random.Random(0))
+    return backend.statevector()
+
+
+class TestConstruction:
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(0)
+        with pytest.raises(ValueError):
+            QuantumCircuit(1, -1)
+
+    def test_builder_methods_chain(self):
+        circuit = QuantumCircuit(2)
+        result = circuit.h(0).cx(0, 1).rz(0.5, 1)
+        assert result is circuit
+        assert len(circuit) == 3
+
+    def test_out_of_range_qubit_rejected(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(IndexError):
+            circuit.h(2)
+        with pytest.raises(IndexError):
+            circuit.cx(0, 5)
+
+    def test_out_of_range_clbit_rejected(self):
+        circuit = QuantumCircuit(2, 1)
+        with pytest.raises(IndexError):
+            circuit.measure(0, 1)
+
+    def test_measure_all_grows_clbits(self):
+        circuit = QuantumCircuit(3, 0)
+        circuit.measure_all()
+        assert circuit.num_clbits == 3
+        assert sum(1 for op in circuit if isinstance(op, MeasureOperation)) == 3
+
+    def test_extend(self):
+        a = QuantumCircuit(3)
+        a.h(0)
+        b = QuantumCircuit(2)
+        b.x(1)
+        a.extend(b)
+        assert len(a) == 2
+
+    def test_extend_too_wide_rejected(self):
+        a = QuantumCircuit(2)
+        b = QuantumCircuit(3)
+        with pytest.raises(ValueError):
+            a.extend(b)
+
+    def test_copy_is_independent(self):
+        a = QuantumCircuit(2)
+        a.h(0)
+        b = a.copy()
+        b.x(1)
+        assert len(a) == 1
+        assert len(b) == 2
+
+    def test_picklable(self):
+        circuit = QuantumCircuit(3, 3)
+        circuit.h(0).ccx(0, 1, 2).measure_all()
+        clone = pickle.loads(pickle.dumps(circuit))
+        assert clone.num_qubits == 3
+        assert clone.operations == circuit.operations
+
+
+class TestAnalysis:
+    def test_count_ops(self):
+        circuit = QuantumCircuit(3, 3)
+        circuit.h(0).cx(0, 1).cx(1, 2).barrier().measure_all()
+        counts = circuit.count_ops()
+        assert counts == {"h": 1, "cx": 2, "barrier": 1, "measure": 3}
+
+    def test_depth_parallel_gates(self):
+        circuit = QuantumCircuit(4)
+        circuit.h(0).h(1).h(2).h(3)
+        assert circuit.depth() == 1
+
+    def test_depth_serial_chain(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1).cx(1, 2).cx(0, 1)
+        assert circuit.depth() == 3
+
+    def test_barriers_do_not_add_depth(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).barrier().h(1)
+        assert circuit.depth() == 1
+
+    def test_num_gates_excludes_measures(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.h(0).measure_all()
+        assert circuit.num_gates() == 1
+
+
+class TestSwapDecompositions:
+    def test_swap_is_three_cx(self):
+        circuit = QuantumCircuit(2)
+        circuit.swap(0, 1)
+        assert circuit.count_ops() == {"cx": 3}
+
+    def test_swap_semantics(self):
+        circuit = QuantumCircuit(2)
+        circuit.x(0)
+        circuit.swap(0, 1)
+        vector = simulate(circuit)
+        assert vector[0b01] == pytest.approx(1.0)
+
+    def test_cswap_semantics(self):
+        circuit = QuantumCircuit(3)
+        circuit.x(0)  # control on
+        circuit.x(1)
+        circuit.cswap(0, 1, 2)
+        vector = simulate(circuit)
+        assert vector[0b101] == pytest.approx(1.0)
+
+    def test_cswap_control_off(self):
+        circuit = QuantumCircuit(3)
+        circuit.x(1)
+        circuit.cswap(0, 1, 2)
+        vector = simulate(circuit)
+        assert vector[0b010] == pytest.approx(1.0)
+
+
+class TestInverse:
+    def test_inverse_undoes_unitary_circuit(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).t(1).rz(0.37, 2).u3(0.3, 0.2, 0.1, 0)
+        circuit.u2(0.5, 0.6, 1).s(2).sx(0)
+        full = circuit.copy()
+        full.extend(circuit.inverse())
+        vector = simulate(full)
+        expected = np.zeros(8)
+        expected[0] = 1.0
+        assert np.allclose(vector, expected, atol=1e-9)
+
+    def test_inverse_of_measurement_rejected(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+        with pytest.raises(ValueError):
+            circuit.inverse()
+
+    def test_inverse_name(self):
+        circuit = QuantumCircuit(1, name="foo")
+        assert circuit.inverse().name == "foo_dg"
+
+
+class TestQasmExport:
+    def test_round_trip_gate_sequence(self):
+        circuit = QuantumCircuit(3, 3)
+        circuit.h(0).cx(0, 1).ccx(0, 1, 2).rz(0.25, 2)
+        circuit.u3(0.1, 0.2, 0.3, 1).measure_all()
+        reparsed = parse_qasm(circuit.to_qasm())
+        assert reparsed.num_qubits == 3
+        assert [op for op in reparsed.gate_operations()] == [
+            op for op in circuit.gate_operations()
+        ]
+
+    def test_round_trip_preserves_semantics(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).t(1).sdg(2).cz(1, 2).u2(0.4, -0.3, 0)
+        reparsed = parse_qasm(circuit.to_qasm())
+        assert np.allclose(simulate(circuit), simulate(reparsed), atol=1e-12)
+
+    def test_negative_control_export_wraps_with_x(self):
+        circuit = QuantumCircuit(2)
+        circuit.gate("x", 1, controls={0: 0})
+        qasm = circuit.to_qasm()
+        reparsed = parse_qasm(qasm)
+        assert np.allclose(simulate(circuit), simulate(reparsed), atol=1e-12)
+
+    def test_condition_export(self):
+        circuit = QuantumCircuit(1, 2)
+        from repro.circuits.operations import ClassicalCondition
+
+        circuit.gate("x", 0, condition=ClassicalCondition((0, 1), 2))
+        qasm = circuit.to_qasm()
+        assert "if (c == 2)" in qasm

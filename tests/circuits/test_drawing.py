@@ -1,0 +1,85 @@
+"""Tests for the ASCII circuit renderer."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.circuits.drawing import draw_circuit
+from repro.circuits.library import ghz, qft
+
+
+class TestDrawing:
+    def test_one_line_per_qubit(self):
+        text = draw_circuit(ghz(3))
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("q0:")
+        assert lines[2].startswith("q2:")
+
+    def test_gate_boxes_and_controls(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1)
+        text = draw_circuit(circuit)
+        q0, q1 = text.splitlines()
+        assert "[H]" in q0
+        assert "●" in q0
+        assert "[X]" in q1
+
+    def test_negated_control_symbol(self):
+        circuit = QuantumCircuit(2)
+        circuit.gate("x", 1, controls={0: 0})
+        text = draw_circuit(circuit)
+        assert "○" in text.splitlines()[0]
+
+    def test_parametrised_gate_label(self):
+        circuit = QuantumCircuit(1)
+        circuit.rz(0.5, 0)
+        assert "[rz(0.5)]" in draw_circuit(circuit)
+
+    def test_measure_and_reset(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.measure(0, 1).reset(1)
+        text = draw_circuit(circuit)
+        assert "M1" in text.splitlines()[0]
+        assert "R" in text.splitlines()[1]
+
+    def test_barrier_column(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).barrier().h(1)
+        text = draw_circuit(circuit)
+        assert text.count("▒") == 2
+
+    def test_parallel_gates_share_slot(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).h(1)
+        q0, q1 = draw_circuit(circuit).splitlines()
+        assert q0.index("[H]") == q1.index("[H]")
+
+    def test_serial_gates_use_new_slots(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0).x(0)
+        line = draw_circuit(circuit).splitlines()[0]
+        assert line.index("[H]") < line.index("[X]")
+
+    def test_condition_footnote(self):
+        from repro.circuits.operations import ClassicalCondition
+
+        circuit = QuantumCircuit(1, 1)
+        circuit.gate("x", 0, condition=ClassicalCondition((0,), 1))
+        text = draw_circuit(circuit)
+        assert "[X?]" in text or "[x?]" in text
+        assert "if c[0..0] == 1" in text
+
+    def test_empty_circuit(self):
+        text = draw_circuit(QuantumCircuit(2))
+        assert len(text.splitlines()) == 2
+
+    def test_long_circuit_elided(self):
+        circuit = QuantumCircuit(1)
+        for _ in range(500):
+            circuit.x(0)
+        text = draw_circuit(circuit)
+        assert "elided" in text
+
+    def test_qft_renders_without_error(self):
+        text = draw_circuit(qft(4))
+        assert len(text.splitlines()) >= 4

@@ -1,0 +1,101 @@
+"""Unit tests for the standard gate registry."""
+
+import cmath
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import gates
+
+
+ALL_FIXED = sorted(gates.FIXED_GATES)
+ALL_PARAMETRIC = sorted(gates.PARAMETRIC_GATES)
+
+
+class TestFixedGates:
+    @pytest.mark.parametrize("name", ALL_FIXED)
+    def test_all_fixed_gates_unitary(self, name):
+        matrix = gates.gate_matrix(name)
+        assert np.allclose(matrix @ matrix.conj().T, np.eye(2))
+
+    def test_x_is_not(self):
+        assert np.allclose(gates.X, [[0, 1], [1, 0]])
+
+    def test_y_equals_ixz(self):
+        assert np.allclose(gates.Y, 1j * gates.X @ gates.Z)
+
+    def test_h_squares_to_identity(self):
+        assert np.allclose(gates.H @ gates.H, np.eye(2))
+
+    def test_s_squares_to_z(self):
+        assert np.allclose(gates.S @ gates.S, gates.Z)
+
+    def test_t_squares_to_s(self):
+        assert np.allclose(gates.T @ gates.T, gates.S)
+
+    def test_sx_squares_to_x(self):
+        assert np.allclose(gates.SX @ gates.SX, gates.X)
+
+    def test_daggers(self):
+        assert np.allclose(gates.SDG, gates.S.conj().T)
+        assert np.allclose(gates.TDG, gates.T.conj().T)
+        assert np.allclose(gates.SXDG, gates.SX.conj().T)
+
+    def test_fixed_gate_rejects_params(self):
+        with pytest.raises(ValueError):
+            gates.gate_matrix("x", [0.5])
+
+
+class TestParametricGates:
+    @pytest.mark.parametrize("name", ALL_PARAMETRIC)
+    def test_all_parametric_gates_unitary(self, name):
+        arity, _ = gates.PARAMETRIC_GATES[name]
+        matrix = gates.gate_matrix(name, [0.37 * (i + 1) for i in range(arity)])
+        assert np.allclose(matrix @ matrix.conj().T, np.eye(2))
+
+    def test_rx_pi_is_minus_i_x(self):
+        assert np.allclose(gates.rx(math.pi), -1j * gates.X)
+
+    def test_ry_pi_is_minus_i_y(self):
+        assert np.allclose(gates.ry(math.pi), -1j * gates.Y)
+
+    def test_rz_pi_is_minus_i_z(self):
+        assert np.allclose(gates.rz(math.pi), -1j * gates.Z)
+
+    def test_rotation_composition(self):
+        assert np.allclose(gates.rx(0.3) @ gates.rx(0.4), gates.rx(0.7))
+
+    def test_phase_gate(self):
+        matrix = gates.phase(math.pi / 2)
+        assert np.allclose(matrix, gates.S)
+
+    def test_u3_special_cases(self):
+        # u3(0, 0, lambda) == u1(lambda)
+        assert np.allclose(gates.u3(0, 0, 0.7), gates.phase(0.7))
+        # u3(pi/2, phi, lambda) == u2(phi, lambda)
+        assert np.allclose(gates.u3(math.pi / 2, 0.3, 0.7), gates.u2(0.3, 0.7))
+
+    def test_u2_hadamard(self):
+        # u2(0, pi) == H up to nothing — exactly H.
+        assert np.allclose(gates.u2(0, math.pi), gates.H)
+
+    def test_parameter_arity_enforced(self):
+        with pytest.raises(ValueError):
+            gates.gate_matrix("rz", [])
+        with pytest.raises(ValueError):
+            gates.gate_matrix("u3", [1.0, 2.0])
+
+    def test_unknown_gate_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            gates.gate_matrix("quantum_supremacy")
+
+    def test_is_known_gate(self):
+        assert gates.is_known_gate("h")
+        assert gates.is_known_gate("u3")
+        assert not gates.is_known_gate("nope")
+
+    def test_rz_phase_convention_symmetric(self):
+        matrix = gates.rz(0.8)
+        assert matrix[0, 0] == pytest.approx(cmath.exp(-0.4j))
+        assert matrix[1, 1] == pytest.approx(cmath.exp(0.4j))

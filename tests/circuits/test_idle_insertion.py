@@ -1,0 +1,82 @@
+"""Tests for the idle-identity insertion pass (per-time-step decoherence)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.circuits.library import ghz
+from repro.circuits.optimize import insert_idle_identities
+from repro.noise import NoiseModel
+from repro.simulators import DDBackend, execute_circuit
+from repro.stochastic import BasisProbability, simulate_stochastic
+
+
+class TestIdleInsertion:
+    def test_idle_slots_filled(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).x(2)
+        result = insert_idle_identities(circuit)
+        # Layer 1: h(0) + x(2) busy, q1 idle -> 1 id.
+        # Layer 2: cx(0,1) busy, q2 idle -> 1 id.
+        assert result.count_ops()["id"] == 2
+
+    def test_fully_parallel_layer_gets_no_ids(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).h(1)
+        result = insert_idle_identities(circuit)
+        assert "id" not in result.count_ops()
+
+    def test_serial_single_qubit_circuit(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).h(0).h(0)
+        result = insert_idle_identities(circuit)
+        assert result.count_ops()["id"] == 3  # q1 idles three layers
+
+    def test_noiseless_semantics_unchanged(self):
+        circuit = ghz(4)
+        transformed = insert_idle_identities(circuit)
+        a, b = DDBackend(4), DDBackend(4)
+        execute_circuit(a, circuit, random.Random(0))
+        execute_circuit(b, transformed, random.Random(0))
+        assert np.allclose(a.statevector(), b.statevector())
+
+    def test_measurements_participate_in_layers(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.measure(0, 0)
+        result = insert_idle_identities(circuit)
+        assert result.count_ops() == {"measure": 1, "id": 1}
+
+    def test_idle_qubits_now_decay(self):
+        """The point of the pass: an untouched qubit now suffers T1 when it
+        idles during another qubit's long gate sequence."""
+        circuit = QuantumCircuit(2)
+        circuit.x(1)
+        for _ in range(40):
+            circuit.h(0)  # qubit 1 idles for 40 layers
+
+        noise = NoiseModel.uniform(amplitude_damping=0.05)
+        plain = simulate_stochastic(
+            circuit, noise, [BasisProbability("01")], trajectories=600, seed=1
+        )
+        with_idle = simulate_stochastic(
+            insert_idle_identities(circuit),
+            noise,
+            [BasisProbability("01")],
+            trajectories=600,
+            seed=1,
+        )
+        # Without idle errors q1 only decays at its single x slot (the
+        # remaining loss comes from q0's own noisy h chain).
+        assert plain.mean("P(|01>)") > 0.7
+        # With idle errors q1 sees 41 damping slots: (1 - p)^41 ~ 0.12.
+        assert with_idle.mean("P(|01>)") == pytest.approx(0.13, abs=0.05)
+        assert plain.mean("P(|01>)") - with_idle.mean("P(|01>)") > 0.4
+
+    def test_name_suffix(self):
+        assert insert_idle_identities(ghz(2)).name == "entanglement_2_idle"
+
+    def test_depth_preserved(self):
+        circuit = ghz(5)
+        assert insert_idle_identities(circuit).depth() == circuit.depth()

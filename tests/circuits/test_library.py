@@ -1,0 +1,312 @@
+"""Functional tests for the benchmark circuit library.
+
+Each generator is checked for the *algorithmic* property it implements
+(adders add, Grover finds the marked state, QPE reads the phase, ...), not
+just for structural counts — these circuits are the paper's workloads, so
+their semantics must be right for the tables to mean anything.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.circuits.library import (
+    QASMBENCH_CIRCUITS,
+    basis_trotter,
+    bernstein_vazirani,
+    bigadder,
+    counterfeit_coin,
+    ghz,
+    grover,
+    ising,
+    multiplier,
+    qasmbench_circuit,
+    qft,
+    qpe,
+    random_circuit,
+    ripple_carry_adder,
+    sat,
+    seca,
+    vqe_uccsd,
+    w_state,
+)
+from repro.simulators import DDBackend, execute_circuit
+
+
+def final_state(circuit, seed=0):
+    backend = DDBackend(circuit.num_qubits)
+    result = execute_circuit(backend, circuit, random.Random(seed))
+    return backend.statevector(), result
+
+
+class TestGHZ:
+    @pytest.mark.parametrize("n", [1, 2, 5, 10])
+    def test_ghz_state(self, n):
+        vector, _ = final_state(ghz(n))
+        expected = np.zeros(2**n, dtype=complex)
+        expected[0] = expected[-1] = 1 / math.sqrt(2)
+        if n == 1:
+            expected = np.array([1, 1]) / math.sqrt(2)
+        assert np.allclose(vector, expected)
+
+    def test_measure_flag(self):
+        circuit = ghz(3, measure=True)
+        assert "measure" in circuit.count_ops()
+
+
+class TestQFT:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_qft_matches_dft_matrix(self, n):
+        """QFT|k> must equal the DFT column for every basis input."""
+        size = 2**n
+        omega = np.exp(2j * math.pi / size)
+        dft = np.array(
+            [[omega ** (row * col) / math.sqrt(size) for col in range(size)] for row in range(size)]
+        )
+        for k in range(size):
+            circuit = qft(n)
+            prep = ghz(n).copy()  # reuse builder for X prep
+            from repro.circuits import QuantumCircuit
+
+            full = QuantumCircuit(n)
+            for qubit in range(n):
+                if (k >> (n - 1 - qubit)) & 1:
+                    full.x(qubit)
+            full.extend(circuit)
+            vector, _ = final_state(full)
+            assert np.allclose(vector, dft[:, k], atol=1e-9), f"k={k}"
+
+    def test_inverse_qft_roundtrip(self):
+        from repro.circuits import QuantumCircuit
+        from repro.circuits.library import inverse_qft
+
+        full = QuantumCircuit(4)
+        full.x(1).x(3)
+        full.extend(qft(4))
+        full.extend(inverse_qft(4))
+        vector, _ = final_state(full)
+        assert vector[0b0101] == pytest.approx(1.0)
+
+
+class TestBernsteinVazirani:
+    def test_recovers_secret(self):
+        secret = [1, 0, 0, 1, 1]
+        circuit = bernstein_vazirani(6, secret=secret)
+        _, result = final_state(circuit)
+        assert result.classical_bits == secret
+
+    def test_default_secret_alternating(self):
+        circuit = bernstein_vazirani(5)
+        _, result = final_state(circuit)
+        assert result.classical_bits == [1, 0, 1, 0]
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            bernstein_vazirani(1)
+        with pytest.raises(ValueError):
+            bernstein_vazirani(4, secret=[1, 1])
+
+
+class TestAdders:
+    @pytest.mark.parametrize(
+        "bits,a,b", [(2, 1, 2), (3, 5, 3), (4, 9, 11), (4, 15, 15)]
+    )
+    def test_ripple_carry_adds(self, bits, a, b):
+        circuit = ripple_carry_adder(bits, a_value=a, b_value=b)
+        _, result = final_state(circuit)
+        assert result.classical_value() == a + b
+
+    def test_bigadder_default(self):
+        circuit = bigadder(18)
+        assert circuit.num_qubits == 18
+        _, result = final_state(circuit)
+        assert result.classical_value() == 170 + 85
+
+    def test_bigadder_width_validation(self):
+        with pytest.raises(ValueError):
+            bigadder(7)
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (1, 1), (3, 5), (7, 7), (2, 6)])
+    def test_multiplier_3bit(self, a, b):
+        circuit = multiplier(3, a_value=a, b_value=b)
+        assert circuit.num_qubits == 15
+        _, result = final_state(circuit)
+        assert result.classical_value() == a * b
+
+    @pytest.mark.parametrize("a,b", [(0, 1), (1, 2), (3, 3), (2, 3)])
+    def test_multiplier_2bit(self, a, b):
+        circuit = multiplier(2, a_value=a, b_value=b)
+        _, result = final_state(circuit)
+        assert result.classical_value() == a * b
+
+
+class TestGroverAndSat:
+    def test_grover_finds_marked_state(self):
+        circuit = grover(4, marked=0b1011)
+        _, result = final_state(circuit)
+        assert result.classical_value() is not None
+        bits = result.classical_bits
+        value = sum(bit << (4 - 1 - q) for q, bit in enumerate(bits))
+        assert value == 0b1011
+
+    def test_grover_success_probability_high(self):
+        circuit = grover(4, marked=3, measure=False)
+        vector, _ = final_state(circuit)
+        assert abs(vector[3]) ** 2 > 0.9
+
+    def test_sat_width(self):
+        circuit = sat(11)
+        assert circuit.num_qubits == 11
+
+    def test_sat_amplifies_satisfying_assignments(self):
+        """After one Grover iteration, satisfying assignments must hold more
+        probability mass than uniform."""
+        clauses = (((0, True), (1, True)), ((0, False), (2, True)))
+        circuit = sat(6, clauses=clauses, iterations=1, measure=False)
+        vector, _ = final_state(circuit)
+        num_vars = 3
+
+        def satisfies(assignment):
+            def literal(variable, positive):
+                bit = (assignment >> (num_vars - 1 - variable)) & 1
+                return bool(bit) == positive
+
+            return all(any(literal(v, pos) for v, pos in clause) for clause in clauses)
+
+        # Marginal over the variable qubits (first 3 qubits = most significant).
+        probabilities = np.abs(vector) ** 2
+        mass = np.zeros(8)
+        for index, probability in enumerate(probabilities):
+            mass[index >> 3] += probability
+        satisfying = [a for a in range(8) if satisfies(a)]
+        for assignment in satisfying:
+            assert mass[assignment] > 1.0 / 8.0
+
+    def test_sat_clause_variable_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            sat(11, clauses=(((10, True),),))
+
+    def test_sat_too_few_variables_rejected(self):
+        with pytest.raises(ValueError, match="at least 2 variable"):
+            sat(4, clauses=(((0, True),), ((0, False),), ((0, True),)))
+
+
+class TestSeca:
+    @pytest.mark.parametrize("error_kind", ["x", "y", "z"])
+    @pytest.mark.parametrize("error_qubit", [0, 4, 8])
+    def test_code_corrects_single_errors(self, error_kind, error_qubit):
+        """With any single Pauli error injected, the decoded qubit must hold
+        the original logical state: P(q0 = 1) == sin^2(theta/2)."""
+        theta = math.pi / 3
+        circuit = seca(11, theta=theta, error_qubit=error_qubit, error_kind=error_kind, measure=False)
+        backend = DDBackend(11)
+        execute_circuit(backend, circuit, random.Random(0))
+        # After the Bell check, q0's marginal still reflects the logical state.
+        expected = math.sin(theta / 2) ** 2
+        assert backend.probability_of_one(0) == pytest.approx(expected, abs=1e-9)
+
+    def test_no_error_case(self):
+        circuit = seca(11, error_qubit=None, measure=False)
+        backend = DDBackend(11)
+        execute_circuit(backend, circuit, random.Random(0))
+        assert backend.probability_of_one(0) == pytest.approx(
+            math.sin(math.pi / 6) ** 2, abs=1e-9
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            seca(9)
+        with pytest.raises(ValueError):
+            seca(11, error_qubit=9)
+        with pytest.raises(ValueError):
+            seca(11, error_kind="w")
+
+
+class TestCounterfeitCoin:
+    @pytest.mark.parametrize("false_coin", [0, 3, 6])
+    def test_finds_false_coin_with_high_probability(self, false_coin):
+        circuit = counterfeit_coin(8, false_coin=false_coin)
+        hits = 0
+        trials = 40
+        for seed in range(trials):
+            _, result = final_state(circuit, seed=seed)
+            coin_bits = result.classical_bits[1:]
+            if (
+                sum(coin_bits) == 1
+                and coin_bits[false_coin] == 1
+            ):
+                hits += 1
+        # The balanced branch (probability 1/2) reveals the coin exactly.
+        assert hits >= trials * 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            counterfeit_coin(2)
+        with pytest.raises(ValueError):
+            counterfeit_coin(8, false_coin=7)
+
+
+class TestStructuredGenerators:
+    def test_ising_width_and_gates(self):
+        circuit = ising(10, steps=3)
+        assert circuit.num_qubits == 10
+        counts = circuit.count_ops()
+        assert counts["cx"] == 2 * 9 * 3
+        assert counts["rx"] == 10 * 3
+
+    def test_vqe_uccsd_has_excitations(self):
+        circuit = vqe_uccsd(6)
+        counts = circuit.count_ops()
+        assert counts["x"] == 3  # Hartree-Fock occupation
+        assert counts["cx"] > 100  # CNOT ladders
+        assert counts["rz"] > 20
+
+    def test_vqe_uccsd_deterministic(self):
+        a = vqe_uccsd(6, seed=5)
+        b = vqe_uccsd(6, seed=5)
+        assert a.operations == b.operations
+
+    def test_basis_trotter_gate_count_class(self):
+        circuit = basis_trotter(4)
+        assert circuit.num_qubits == 4
+        assert 400 <= circuit.num_gates() <= 4000
+
+    def test_w_state(self):
+        vector, _ = final_state(w_state(4))
+        expected_mass = {0b1000, 0b0100, 0b0010, 0b0001}
+        for index in range(16):
+            target = 0.25 if index in expected_mass else 0.0
+            assert abs(vector[index]) ** 2 == pytest.approx(target, abs=1e-9)
+
+    @pytest.mark.parametrize("phase,precision", [(0.5, 3), (0.25, 4), (0.6875, 4)])
+    def test_qpe_reads_dyadic_phase(self, phase, precision):
+        circuit = qpe(precision, phase)
+        _, result = final_state(circuit)
+        assert result.classical_value() == int(round(phase * 2**precision)) % 2**precision
+
+    def test_random_circuit_deterministic_by_seed(self):
+        a = random_circuit(4, 8, seed=3)
+        b = random_circuit(4, 8, seed=3)
+        assert a.operations == b.operations
+
+    def test_random_circuit_seeds_differ(self):
+        a = random_circuit(4, 8, seed=3)
+        b = random_circuit(4, 8, seed=4)
+        assert a.operations != b.operations
+
+
+class TestQasmbenchRegistry:
+    def test_all_registered_circuits_have_paper_widths(self):
+        for name, (qubits, generator) in QASMBENCH_CIRCUITS.items():
+            circuit = generator()
+            assert circuit.num_qubits == qubits, name
+
+    def test_lookup_helper(self):
+        circuit = qasmbench_circuit("bv")
+        assert circuit.num_qubits == 19
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown QASMBench circuit"):
+            qasmbench_circuit("nope")

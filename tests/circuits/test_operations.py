@@ -1,0 +1,99 @@
+"""Unit tests for circuit operation dataclasses."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.circuits.operations import (
+    BarrierOperation,
+    ClassicalCondition,
+    GateOperation,
+    MeasureOperation,
+    ResetOperation,
+)
+
+
+class TestClassicalCondition:
+    def test_satisfied_lsb_first(self):
+        condition = ClassicalCondition((0, 1, 2), 0b101)
+        assert condition.is_satisfied([1, 0, 1])
+        assert not condition.is_satisfied([1, 1, 1])
+
+    def test_subset_of_register(self):
+        condition = ClassicalCondition((2, 3), 2)
+        assert condition.is_satisfied([0, 0, 0, 1])
+        assert not condition.is_satisfied([0, 0, 1, 1])
+
+    def test_zero_value(self):
+        condition = ClassicalCondition((0,), 0)
+        assert condition.is_satisfied([0])
+        assert not condition.is_satisfied([1])
+
+
+class TestGateOperation:
+    def test_qubits_includes_controls_then_target(self):
+        gate = GateOperation("x", (), 3, ((0, 1), (1, 0)))
+        assert gate.qubits == (0, 1, 3)
+        assert gate.num_qubits == 3
+
+    def test_matrix_resolution(self):
+        gate = GateOperation("h", (), 0)
+        assert np.allclose(gate.matrix(), np.array([[1, 1], [1, -1]]) / np.sqrt(2))
+
+    def test_parametrised_matrix(self):
+        gate = GateOperation("rz", (0.5,), 0)
+        assert gate.matrix()[1, 1] == pytest.approx(np.exp(0.25j))
+
+    def test_control_dict(self):
+        gate = GateOperation("z", (), 2, ((0, 1), (1, 0)))
+        assert gate.control_dict() == {0: 1, 1: 0}
+
+    def test_target_in_controls_rejected(self):
+        with pytest.raises(ValueError):
+            GateOperation("x", (), 1, ((1, 1),))
+
+    def test_duplicate_controls_rejected(self):
+        with pytest.raises(ValueError):
+            GateOperation("x", (), 2, ((0, 1), (0, 0)))
+
+    def test_with_condition(self):
+        gate = GateOperation("x", (), 0)
+        condition = ClassicalCondition((0,), 1)
+        conditioned = gate.with_condition(condition)
+        assert conditioned.condition == condition
+        assert gate.condition is None  # original untouched
+
+    def test_label(self):
+        assert GateOperation("x", (), 1, ((0, 1),)).label() == "cx q0, q1"
+        assert GateOperation("rz", (0.5,), 3).label() == "rz(0.5) q3"
+
+    def test_picklable(self):
+        gate = GateOperation("u3", (0.1, 0.2, 0.3), 2, ((0, 1),), ClassicalCondition((0,), 1))
+        clone = pickle.loads(pickle.dumps(gate))
+        assert clone == gate
+
+    def test_equality_and_hash(self):
+        a = GateOperation("x", (), 0)
+        b = GateOperation("x", (), 0)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestOtherOperations:
+    def test_measure(self):
+        op = MeasureOperation(3, 1)
+        assert op.qubits == (3,)
+        assert op.clbit == 1
+
+    def test_reset(self):
+        op = ResetOperation(2)
+        assert op.qubits == (2,)
+
+    def test_barrier(self):
+        op = BarrierOperation((0, 1, 2))
+        assert op.qubits == (0, 1, 2)
+
+    def test_all_picklable(self):
+        for op in (MeasureOperation(0, 0), ResetOperation(1), BarrierOperation((0,))):
+            assert pickle.loads(pickle.dumps(op)) == op

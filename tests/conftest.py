@@ -1,0 +1,42 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.dd import DDPackage
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """Deterministic Python RNG."""
+    return random.Random(1234)
+
+
+@pytest.fixture
+def np_rng() -> np.random.Generator:
+    """Deterministic NumPy RNG."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def package() -> DDPackage:
+    """A fresh 4-qubit DD package."""
+    return DDPackage(4)
+
+
+def random_state(np_rng: np.random.Generator, num_qubits: int) -> np.ndarray:
+    """A Haar-ish random normalised state vector."""
+    size = 2**num_qubits
+    vector = np_rng.normal(size=size) + 1j * np_rng.normal(size=size)
+    return vector / np.linalg.norm(vector)
+
+
+def random_unitary(np_rng: np.random.Generator, dim: int = 2) -> np.ndarray:
+    """A Haar-random unitary via QR decomposition."""
+    matrix = np_rng.normal(size=(dim, dim)) + 1j * np_rng.normal(size=(dim, dim))
+    q, r = np.linalg.qr(matrix)
+    return q * (np.diag(r) / np.abs(np.diag(r)))

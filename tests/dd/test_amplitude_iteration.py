@@ -1,0 +1,57 @@
+"""Tests for sparse amplitude enumeration."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import gates
+from repro.dd import DDPackage
+
+from ..conftest import random_state
+
+
+class TestIterateNonzeroAmplitudes:
+    def test_basis_state_single_entry(self, package):
+        edge = package.basis_state([1, 0, 1, 1])
+        entries = dict(package.iterate_nonzero_amplitudes(edge))
+        assert entries == {"1011": pytest.approx(1.0)}
+
+    def test_ghz_two_entries(self, package):
+        state = package.zero_state()
+        state = package.multiply(package.gate(gates.H, 0), state)
+        for qubit in range(3):
+            state = package.multiply(package.gate(gates.X, qubit + 1, {qubit: 1}), state)
+        entries = dict(package.iterate_nonzero_amplitudes(state))
+        assert set(entries) == {"0000", "1111"}
+        assert entries["0000"] == pytest.approx(1 / math.sqrt(2))
+
+    def test_matches_dense_vector(self, package, np_rng):
+        vector = random_state(np_rng, 4)
+        edge = package.from_state_vector(vector)
+        entries = dict(package.iterate_nonzero_amplitudes(edge))
+        for index in range(16):
+            key = format(index, "04b")
+            assert entries.get(key, 0.0) == pytest.approx(complex(vector[index]), abs=1e-9)
+
+    def test_zero_edge_yields_nothing(self, package):
+        assert list(package.iterate_nonzero_amplitudes(package.zero_edge)) == []
+
+    def test_sparse_on_wide_register(self):
+        """Support-proportional: 2 entries out of 2^50 states."""
+        package = DDPackage(50)
+        state = package.zero_state()
+        state = package.multiply(package.gate(gates.H, 0), state)
+        for qubit in range(49):
+            state = package.multiply(package.gate(gates.X, qubit + 1, {qubit: 1}), state)
+        entries = list(package.iterate_nonzero_amplitudes(state))
+        assert len(entries) == 2
+        assert {bits for bits, _ in entries} == {"0" * 50, "1" * 50}
+
+    def test_probabilities_sum_to_one(self, package, np_rng):
+        edge = package.from_state_vector(random_state(np_rng, 4))
+        total = sum(
+            abs(amplitude) ** 2
+            for _, amplitude in package.iterate_nonzero_amplitudes(edge)
+        )
+        assert total == pytest.approx(1.0)

@@ -1,0 +1,143 @@
+"""Tests for DD structural analysis and serialisation."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import gates
+from repro.dd import DDPackage
+from repro.dd.analysis import count_paths, level_widths, memory_estimate, sparsity
+from repro.dd.serialization import deserialize_edge, serialize_edge
+
+from ..conftest import random_state
+
+
+def ghz_edge(package):
+    state = package.zero_state()
+    state = package.multiply(package.gate(gates.H, 0), state)
+    for qubit in range(package.num_qubits - 1):
+        state = package.multiply(package.gate(gates.X, qubit + 1, {qubit: 1}), state)
+    return state
+
+
+class TestLevelWidths:
+    def test_product_state_width_one(self, package):
+        edge = package.zero_state()
+        assert level_widths(edge) == {0: 1, 1: 1, 2: 1, 3: 1}
+
+    def test_ghz_width_two_below_root(self, package):
+        edge = ghz_edge(package)
+        assert level_widths(edge) == {0: 1, 1: 2, 2: 2, 3: 2}
+
+    def test_dense_state_exponential_bulge(self, np_rng):
+        package = DDPackage(5)
+        edge = package.from_state_vector(random_state(np_rng, 5))
+        widths = level_widths(edge)
+        assert widths[4] == 16  # 2^(n-1) distinct bottom nodes
+
+
+class TestCountPaths:
+    def test_basis_state_single_path(self, package):
+        assert count_paths(package.basis_state([1, 0, 1, 0])) == 1
+
+    def test_ghz_two_paths(self, package):
+        assert count_paths(ghz_edge(package)) == 2
+
+    def test_uniform_superposition_all_paths(self, package):
+        plus = (1 / math.sqrt(2), 1 / math.sqrt(2))
+        edge = package.product_state([plus] * 4)
+        assert count_paths(edge) == 16
+
+    def test_zero_edge(self, package):
+        assert count_paths(package.zero_edge) == 0
+
+    def test_large_register_without_enumeration(self):
+        package = DDPackage(60)
+        plus = (1 / math.sqrt(2), 1 / math.sqrt(2))
+        edge = package.product_state([plus] * 60)
+        assert count_paths(edge) == 2**60
+
+
+class TestSparsityAndMemory:
+    def test_sparsity_of_basis_state(self, package):
+        edge = package.basis_state([0, 0, 0, 0])
+        assert sparsity(edge, 4) == pytest.approx(15 / 16)
+
+    def test_sparsity_of_uniform(self, package):
+        plus = (1 / math.sqrt(2), 1 / math.sqrt(2))
+        edge = package.product_state([plus] * 4)
+        assert sparsity(edge, 4) == 0.0
+
+    def test_memory_scales_with_nodes(self, package, np_rng):
+        small = package.zero_state()
+        large = package.from_state_vector(random_state(np_rng, 4))
+        assert memory_estimate(large) > memory_estimate(small)
+
+
+class TestSerialization:
+    def test_vector_round_trip(self, package, np_rng):
+        vector = random_state(np_rng, 4)
+        edge = package.from_state_vector(vector)
+        data = serialize_edge(edge)
+        fresh = DDPackage(4)
+        rebuilt = deserialize_edge(data, fresh)
+        assert np.allclose(fresh.to_state_vector(rebuilt, 4), vector)
+
+    def test_matrix_round_trip(self, package, np_rng):
+        matrix = np_rng.normal(size=(16, 16)) + 1j * np_rng.normal(size=(16, 16))
+        edge = package.from_operator_matrix(matrix)
+        data = serialize_edge(edge)
+        fresh = DDPackage(4)
+        rebuilt = deserialize_edge(data, fresh)
+        assert np.allclose(fresh.to_operator_matrix(rebuilt, 4), matrix)
+
+    def test_json_compatible(self, package):
+        edge = ghz_edge(package)
+        text = json.dumps(serialize_edge(edge))
+        data = json.loads(text)
+        fresh = DDPackage(4)
+        rebuilt = deserialize_edge(data, fresh)
+        assert fresh.fidelity(rebuilt, ghz_edge(fresh)) == pytest.approx(1.0)
+
+    def test_compact_for_structured_states(self):
+        package = DDPackage(40)
+        edge = ghz_edge(package)
+        data = serialize_edge(edge)
+        # 2n-1 nodes for GHZ: serialisation is linear in diagram size.
+        assert len(data["nodes"]) == 2 * 40 - 1
+
+    def test_terminal_edge(self, package):
+        data = serialize_edge(package.one_edge)
+        fresh = DDPackage(4)
+        rebuilt = deserialize_edge(data, fresh)
+        assert rebuilt.is_terminal
+        assert rebuilt.weight.is_one()
+
+    def test_zero_edge(self, package):
+        data = serialize_edge(package.zero_edge)
+        fresh = DDPackage(4)
+        assert deserialize_edge(data, fresh).is_zero
+
+    def test_canonical_in_target_package(self, package, np_rng):
+        """Deserialised states hash-cons against natively built ones."""
+        vector = random_state(np_rng, 3)
+        edge = package.from_state_vector(vector)
+        data = serialize_edge(edge)
+        fresh = DDPackage(3)
+        native = fresh.from_state_vector(vector)
+        rebuilt = deserialize_edge(data, fresh)
+        assert rebuilt.node is native.node
+
+    def test_version_checked(self, package):
+        data = serialize_edge(package.zero_state())
+        data["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            deserialize_edge(data, DDPackage(4))
+
+    def test_kind_checked(self, package):
+        data = serialize_edge(package.zero_state())
+        data["kind"] = "tensor"
+        with pytest.raises(ValueError, match="kind"):
+            deserialize_edge(data, DDPackage(4))

@@ -1,0 +1,194 @@
+"""Unit tests for the canonical complex-number table."""
+
+import cmath
+import math
+
+import pytest
+
+from repro.dd.complex_table import (
+    DEFAULT_TOLERANCE,
+    ComplexTable,
+    ComplexValue,
+    RealTable,
+    format_complex,
+)
+
+
+class TestRealTable:
+    def test_exact_lookup_returns_same_value(self):
+        table = RealTable()
+        assert table.lookup(0.375) == 0.375
+
+    def test_nearby_values_canonicalise_to_first_seen(self):
+        table = RealTable(tolerance=1e-12)
+        first = table.lookup(0.3)
+        second = table.lookup(0.3 + 5e-13)
+        assert second == first
+
+    def test_values_beyond_tolerance_stay_distinct(self):
+        table = RealTable(tolerance=1e-12)
+        first = table.lookup(0.3)
+        second = table.lookup(0.3 + 5e-11)
+        assert second != first
+
+    def test_negative_zero_canonicalises_to_positive_zero(self):
+        table = RealTable()
+        value = table.lookup(-0.0)
+        assert value == 0.0
+        assert math.copysign(1.0, value) == 1.0
+
+    def test_tiny_values_snap_to_zero(self):
+        table = RealTable(tolerance=1e-12)
+        assert table.lookup(1e-14) == 0.0
+        assert table.lookup(-1e-13) == 0.0
+
+    def test_seeded_constants_are_exact(self):
+        table = RealTable()
+        sqrt2_2 = math.sqrt(2.0) / 2.0
+        assert table.lookup(sqrt2_2 + 1e-14) == sqrt2_2
+        assert table.lookup(1.0 - 1e-14) == 1.0
+        assert table.lookup(-0.5 + 1e-15) == -0.5
+
+    def test_bucket_boundary_straddling(self):
+        # Two values within tolerance of each other but in adjacent buckets.
+        table = RealTable(tolerance=1e-12)
+        base = 12345.5 * 1e-12  # exactly on a bucket edge
+        first = table.lookup(base - 1e-13)
+        second = table.lookup(base + 1e-13)
+        assert first == second
+
+    def test_invalid_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            RealTable(tolerance=0.0)
+        with pytest.raises(ValueError):
+            RealTable(tolerance=-1e-9)
+
+    def test_hit_and_miss_statistics(self):
+        table = RealTable()
+        table.lookup(0.123456)
+        misses = table.misses
+        table.lookup(0.123456)
+        assert table.misses == misses
+        assert table.hits >= 1
+
+
+class TestComplexTable:
+    def test_identical_values_are_same_object(self):
+        table = ComplexTable()
+        a = table.lookup(0.25 + 0.75j)
+        b = table.lookup(0.25 + 0.75j)
+        assert a is b
+
+    def test_nearby_values_are_same_object(self):
+        table = ComplexTable()
+        a = table.lookup(0.25 + 0.75j)
+        b = table.lookup(0.25 + 1e-14 + (0.75 - 1e-14) * 1j)
+        assert a is b
+
+    def test_zero_and_one_singletons(self):
+        table = ComplexTable()
+        assert table.lookup(0j) is table.zero
+        assert table.lookup(1.0 + 0j) is table.one
+        assert table.zero.is_zero()
+        assert table.one.is_one()
+
+    def test_multiply_fast_paths(self):
+        table = ComplexTable()
+        w = table.lookup(0.5 + 0.5j)
+        assert table.multiply(table.one, w) is w
+        assert table.multiply(w, table.one) is w
+        assert table.multiply(table.zero, w) is table.zero
+
+    def test_multiply_matches_python_complex(self):
+        table = ComplexTable()
+        a = table.lookup(0.3 + 0.4j)
+        b = table.lookup(-0.1 + 0.9j)
+        product = table.multiply(a, b)
+        assert product.value == pytest.approx((0.3 + 0.4j) * (-0.1 + 0.9j))
+
+    def test_add_and_divide(self):
+        table = ComplexTable()
+        a = table.lookup(0.3 + 0.4j)
+        b = table.lookup(0.1 - 0.2j)
+        assert table.add(a, b).value == pytest.approx(0.4 + 0.2j)
+        assert table.divide(a, b).value == pytest.approx((0.3 + 0.4j) / (0.1 - 0.2j))
+
+    def test_divide_by_zero_raises(self):
+        table = ComplexTable()
+        with pytest.raises(ZeroDivisionError):
+            table.divide(table.one, table.zero)
+
+    def test_conjugate(self):
+        table = ComplexTable()
+        a = table.lookup(0.3 + 0.4j)
+        assert table.conjugate(a).value == pytest.approx(0.3 - 0.4j)
+        real = table.lookup(0.7 + 0j)
+        assert table.conjugate(real) is real
+
+    def test_phase_of_positive_real_is_one(self):
+        table = ComplexTable()
+        assert table.phase(table.lookup(0.5 + 0j)) is table.one
+
+    def test_phase_has_unit_magnitude(self):
+        table = ComplexTable()
+        phase = table.phase(table.lookup(0.3 - 0.4j))
+        assert abs(phase.value) == pytest.approx(1.0)
+        assert phase.value == pytest.approx((0.3 - 0.4j) / 0.5)
+
+    def test_phase_of_zero_is_one(self):
+        table = ComplexTable()
+        assert table.phase(table.zero) is table.one
+
+    def test_exp_i(self):
+        table = ComplexTable()
+        value = table.exp_i(math.pi / 3)
+        assert value.value == pytest.approx(cmath.exp(1j * math.pi / 3))
+
+    def test_approximately_helpers(self):
+        table = ComplexTable()
+        assert table.approximately_equal(0.5 + 0.5j, 0.5 + 1e-14 + 0.5j)
+        assert not table.approximately_equal(0.5, 0.5 + 1e-9)
+        assert table.approximately_zero(1e-13 + 1e-13j)
+        assert not table.approximately_zero(1e-9)
+
+    def test_stats_shape(self):
+        table = ComplexTable()
+        stats = table.stats()
+        assert set(stats) == {"entries", "real_entries", "real_hits", "real_misses"}
+
+
+class TestComplexValue:
+    def test_magnitude(self):
+        value = ComplexValue(3.0, 4.0)
+        assert value.magnitude() == pytest.approx(5.0)
+        assert value.magnitude_squared() == pytest.approx(25.0)
+
+    def test_equality_with_plain_numbers(self):
+        value = ComplexValue(0.5, 0.0)
+        assert value == 0.5
+        assert value == 0.5 + 0j
+        assert value != 0.6
+
+    def test_complex_conversion(self):
+        value = ComplexValue(0.25, -0.75)
+        assert complex(value) == 0.25 - 0.75j
+
+    def test_hashable(self):
+        a = ComplexValue(0.1, 0.2)
+        b = ComplexValue(0.1, 0.2)
+        assert hash(a) == hash(b)
+
+
+class TestFormatComplex:
+    def test_pure_real(self):
+        assert format_complex(0.5 + 0j) == "0.5"
+
+    def test_pure_imaginary(self):
+        assert format_complex(0.5j) == "0.5i"
+
+    def test_mixed_signs(self):
+        assert format_complex(1 - 2j) == "1-2i"
+        assert format_complex(-1 + 2j) == "-1+2i"
+
+    def test_rounding(self):
+        assert format_complex(0.70710678118654752 + 0j) == "0.707107"

@@ -1,0 +1,54 @@
+"""Unit tests for the memoisation compute table."""
+
+from repro.dd.compute_table import ComputeTable
+
+
+class TestComputeTable:
+    def test_miss_then_hit(self):
+        table = ComputeTable("test")
+        assert table.lookup(("a", "b")) is None
+        table.insert(("a", "b"), 42)
+        assert table.lookup(("a", "b")) == 42
+        assert table.hits == 1
+        assert table.misses == 1
+
+    def test_insert_returns_value(self):
+        table = ComputeTable("test")
+        assert table.insert("k", "v") == "v"
+
+    def test_clear(self):
+        table = ComputeTable("test")
+        table.insert("k", 1)
+        table.clear()
+        assert table.lookup("k") is None
+        assert len(table) == 0
+
+    def test_eviction_at_capacity(self):
+        table = ComputeTable("test", max_entries=4)
+        for index in range(4):
+            table.insert(index, index)
+        assert len(table) == 4
+        table.insert(99, 99)  # triggers wholesale eviction first
+        assert table.evictions == 1
+        assert len(table) == 1
+        assert table.lookup(99) == 99
+        assert table.lookup(0) is None
+
+    def test_hit_ratio(self):
+        table = ComputeTable("test")
+        assert table.hit_ratio() == 0.0
+        table.insert("k", 1)
+        table.lookup("k")
+        table.lookup("missing")
+        assert table.hit_ratio() == 0.5
+
+    def test_stats_shape(self):
+        table = ComputeTable("test")
+        stats = table.stats()
+        assert set(stats) == {"entries", "hits", "misses", "evictions", "hit_ratio"}
+
+    def test_overwrite_same_key(self):
+        table = ComputeTable("test")
+        table.insert("k", 1)
+        table.insert("k", 2)
+        assert table.lookup("k") == 2

@@ -1,0 +1,202 @@
+"""Property-based tests (hypothesis) for decision-diagram invariants.
+
+These are the deep invariants the DD substrate's correctness rests on:
+
+* round-trip fidelity between dense arrays and DDs,
+* canonicity (structurally equal inputs -> identical node objects),
+* algebra homomorphism (DD add/multiply == NumPy add/matmul),
+* the sum-of-squares norm invariant,
+* measurement probability consistency.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dd import DDPackage
+
+MAX_QUBITS = 4
+
+
+def vectors(num_qubits):
+    """Strategy: complex vectors over `num_qubits` qubits, not all ~zero."""
+    size = 2**num_qubits
+    component = st.floats(
+        min_value=-2.0, max_value=2.0, allow_nan=False, allow_infinity=False, width=32
+    )
+    return (
+        st.tuples(
+            st.lists(component, min_size=size, max_size=size),
+            st.lists(component, min_size=size, max_size=size),
+        )
+        .map(lambda pair: np.array(pair[0]) + 1j * np.array(pair[1]))
+        .filter(lambda vec: np.linalg.norm(vec) > 1e-3)
+    )
+
+
+def matrices(num_qubits):
+    size = 2**num_qubits
+    component = st.floats(
+        min_value=-2.0, max_value=2.0, allow_nan=False, allow_infinity=False, width=32
+    )
+    flat = size * size
+    return st.tuples(
+        st.lists(component, min_size=flat, max_size=flat),
+        st.lists(component, min_size=flat, max_size=flat),
+    ).map(
+        lambda pair: (np.array(pair[0]) + 1j * np.array(pair[1])).reshape(size, size)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(num_qubits=st.integers(1, MAX_QUBITS), data=st.data())
+def test_vector_round_trip(num_qubits, data):
+    vector = data.draw(vectors(num_qubits))
+    package = DDPackage(num_qubits)
+    edge = package.from_state_vector(vector)
+    assert np.allclose(package.to_state_vector(edge, num_qubits), vector, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(num_qubits=st.integers(1, MAX_QUBITS), data=st.data())
+def test_canonicity_identical_inputs(num_qubits, data):
+    vector = data.draw(vectors(num_qubits))
+    package = DDPackage(num_qubits)
+    a = package.from_state_vector(vector)
+    b = package.from_state_vector(vector.copy())
+    assert a.node is b.node
+    assert a.weight is b.weight
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    num_qubits=st.integers(1, MAX_QUBITS),
+    scale_real=st.floats(min_value=-3.0, max_value=3.0, allow_nan=False),
+    scale_imag=st.floats(min_value=-3.0, max_value=3.0, allow_nan=False),
+    data=st.data(),
+)
+def test_canonicity_scalar_multiples_share_nodes(num_qubits, scale_real, scale_imag, data):
+    # Canonicity under scalar multiplication is exact only away from the
+    # canonicalisation tolerance: snapping a weight of magnitude ~1e-7 by
+    # the absolute tolerance (1e-12) is a ~1e-5 *relative* perturbation
+    # that later arithmetic can amplify past the tolerance again — an
+    # inherent property of absolute-tolerance DD packages (JKU's included).
+    # The strategy therefore quantises amplitudes and the scale to a coarse
+    # grid of well-separated values, which is the regime the canonicity
+    # guarantee covers.
+    scale_real = round(scale_real * 8) / 8.0
+    scale_imag = round(scale_imag * 8) / 8.0
+    scale = complex(scale_real, scale_imag)
+    if abs(scale) < 1e-3:
+        scale = 1.0 + 1.0j
+    vector = data.draw(vectors(num_qubits))
+    vector = np.round(vector * 16) / 16.0
+    if np.linalg.norm(vector) < 1e-3:
+        vector = np.zeros_like(vector)
+        vector[0] = 1.0
+    package = DDPackage(num_qubits)
+    a = package.from_state_vector(vector)
+    b = package.from_state_vector(scale * vector)
+    assert a.node is b.node
+
+
+@settings(max_examples=30, deadline=None)
+@given(num_qubits=st.integers(1, MAX_QUBITS), data=st.data())
+def test_root_weight_magnitude_equals_norm(num_qubits, data):
+    vector = data.draw(vectors(num_qubits))
+    package = DDPackage(num_qubits)
+    edge = package.from_state_vector(vector)
+    assert edge.weight.magnitude() == pytest.approx(
+        np.linalg.norm(vector), rel=1e-6, abs=1e-9
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(num_qubits=st.integers(1, MAX_QUBITS), data=st.data())
+def test_addition_homomorphism(num_qubits, data):
+    a = data.draw(vectors(num_qubits))
+    b = data.draw(vectors(num_qubits))
+    package = DDPackage(num_qubits)
+    result = package.add(package.from_state_vector(a), package.from_state_vector(b))
+    assert np.allclose(package.to_state_vector(result, num_qubits), a + b, atol=1e-8)
+
+
+@settings(max_examples=25, deadline=None)
+@given(num_qubits=st.integers(1, 3), data=st.data())
+def test_matvec_homomorphism(num_qubits, data):
+    matrix = data.draw(matrices(num_qubits))
+    vector = data.draw(vectors(num_qubits))
+    package = DDPackage(num_qubits)
+    result = package.multiply(
+        package.from_operator_matrix(matrix), package.from_state_vector(vector)
+    )
+    assert np.allclose(
+        package.to_state_vector(result, num_qubits), matrix @ vector, atol=1e-7
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(num_qubits=st.integers(1, 3), data=st.data())
+def test_matmat_homomorphism(num_qubits, data):
+    a = data.draw(matrices(num_qubits))
+    b = data.draw(matrices(num_qubits))
+    package = DDPackage(num_qubits)
+    result = package.multiply_matrices(
+        package.from_operator_matrix(a), package.from_operator_matrix(b)
+    )
+    assert np.allclose(
+        package.to_operator_matrix(result, num_qubits), a @ b, atol=1e-6
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(num_qubits=st.integers(1, MAX_QUBITS), data=st.data())
+def test_inner_product_matches_numpy(num_qubits, data):
+    a = data.draw(vectors(num_qubits))
+    b = data.draw(vectors(num_qubits))
+    package = DDPackage(num_qubits)
+    value = package.inner_product(
+        package.from_state_vector(a), package.from_state_vector(b)
+    )
+    assert value == pytest.approx(complex(np.vdot(a, b)), rel=1e-6, abs=1e-8)
+
+
+@settings(max_examples=30, deadline=None)
+@given(num_qubits=st.integers(1, MAX_QUBITS), qubit=st.integers(0, MAX_QUBITS - 1), data=st.data())
+def test_probability_of_one_matches_dense(num_qubits, qubit, data):
+    if qubit >= num_qubits:
+        qubit = qubit % num_qubits
+    vector = data.draw(vectors(num_qubits))
+    vector = vector / np.linalg.norm(vector)
+    package = DDPackage(num_qubits)
+    edge = package.from_state_vector(vector)
+    expected = sum(
+        abs(vector[i]) ** 2
+        for i in range(2**num_qubits)
+        if (i >> (num_qubits - 1 - qubit)) & 1
+    )
+    assert package.probability_of_one(edge, qubit) == pytest.approx(
+        expected, abs=1e-7
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(num_qubits=st.integers(1, MAX_QUBITS), data=st.data())
+def test_sum_of_squares_invariant(num_qubits, data):
+    vector = data.draw(vectors(num_qubits))
+    package = DDPackage(num_qubits)
+    edge = package.from_state_vector(vector)
+    seen = set()
+
+    def walk(node):
+        if node.is_terminal or id(node) in seen:
+            return
+        seen.add(id(node))
+        total = sum(child.weight.magnitude_squared() for child in node.edges)
+        assert total == pytest.approx(1.0, abs=1e-7)
+        for child in node.edges:
+            walk(child.node)
+
+    walk(edge.node)

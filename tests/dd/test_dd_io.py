@@ -1,0 +1,128 @@
+"""Tests for DD export (dot / structural dump) — regenerates paper Fig. 1."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import gates
+from repro.dd import DDPackage, structure_lines, to_dot
+
+SQRT2_INV = 1.0 / math.sqrt(2.0)
+
+
+@pytest.fixture
+def bell(package2):
+    """The paper's |psi'> = (|00> + |11>)/sqrt(2) from Example 2."""
+    package = package2
+    state = package.zero_state()
+    state = package.multiply(package.gate(gates.H, 0), state)
+    state = package.multiply(package.gate(gates.X, 1, {0: 1}), state)
+    return state
+
+
+@pytest.fixture
+def package2():
+    return DDPackage(2)
+
+
+class TestFigure1a:
+    """Fig. 1a: DD of the Bell-type state (|00> + |11>)/sqrt(2).
+
+    Note on weights: the paper's figure uses the classic QMDD normalisation
+    (first non-zero child weight = 1, so the 1/sqrt(2) sits on the root
+    edge); this package uses the sum-of-squares scheme (root weight = state
+    norm = 1, the 1/sqrt(2) factors sit on the q0 node's child edges).  The
+    *graph structure* and all path products — i.e. the amplitudes of
+    Example 4 — are identical.
+    """
+
+    def test_node_count(self, package2, bell):
+        # One q0 node and two distinct q1 nodes (|0>-branch and |1>-branch).
+        assert package2.node_count(bell) == 3
+
+    def test_root_weight_is_state_norm(self, bell):
+        assert bell.weight.value == pytest.approx(1.0)
+
+    def test_structure_matches_paper(self, package2, bell):
+        lines = structure_lines(bell)
+        assert lines[0] == "root -> 1"
+        # q0 node splitting the 1/sqrt(2) amplitude over two distinct q1 nodes.
+        assert lines[1] == "n0: q0 [0.707107*n1, 0.707107*n2]"
+        # Left q1 node: amplitude on |0> only; right q1 node: on |1> only.
+        assert "n1: q1 [1*T, 0-stub]" in lines
+        assert "n2: q1 [0-stub, 1*T]" in lines
+
+    def test_amplitude_reconstruction_example4(self, package2, bell):
+        """Paper Example 4: amplitude of |11> = (1/sqrt2) * 1 * 1."""
+        assert package2.get_amplitude(bell, [1, 1]) == pytest.approx(SQRT2_INV)
+        assert package2.get_amplitude(bell, [0, 1]) == 0.0
+
+
+class TestFigure1b:
+    """Fig. 1b: DD of Z (x) I, the paper's Example 5."""
+
+    def test_structure(self, package2):
+        edge = package2.gate(gates.Z, 0)
+        lines = structure_lines(edge)
+        assert lines[0] == "root -> 1"
+        # q0 node: diag(+1 block, -1 block) sharing the same identity child.
+        assert lines[1] == "n0: q0 [1*n1, 0-stub, 0-stub, -1*n1]"
+        assert lines[2] == "n1: q1 [1*T, 0-stub, 0-stub, 1*T]"
+
+    def test_entry_reconstruction_example5(self, package2):
+        """Paper Example 5: the (2,2) entry of Z (x) I is 1 * -1 * 1 = -1."""
+        edge = package2.gate(gates.Z, 0)
+        dense = package2.to_operator_matrix(edge)
+        assert dense[2, 2] == pytest.approx(-1.0)
+        assert np.allclose(dense, np.kron(gates.Z, np.eye(2)))
+
+
+class TestFigure1c:
+    """Fig. 1c: the two amplitude-damping outcomes of the paper's Example 6."""
+
+    def test_damped_branch(self, package2, bell):
+        p = 0.3
+        a_decay = np.array([[0, math.sqrt(p)], [0, 0]], dtype=complex)
+        damped = package2.multiply(package2.gate(a_decay, 0), bell)
+        # Probability of this branch: ||A0 psi||^2 = p/2 (paper Example 6).
+        assert package2.squared_norm(damped) == pytest.approx(p / 2)
+        normalised = package2.normalize(damped)
+        vector = package2.to_state_vector(normalised)
+        expected = np.zeros(4, dtype=complex)
+        expected[0b01] = 1.0  # |01>
+        assert np.allclose(vector, expected)
+
+    def test_no_decay_branch(self, package2, bell):
+        p = 0.3
+        a_keep = np.array([[1, 0], [0, math.sqrt(1 - p)]], dtype=complex)
+        kept = package2.multiply(package2.gate(a_keep, 0), bell)
+        assert package2.squared_norm(kept) == pytest.approx(1 - p / 2)
+        vector = package2.to_state_vector(package2.normalize(kept))
+        expected = np.zeros(4, dtype=complex)
+        expected[0b00] = 1.0 / math.sqrt(2 - p)
+        expected[0b11] = math.sqrt(1 - p) / math.sqrt(2 - p)
+        assert np.allclose(vector, expected)
+
+
+class TestDotExport:
+    def test_dot_contains_nodes_and_stubs(self, package2, bell):
+        dot = to_dot(bell, name="fig1a")
+        assert dot.startswith("digraph fig1a {")
+        assert dot.rstrip().endswith("}")
+        assert 'label="q0"' in dot
+        assert 'label="q1"' in dot
+        assert 'label="0"' in dot  # zero stubs
+        assert "0.707107" in dot  # root weight annotation
+
+    def test_dot_zero_edge(self, package2):
+        dot = to_dot(package2.zero_edge)
+        assert "zero" in dot
+
+    def test_dot_unit_weights_omitted(self, package2, bell):
+        dot = to_dot(bell)
+        # Unit edge weights render as empty labels (paper footnote 1).
+        assert 'label=""' in dot
+
+    def test_dot_is_deterministic(self, package2, bell):
+        assert to_dot(bell) == to_dot(bell)

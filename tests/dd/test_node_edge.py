@@ -1,0 +1,102 @@
+"""Unit tests for DD node and edge structures."""
+
+import pytest
+
+from repro.dd.complex_table import ComplexTable
+from repro.dd.edge import Edge
+from repro.dd.node import TERMINAL_VAR, Node
+
+
+@pytest.fixture
+def table():
+    return ComplexTable()
+
+
+@pytest.fixture
+def terminal():
+    return Node(TERMINAL_VAR, ())
+
+
+class TestNode:
+    def test_terminal_properties(self, terminal):
+        assert terminal.is_terminal
+        assert not terminal.is_vector_node
+        assert not terminal.is_matrix_node
+
+    def test_terminal_with_edges_rejected(self, table, terminal):
+        edge = Edge(terminal, table.one)
+        with pytest.raises(ValueError):
+            Node(TERMINAL_VAR, (edge, edge))
+
+    def test_vector_node(self, table, terminal):
+        edge = Edge(terminal, table.one)
+        node = Node(0, (edge, edge))
+        assert node.is_vector_node
+        assert not node.is_matrix_node
+        assert not node.is_terminal
+        assert node.var == 0
+
+    def test_matrix_node(self, table, terminal):
+        edge = Edge(terminal, table.one)
+        node = Node(2, (edge,) * 4)
+        assert node.is_matrix_node
+        assert not node.is_vector_node
+
+    def test_wrong_arity_rejected(self, table, terminal):
+        edge = Edge(terminal, table.one)
+        with pytest.raises(ValueError):
+            Node(0, (edge,))
+        with pytest.raises(ValueError):
+            Node(0, (edge,) * 3)
+
+    def test_structural_key_distinguishes_weights(self, table, terminal):
+        one = Edge(terminal, table.one)
+        half = Edge(terminal, table.lookup(0.5 + 0j))
+        node_a = Node(0, (one, half))
+        node_b = Node(0, (half, one))
+        assert node_a.structural_key() != node_b.structural_key()
+
+    def test_structural_key_equal_for_identical_structure(self, table, terminal):
+        one = Edge(terminal, table.one)
+        node_a = Node(1, (one, one))
+        node_b = Node(1, (one, one))
+        assert node_a.structural_key() == node_b.structural_key()
+
+    def test_initial_ref_is_zero(self, table, terminal):
+        node = Node(0, (Edge(terminal, table.one), Edge(terminal, table.zero)))
+        assert node.ref == 0
+
+    def test_repr(self, table, terminal):
+        assert "terminal" in repr(terminal)
+        node = Node(0, (Edge(terminal, table.one), Edge(terminal, table.zero)))
+        assert "q0" in repr(node)
+
+
+class TestEdge:
+    def test_zero_edge_detection(self, table, terminal):
+        assert Edge(terminal, table.zero).is_zero
+        assert not Edge(terminal, table.one).is_zero
+
+    def test_non_terminal_edge_is_not_zero(self, table, terminal):
+        inner = Node(0, (Edge(terminal, table.one), Edge(terminal, table.zero)))
+        assert not Edge(inner, table.zero).is_zero  # malformed, but not "the" zero edge
+
+    def test_equality_by_identity_of_parts(self, table, terminal):
+        a = Edge(terminal, table.one)
+        b = Edge(terminal, table.one)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self, table, terminal):
+        a = Edge(terminal, table.one)
+        b = Edge(terminal, table.lookup(0.5 + 0j))
+        assert a != b
+
+    def test_weighted_identity_fast_path(self, table, terminal):
+        edge = Edge(terminal, table.lookup(0.5 + 0j))
+        assert edge.weighted(table, table.one) is edge
+
+    def test_weighted_multiplies(self, table, terminal):
+        edge = Edge(terminal, table.lookup(0.5 + 0j))
+        scaled = edge.weighted(table, table.lookup(0.5 + 0j))
+        assert scaled.weight.value == pytest.approx(0.25 + 0j)

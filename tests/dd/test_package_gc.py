@@ -1,0 +1,101 @@
+"""Tests for reference counting and garbage collection at the package level."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import gates
+from repro.dd import DDPackage
+
+from ..conftest import random_state
+
+
+class TestPackageRefCounting:
+    def test_inc_dec_roundtrip(self, package, np_rng):
+        edge = package.from_state_vector(random_state(np_rng, 4))
+        package.inc_ref(edge)
+        assert edge.node.ref == 1
+        package.dec_ref(edge)
+        assert edge.node.ref == 0
+
+    def test_matrix_edges_use_matrix_table(self, package):
+        edge = package.identity()
+        package.inc_ref(edge)
+        assert edge.node.ref == 1
+        package.dec_ref(edge)
+
+    def test_terminal_edge_is_noop(self, package):
+        package.inc_ref(package.one_edge)
+        package.dec_ref(package.one_edge)
+
+
+class TestGarbageCollection:
+    def test_pinned_state_survives_forced_collection(self, package, np_rng):
+        vector = random_state(np_rng, 4)
+        edge = package.inc_ref(package.from_state_vector(vector))
+        # Create garbage.
+        for _ in range(5):
+            package.from_state_vector(random_state(np_rng, 4))
+        package.garbage_collect(force=True)
+        assert np.allclose(package.to_state_vector(edge), vector)
+
+    def test_unpinned_nodes_are_collected(self, package, np_rng):
+        package.from_state_vector(random_state(np_rng, 4))
+        before = len(package.vector_table)
+        collected = package.garbage_collect(force=True)
+        assert collected > 0
+        assert len(package.vector_table) < before
+
+    def test_collection_clears_compute_tables(self, package, np_rng):
+        a = package.from_state_vector(random_state(np_rng, 4))
+        b = package.from_state_vector(random_state(np_rng, 4))
+        package.add(a, b)
+        assert len(package._add_table) > 0
+        package.garbage_collect(force=True)
+        assert len(package._add_table) == 0
+
+    def test_not_forced_collection_respects_threshold(self, package, np_rng):
+        package.from_state_vector(random_state(np_rng, 4))
+        # Default threshold is far above a handful of nodes.
+        assert package.garbage_collect(force=False) == 0
+
+    def test_results_stable_across_collections(self, package, np_rng):
+        """Arithmetic after a GC must agree with arithmetic before it."""
+        vector = random_state(np_rng, 4)
+        state = package.inc_ref(package.from_state_vector(vector))
+        gate = package.gate(gates.H, 2)
+        expected = package.to_state_vector(package.multiply(gate, state))
+        package.garbage_collect(force=True)
+        result = package.multiply(package.gate(gates.H, 2), state)
+        assert np.allclose(package.to_state_vector(result), expected)
+
+    def test_stats_contains_all_tables(self, package):
+        stats = package.stats()
+        assert set(stats) == {
+            "complex_table",
+            "vector_table",
+            "matrix_table",
+            "add",
+            "mat_vec",
+            "mat_mat",
+            "inner",
+        }
+
+
+class TestNodeCount:
+    def test_terminal_counts_zero(self, package):
+        assert package.node_count(package.one_edge) == 0
+
+    def test_ghz_is_linear(self):
+        package = DDPackage(24)
+        state = package.zero_state()
+        state = package.multiply(package.gate(gates.H, 0), state)
+        for qubit in range(23):
+            state = package.multiply(package.gate(gates.X, qubit + 1, {qubit: 1}), state)
+        # GHZ: a root plus two disjoint chains (all-zeros / all-ones branch).
+        assert package.node_count(state) == 2 * 24 - 1
+
+    def test_dense_state_is_exponential(self, np_rng):
+        package = DDPackage(6)
+        edge = package.from_state_vector(random_state(np_rng, 6))
+        # A Haar-random state has no redundancy: 2^n - 1 nodes.
+        assert package.node_count(edge) == 2**6 - 1

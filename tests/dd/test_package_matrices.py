@@ -1,0 +1,186 @@
+"""Tests for matrix-DD construction: identities, tensor operators, gates."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import gates
+from repro.dd import DDPackage
+
+from ..conftest import random_unitary
+
+
+def dense_single(matrix, target, n):
+    """Reference dense operator: matrix on `target`, identity elsewhere."""
+    result = np.array([[1.0]], dtype=complex)
+    for qubit in range(n):
+        factor = matrix if qubit == target else np.eye(2)
+        result = np.kron(result, factor)
+    return result
+
+
+def dense_controlled(matrix, target, controls, n):
+    """Reference dense controlled operator."""
+    size = 2**n
+    result = np.zeros((size, size), dtype=complex)
+    single = dense_single(matrix, target, n)
+    for col in range(size):
+        active = all(
+            ((col >> (n - 1 - q)) & 1) == polarity for q, polarity in controls.items()
+        )
+        if active:
+            result[:, col] += single[:, col]
+        else:
+            result[col, col] += 1.0
+    return result
+
+
+class TestIdentity:
+    def test_identity_matrix(self, package):
+        edge = package.identity()
+        assert np.allclose(package.to_operator_matrix(edge), np.eye(16))
+
+    def test_identity_is_linear_size(self):
+        package = DDPackage(32)
+        edge = package.identity()
+        assert package.node_count(edge) == 32
+
+    def test_identity_fixes_states(self, package, np_rng):
+        from ..conftest import random_state
+
+        state = package.from_state_vector(random_state(np_rng, 4))
+        result = package.multiply(package.identity(), state)
+        assert result.node is state.node
+        assert result.weight is state.weight
+
+
+class TestTensorOperators:
+    @pytest.mark.parametrize("target", [0, 1, 2, 3])
+    def test_single_qubit_gate_placement(self, package, target):
+        edge = package.single_qubit_gate(gates.H, target)
+        expected = dense_single(gates.H, target, 4)
+        assert np.allclose(package.to_operator_matrix(edge), expected)
+
+    def test_multi_factor_tensor(self, package):
+        factors = [gates.X, None, gates.Z, None]
+        edge = package.tensor_operator(factors)
+        expected = np.kron(np.kron(np.kron(gates.X, np.eye(2)), gates.Z), np.eye(2))
+        assert np.allclose(package.to_operator_matrix(edge), expected)
+
+    def test_non_2x2_factor_rejected(self, package):
+        with pytest.raises(ValueError):
+            package.tensor_operator([np.eye(4), None, None, None])
+
+    def test_random_unitary_factors(self, package, np_rng):
+        u1 = random_unitary(np_rng)
+        u2 = random_unitary(np_rng)
+        edge = package.tensor_operator([u1, None, None, u2])
+        expected = np.kron(np.kron(u1, np.eye(4)), u2)
+        assert np.allclose(package.to_operator_matrix(edge), expected)
+
+
+class TestControlledGates:
+    def test_cnot_adjacent(self, package):
+        edge = package.controlled_gate(gates.X, 1, {0: 1})
+        expected = dense_controlled(gates.X, 1, {0: 1}, 4)
+        assert np.allclose(package.to_operator_matrix(edge), expected)
+
+    def test_cnot_reversed_direction(self, package):
+        edge = package.controlled_gate(gates.X, 0, {3: 1})
+        expected = dense_controlled(gates.X, 0, {3: 1}, 4)
+        assert np.allclose(package.to_operator_matrix(edge), expected)
+
+    def test_toffoli(self, package):
+        edge = package.controlled_gate(gates.X, 2, {0: 1, 1: 1})
+        expected = dense_controlled(gates.X, 2, {0: 1, 1: 1}, 4)
+        assert np.allclose(package.to_operator_matrix(edge), expected)
+
+    def test_negative_control(self, package):
+        edge = package.controlled_gate(gates.Z, 2, {1: 0})
+        expected = dense_controlled(gates.Z, 2, {1: 0}, 4)
+        assert np.allclose(package.to_operator_matrix(edge), expected)
+
+    def test_three_controls_mixed_polarity(self, package):
+        controls = {0: 1, 1: 0, 3: 1}
+        edge = package.controlled_gate(gates.H, 2, controls)
+        expected = dense_controlled(gates.H, 2, controls, 4)
+        assert np.allclose(package.to_operator_matrix(edge), expected)
+
+    def test_empty_controls_falls_back_to_single(self, package):
+        a = package.controlled_gate(gates.Y, 1, {})
+        b = package.single_qubit_gate(gates.Y, 1)
+        assert a.node is b.node and a.weight is b.weight
+
+    def test_control_equals_target_rejected(self, package):
+        with pytest.raises(ValueError):
+            package.controlled_gate(gates.X, 1, {1: 1})
+
+    def test_controlled_gate_unitary(self, package, np_rng):
+        u = random_unitary(np_rng)
+        edge = package.controlled_gate(u, 3, {0: 1, 2: 1})
+        dense = package.to_operator_matrix(edge)
+        assert np.allclose(dense @ dense.conj().T, np.eye(16))
+
+
+class TestGateCache:
+    def test_cache_returns_identical_edge(self, package):
+        a = package.gate(gates.H, 0)
+        b = package.gate(gates.H, 0)
+        assert a is b
+
+    def test_cache_distinguishes_targets(self, package):
+        assert package.gate(gates.H, 0) is not package.gate(gates.H, 1)
+
+    def test_cache_distinguishes_numerically_different_matrices(self, package):
+        a = package.gate(gates.rz(0.5), 0)
+        b = package.gate(gates.rz(0.6), 0)
+        assert a is not b
+
+    def test_cached_gates_pinned_against_gc(self, package):
+        edge = package.gate(gates.H, 0)
+        package.garbage_collect(force=True)
+        again = package.gate(gates.H, 0)
+        assert again is edge
+        assert np.allclose(
+            package.to_operator_matrix(again), dense_single(gates.H, 0, 4)
+        )
+
+
+class TestOperatorRoundTrip:
+    def test_random_matrix_round_trip(self, package, np_rng):
+        matrix = np_rng.normal(size=(16, 16)) + 1j * np_rng.normal(size=(16, 16))
+        edge = package.from_operator_matrix(matrix)
+        assert np.allclose(package.to_operator_matrix(edge), matrix)
+
+    def test_non_square_rejected(self, package):
+        with pytest.raises(ValueError):
+            package.from_operator_matrix(np.ones((4, 8)))
+
+    def test_non_power_of_two_rejected(self, package):
+        with pytest.raises(ValueError):
+            package.from_operator_matrix(np.ones((6, 6)))
+
+    def test_sparse_matrix_compact(self, package):
+        matrix = np.zeros((16, 16), dtype=complex)
+        matrix[0, 0] = 1.0
+        edge = package.from_operator_matrix(matrix)
+        assert package.node_count(edge) == 4
+
+
+class TestAdjoint:
+    def test_adjoint_matches_dense(self, package, np_rng):
+        matrix = np_rng.normal(size=(16, 16)) + 1j * np_rng.normal(size=(16, 16))
+        edge = package.from_operator_matrix(matrix)
+        adjoint = package.conjugate_transpose(edge)
+        assert np.allclose(package.to_operator_matrix(adjoint), matrix.conj().T)
+
+    def test_adjoint_involution(self, package, np_rng):
+        matrix = np_rng.normal(size=(16, 16)) + 1j * np_rng.normal(size=(16, 16))
+        edge = package.from_operator_matrix(matrix)
+        twice = package.conjugate_transpose(package.conjugate_transpose(edge))
+        assert np.allclose(package.to_operator_matrix(twice), matrix)
+
+    def test_unitary_adjoint_is_inverse(self, package):
+        h_edge = package.gate(gates.H, 1)
+        adjoint = package.conjugate_transpose(h_edge)
+        product = package.multiply_matrices(adjoint, h_edge)
+        assert np.allclose(package.to_operator_matrix(product), np.eye(16))

@@ -1,0 +1,125 @@
+"""Tests for DD measurement: probabilities, collapse, sampling."""
+
+import math
+import random
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.circuits import gates
+from repro.dd import DDPackage
+
+from ..conftest import random_state
+
+SQRT2_INV = 1.0 / math.sqrt(2.0)
+
+
+def ghz_edge(package):
+    state = package.zero_state()
+    state = package.multiply(package.gate(gates.H, 0), state)
+    for qubit in range(package.num_qubits - 1):
+        state = package.multiply(package.gate(gates.X, qubit + 1, {qubit: 1}), state)
+    return state
+
+
+class TestProbabilityOfOne:
+    def test_basis_state(self, package):
+        edge = package.basis_state([1, 0, 1, 0])
+        assert package.probability_of_one(edge, 0) == pytest.approx(1.0)
+        assert package.probability_of_one(edge, 1) == pytest.approx(0.0)
+        assert package.probability_of_one(edge, 2) == pytest.approx(1.0)
+
+    def test_ghz_marginals_are_half(self, package):
+        edge = ghz_edge(package)
+        for qubit in range(4):
+            assert package.probability_of_one(edge, qubit) == pytest.approx(0.5)
+
+    def test_matches_dense_computation(self, package, np_rng):
+        vector = random_state(np_rng, 4)
+        edge = package.from_state_vector(vector)
+        for qubit in range(4):
+            expected = sum(
+                abs(vector[i]) ** 2 for i in range(16) if (i >> (3 - qubit)) & 1
+            )
+            assert package.probability_of_one(edge, qubit) == pytest.approx(expected)
+
+    def test_unnormalised_state_uses_relative_probability(self, package, np_rng):
+        vector = random_state(np_rng, 4)
+        edge = package.scale(package.from_state_vector(vector), 3.0)
+        expected = sum(abs(vector[i]) ** 2 for i in range(16) if (i >> 3) & 1)
+        assert package.probability_of_one(edge, 0) == pytest.approx(expected)
+
+    def test_zero_vector_rejected(self, package):
+        with pytest.raises(ValueError):
+            package.probability_of_one(package.zero_edge, 0)
+
+
+class TestMeasureQubit:
+    def test_deterministic_outcome(self, package, rng):
+        edge = package.basis_state([1, 0, 0, 0])
+        outcome, post, probability = package.measure_qubit(edge, 0, rng)
+        assert outcome == 1
+        assert probability == pytest.approx(1.0)
+        assert np.allclose(
+            package.to_state_vector(post), package.to_state_vector(edge)
+        )
+
+    def test_collapse_ghz(self, package):
+        edge = ghz_edge(package)
+        rng = random.Random(3)
+        outcome, post, probability = package.measure_qubit(edge, 0, rng)
+        assert probability == pytest.approx(0.5)
+        vector = package.to_state_vector(post)
+        expected = np.zeros(16, dtype=complex)
+        expected[0b1111 if outcome else 0] = 1.0
+        assert np.allclose(vector, expected)
+
+    def test_post_state_normalised(self, package, np_rng, rng):
+        edge = package.from_state_vector(random_state(np_rng, 4))
+        _, post, _ = package.measure_qubit(edge, 2, rng)
+        assert package.squared_norm(post) == pytest.approx(1.0)
+
+    def test_no_collapse_option(self, package, rng):
+        edge = ghz_edge(package)
+        _, post, _ = package.measure_qubit(edge, 0, rng, collapse=False)
+        assert post is edge
+
+    def test_outcome_statistics(self, package):
+        # Measuring q0 of (sqrt(1/4)|0> + sqrt(3/4)|1>) x |000>.
+        edge = package.product_state([(0.5, math.sqrt(0.75)), (1, 0), (1, 0), (1, 0)])
+        rng = random.Random(99)
+        ones = sum(
+            package.measure_qubit(edge, 0, rng)[0] for _ in range(2000)
+        )
+        assert ones / 2000 == pytest.approx(0.75, abs=0.04)
+
+
+class TestSampling:
+    def test_sample_basis_state_format(self, package, rng):
+        edge = package.basis_state([1, 0, 1, 1])
+        assert package.sample_basis_state(edge, rng) == "1011"
+
+    def test_sample_counts_total(self, package, rng):
+        edge = ghz_edge(package)
+        counts = package.sample_counts(edge, 500, rng)
+        assert sum(counts.values()) == 500
+        assert set(counts) <= {"0000", "1111"}
+
+    def test_sampling_distribution_matches_amplitudes(self, np_rng):
+        package = DDPackage(3)
+        vector = random_state(np_rng, 3)
+        edge = package.from_state_vector(vector)
+        rng = random.Random(7)
+        counts = Counter()
+        shots = 20000
+        counts.update(package.sample_counts(edge, shots, rng))
+        for index in range(8):
+            key = format(index, "03b")
+            expected = abs(vector[index]) ** 2
+            assert counts[key] / shots == pytest.approx(expected, abs=0.02)
+
+    def test_sampling_never_returns_zero_amplitude_states(self, package, rng):
+        edge = package.basis_state([0, 1, 0, 1])
+        counts = package.sample_counts(edge, 200, rng)
+        assert counts == {"0101": 200}

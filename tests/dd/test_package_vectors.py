@@ -1,0 +1,168 @@
+"""Tests for vector-DD construction, normalisation, and conversion."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dd import DDPackage
+
+from ..conftest import random_state
+
+SQRT2_INV = 1.0 / math.sqrt(2.0)
+
+
+class TestBasisStates:
+    def test_zero_state_amplitudes(self, package):
+        edge = package.zero_state()
+        vector = package.to_state_vector(edge)
+        expected = np.zeros(16)
+        expected[0] = 1.0
+        assert np.allclose(vector, expected)
+
+    def test_zero_state_is_linear_size(self):
+        package = DDPackage(40)
+        edge = package.zero_state()
+        assert package.node_count(edge) == 40
+
+    def test_basis_state_indexing_msb_first(self, package):
+        # bits[0] is qubit 0, the most significant bit of the index.
+        edge = package.basis_state([1, 0, 1, 0])
+        vector = package.to_state_vector(edge)
+        assert vector[0b1010] == pytest.approx(1.0)
+        assert np.sum(np.abs(vector) ** 2) == pytest.approx(1.0)
+
+    def test_basis_states_share_structure(self, package):
+        a = package.basis_state([0, 0, 0, 0])
+        b = package.basis_state([1, 0, 0, 0])
+        # The sub-DD below the top level is the same |000> chain.
+        assert a.node.edges[0].node is b.node.edges[1].node
+
+
+class TestProductStates:
+    def test_uniform_superposition(self, package):
+        plus = (SQRT2_INV, SQRT2_INV)
+        edge = package.product_state([plus] * 4)
+        vector = package.to_state_vector(edge)
+        assert np.allclose(vector, np.full(16, 0.25))
+
+    def test_product_state_single_node_per_level(self, package):
+        edge = package.product_state([(0.6, 0.8), (SQRT2_INV, SQRT2_INV), (1, 0), (0, 1)])
+        assert package.node_count(edge) == 4
+
+    def test_product_state_matches_kron(self, package):
+        states = [(0.6, 0.8), (SQRT2_INV, -SQRT2_INV), (0.8j, 0.6), (1, 0)]
+        edge = package.product_state(states)
+        expected = np.array([1.0], dtype=complex)
+        for alpha, beta in states:
+            expected = np.kron(expected, np.array([alpha, beta], dtype=complex))
+        assert np.allclose(package.to_state_vector(edge), expected)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("num_qubits", [1, 2, 3, 5])
+    def test_random_state_round_trip(self, np_rng, num_qubits):
+        package = DDPackage(num_qubits)
+        vector = random_state(np_rng, num_qubits)
+        edge = package.from_state_vector(vector)
+        assert np.allclose(package.to_state_vector(edge, num_qubits), vector)
+
+    def test_unnormalised_vector_round_trip(self, package):
+        vector = np.arange(1, 17, dtype=complex)
+        edge = package.from_state_vector(vector)
+        assert np.allclose(package.to_state_vector(edge), vector)
+
+    def test_sparse_vector_produces_zero_stubs(self, package):
+        vector = np.zeros(16, dtype=complex)
+        vector[3] = 1.0
+        edge = package.from_state_vector(vector)
+        assert package.node_count(edge) == 4
+        assert np.allclose(package.to_state_vector(edge), vector)
+
+    def test_non_power_of_two_rejected(self, package):
+        with pytest.raises(ValueError):
+            package.from_state_vector(np.ones(6))
+
+
+class TestCanonicity:
+    def test_same_vector_gives_identical_root(self, package, np_rng):
+        vector = random_state(np_rng, 4)
+        a = package.from_state_vector(vector)
+        b = package.from_state_vector(vector)
+        assert a.node is b.node
+        assert a.weight is b.weight
+
+    def test_scalar_multiples_share_node(self, package, np_rng):
+        vector = random_state(np_rng, 4)
+        a = package.from_state_vector(vector)
+        b = package.from_state_vector(vector * (0.5 - 0.25j))
+        assert a.node is b.node
+        assert a.weight is not b.weight
+
+    def test_root_weight_magnitude_is_norm(self, package, np_rng):
+        vector = 3.0 * random_state(np_rng, 4)
+        edge = package.from_state_vector(vector)
+        assert edge.weight.magnitude() == pytest.approx(3.0)
+
+    def test_normalisation_invariant_all_nodes(self, package, np_rng):
+        """Every node's outgoing weights satisfy |w0|^2 + |w1|^2 == 1."""
+        edge = package.from_state_vector(random_state(np_rng, 4))
+        seen = set()
+
+        def walk(node):
+            if node.is_terminal or id(node) in seen:
+                return
+            seen.add(id(node))
+            total = sum(child.weight.magnitude_squared() for child in node.edges)
+            assert total == pytest.approx(1.0, abs=1e-9)
+            for child in node.edges:
+                walk(child.node)
+
+        walk(edge.node)
+
+    def test_first_nonzero_child_weight_real_positive(self, package, np_rng):
+        edge = package.from_state_vector(random_state(np_rng, 4))
+        seen = set()
+
+        def walk(node):
+            if node.is_terminal or id(node) in seen:
+                return
+            seen.add(id(node))
+            for child in node.edges:
+                if not child.weight.is_zero():
+                    assert child.weight.imag == pytest.approx(0.0, abs=1e-9)
+                    assert child.weight.real > 0.0
+                    break
+            for child in node.edges:
+                walk(child.node)
+
+        walk(edge.node)
+
+
+class TestAmplitudes:
+    def test_get_amplitude_matches_vector(self, package, np_rng):
+        vector = random_state(np_rng, 4)
+        edge = package.from_state_vector(vector)
+        for index in range(16):
+            bits = [(index >> (3 - q)) & 1 for q in range(4)]
+            assert package.get_amplitude(edge, bits) == pytest.approx(vector[index])
+
+    def test_zero_amplitude_path(self, package):
+        edge = package.basis_state([0, 0, 0, 0])
+        assert package.get_amplitude(edge, [1, 0, 0, 0]) == 0.0
+
+
+class TestNorms:
+    def test_squared_norm_constant_time_read(self, package, np_rng):
+        vector = 2.0 * random_state(np_rng, 4)
+        edge = package.from_state_vector(vector)
+        assert package.squared_norm(edge) == pytest.approx(4.0)
+
+    def test_normalize(self, package, np_rng):
+        vector = 5.0 * random_state(np_rng, 4)
+        edge = package.normalize(package.from_state_vector(vector))
+        assert package.squared_norm(edge) == pytest.approx(1.0)
+
+    def test_normalize_zero_rejected(self, package):
+        with pytest.raises(ValueError):
+            package.normalize(package.zero_edge)

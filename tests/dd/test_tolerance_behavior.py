@@ -1,0 +1,91 @@
+"""Tests for tolerance-dependent behaviour of the DD package.
+
+Documents (and locks in) how the canonicalisation tolerance shapes what the
+engine considers "equal": near-identical states merge, sub-tolerance gate
+angles vanish, and a custom tolerance changes both.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import gates
+from repro.dd import DDPackage
+
+
+class TestToleranceMerging:
+    def test_states_within_tolerance_share_nodes(self):
+        package = DDPackage(2, tolerance=1e-6)
+        a = package.product_state([(1, 0), (0.6, 0.8)])
+        b = package.product_state([(1, 0), (0.6 + 1e-9, 0.8 - 1e-9)])
+        assert a.node is b.node
+
+    def test_states_beyond_tolerance_stay_distinct(self):
+        package = DDPackage(2, tolerance=1e-12)
+        a = package.product_state([(1, 0), (0.6, 0.8)])
+        b = package.product_state([(1, 0), (0.6 + 1e-6, 0.8)])
+        assert a.node is not b.node
+
+    def test_sub_tolerance_rotation_is_identity(self):
+        """A rotation smaller than the tolerance produces the identity DD —
+        the fundamental floor on angle resolution (relevant to deep QFTs)."""
+        package = DDPackage(1, tolerance=1e-6)
+        tiny = package.gate(gates.rz(1e-9), 0)
+        identity = package.identity(1)
+        assert tiny.node is identity.node
+
+    def test_above_tolerance_rotation_is_not_identity(self):
+        package = DDPackage(1, tolerance=1e-12)
+        small = package.gate(gates.rz(1e-6), 0)
+        identity = package.identity(1)
+        assert small.node is not identity.node
+
+    def test_custom_tolerance_propagates(self):
+        package = DDPackage(2, tolerance=1e-4)
+        assert package.complex_table.tolerance == 1e-4
+
+
+class TestCompactionUnderInterference:
+    def test_hadamard_roundtrip_recompacts(self):
+        """H...H = I must return to the single-chain DD despite the
+        intermediate superposition (tests add-cancellation + tolerance)."""
+        package = DDPackage(6)
+        state = package.zero_state()
+        for _ in range(2):
+            for qubit in range(6):
+                state = package.multiply(package.gate(gates.H, qubit), state)
+        assert package.node_count(state) == 6
+        assert package.get_amplitude(state, [0] * 6) == pytest.approx(1.0)
+
+    def test_qft_iqft_roundtrip_recompacts(self):
+        import random
+
+        from repro.circuits import QuantumCircuit
+        from repro.circuits.library import inverse_qft, qft
+        from repro.simulators import DDBackend, execute_circuit
+
+        circuit = QuantumCircuit(6)
+        circuit.x(1).x(4)
+        circuit.extend(qft(6))
+        circuit.extend(inverse_qft(6))
+        backend = DDBackend(6)
+        execute_circuit(backend, circuit, random.Random(0))
+        assert backend.current_nodes() == 6
+        assert backend.probability_of_basis([0, 1, 0, 0, 1, 0]) == pytest.approx(1.0)
+
+    def test_destructive_interference_produces_zero_stubs(self):
+        """|+>|+> -> CZ -> H(x)H concentrates amplitude; the DD must prune
+        the cancelled branches to stubs rather than keep epsilon weights."""
+        package = DDPackage(2)
+        state = package.zero_state()
+        for qubit in (0, 1):
+            state = package.multiply(package.gate(gates.H, qubit), state)
+        state = package.multiply(package.gate(gates.X, 1, {0: 1}), state)
+        state = package.multiply(package.gate(gates.X, 1, {0: 1}), state)
+        for qubit in (0, 1):
+            state = package.multiply(package.gate(gates.H, qubit), state)
+        # CX twice = identity; HH...HH = identity: back to |00> exactly.
+        vector = package.to_state_vector(state, 2)
+        assert vector[0] == pytest.approx(1.0)
+        assert package.node_count(state) == 2

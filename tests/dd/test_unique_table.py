@@ -1,0 +1,135 @@
+"""Unit tests for the unique table: hash-consing, refcounts, collection."""
+
+import pytest
+
+from repro.dd.complex_table import ComplexTable
+from repro.dd.edge import Edge
+from repro.dd.node import TERMINAL_VAR, Node
+from repro.dd.unique_table import UniqueTable
+
+
+@pytest.fixture
+def setup():
+    table = ComplexTable()
+    unique = UniqueTable()
+    terminal = Node(TERMINAL_VAR, ())
+    one = Edge(terminal, table.one)
+    zero = Edge(terminal, table.zero)
+    return table, unique, terminal, one, zero
+
+
+class TestHashConsing:
+    def test_identical_lookups_return_same_node(self, setup):
+        _, unique, _, one, zero = setup
+        a = unique.lookup(0, (one, zero))
+        b = unique.lookup(0, (one, zero))
+        assert a is b
+
+    def test_different_var_gives_different_node(self, setup):
+        _, unique, _, one, zero = setup
+        a = unique.lookup(0, (one, zero))
+        b = unique.lookup(1, (one, zero))
+        assert a is not b
+
+    def test_different_children_give_different_node(self, setup):
+        _, unique, _, one, zero = setup
+        a = unique.lookup(0, (one, zero))
+        b = unique.lookup(0, (zero, one))
+        assert a is not b
+
+    def test_hit_statistics(self, setup):
+        _, unique, _, one, zero = setup
+        unique.lookup(0, (one, zero))
+        assert unique.misses == 1
+        unique.lookup(0, (one, zero))
+        assert unique.hits == 1
+
+    def test_len(self, setup):
+        _, unique, _, one, zero = setup
+        unique.lookup(0, (one, zero))
+        unique.lookup(1, (one, zero))
+        assert len(unique) == 2
+
+
+class TestReferenceCounting:
+    def test_inc_ref_pins_transitively(self, setup):
+        _, unique, _, one, zero = setup
+        child = unique.lookup(1, (one, zero))
+        child_edge = Edge(child, ComplexTable().one)
+        parent = unique.lookup(0, (child_edge, child_edge))
+        unique.inc_ref(Edge(parent, ComplexTable().one))
+        assert parent.ref == 1
+        assert child.ref == 2  # referenced through both parent edges
+
+    def test_dec_ref_releases_transitively(self, setup):
+        table, unique, _, one, zero = setup
+        child = unique.lookup(1, (one, zero))
+        child_edge = Edge(child, table.one)
+        parent = unique.lookup(0, (child_edge, child_edge))
+        root = Edge(parent, table.one)
+        unique.inc_ref(root)
+        unique.dec_ref(root)
+        assert parent.ref == 0
+        assert child.ref == 0
+
+    def test_second_inc_ref_does_not_reincrement_children(self, setup):
+        table, unique, _, one, zero = setup
+        child = unique.lookup(1, (one, zero))
+        child_edge = Edge(child, table.one)
+        parent = unique.lookup(0, (child_edge, zero))
+        root = Edge(parent, table.one)
+        unique.inc_ref(root)
+        unique.inc_ref(root)
+        assert parent.ref == 2
+        assert child.ref == 1
+
+    def test_terminal_edge_ref_is_noop(self, setup):
+        _, unique, _, one, _ = setup
+        unique.inc_ref(one)
+        unique.dec_ref(one)  # must not raise
+
+    def test_dec_ref_underflow_raises(self, setup):
+        table, unique, _, one, zero = setup
+        node = unique.lookup(0, (one, zero))
+        with pytest.raises(RuntimeError):
+            unique.dec_ref(Edge(node, table.one))
+
+
+class TestGarbageCollection:
+    def test_collects_unreferenced_nodes(self, setup):
+        _, unique, _, one, zero = setup
+        unique.lookup(0, (one, zero))
+        unique.lookup(1, (one, zero))
+        collected = unique.garbage_collect()
+        assert collected == 2
+        assert len(unique) == 0
+
+    def test_referenced_nodes_survive(self, setup):
+        table, unique, _, one, zero = setup
+        keep = unique.lookup(0, (one, zero))
+        unique.lookup(1, (one, zero))
+        unique.inc_ref(Edge(keep, table.one))
+        unique.garbage_collect()
+        assert len(unique) == 1
+        assert unique.lookup(0, (one, zero)) is keep
+
+    def test_should_collect_threshold(self, setup):
+        _, unique, _, one, zero = setup
+        unique.gc_limit = 1
+        assert not unique.should_collect()
+        unique.lookup(0, (one, zero))
+        unique.lookup(1, (one, zero))
+        assert unique.should_collect()
+
+    def test_adaptive_limit_grows_on_ineffective_collection(self, setup):
+        table, unique, _, one, zero = setup
+        node = unique.lookup(0, (one, zero))
+        unique.inc_ref(Edge(node, table.one))
+        limit = unique.gc_limit
+        unique.garbage_collect()  # nothing collectable
+        assert unique.gc_limit == 2 * limit
+
+    def test_stats_shape(self, setup):
+        _, unique, _, _, _ = setup
+        stats = unique.stats()
+        assert set(stats) == {"entries", "hits", "misses", "collections", "gc_limit"}

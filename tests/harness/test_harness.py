@@ -1,0 +1,98 @@
+"""Tests for the benchmark harness: timed runs, table reports, rendering."""
+
+import pytest
+
+from repro.circuits.library import ghz
+from repro.harness import (
+    TimedRun,
+    format_cell,
+    render_table,
+    run_table1a,
+    run_table1c,
+    timed_stochastic_run,
+)
+from repro.noise import NoiseModel
+
+
+class TestFormatting:
+    def test_format_cell_values(self):
+        assert format_cell(0.1234, 60) == "0.12"
+        assert format_cell(123.456, 60) == "123.5"
+        assert format_cell(None, 60) == ">60"
+        assert format_cell(None, None) == "n/a"
+
+    def test_render_table_alignment(self):
+        text = render_table("Title", ["n", "t [s]"], [["4", "0.10"], ["16", "12.00"]])
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "n" in lines[1] and "t [s]" in lines[1]
+        assert len(lines) == 5
+        # All body rows equal width.
+        assert len(lines[3]) == len(lines[4])
+
+
+class TestTimedRun:
+    def test_completes_within_budget(self):
+        run = timed_stochastic_run(
+            ghz(3), "dd", trajectories=5, noise_model=NoiseModel.noiseless(), timeout=30
+        )
+        assert run.completed
+        assert run.seconds is not None and run.seconds < 30
+        assert run.result.completed_trajectories == 5
+
+    def test_timeout_marks_incomplete(self):
+        run = timed_stochastic_run(
+            ghz(12), "dd", trajectories=10**6, timeout=0.2
+        )
+        assert not run.completed
+        assert run.seconds is None
+        assert run.result is not None and run.result.timed_out
+
+    def test_infeasible_statevector_width(self):
+        run = timed_stochastic_run(ghz(64), "statevector", trajectories=1)
+        assert run.infeasible
+        assert not run.completed
+
+
+class TestTableReports:
+    def test_table1a_small(self):
+        report = run_table1a(qubit_range=(2, 3), trajectories=3, timeout=30.0)
+        assert len(report.rows) == 2
+        rendered = report.render()
+        assert "Table Ia" in rendered
+        assert "statevector [s]" in rendered
+        for label, runs in report.rows:
+            assert set(runs) == {"statevector", "dd"}
+            assert runs["dd"].completed
+
+    def test_table1a_speedups(self):
+        report = run_table1a(qubit_range=(2,), trajectories=3, timeout=30.0)
+        ratios = report.speedups()
+        assert "2" in ratios
+        assert ratios["2"] is None or ratios["2"] > 0
+
+    def test_monotone_sweep_skips_after_timeout(self):
+        report = run_table1a(
+            qubit_range=(10, 12), trajectories=10**6, timeout=0.1,
+            backends=("dd",),
+        )
+        first = report.rows[0][1]["dd"]
+        second = report.rows[1][1]["dd"]
+        assert not first.completed
+        # The larger case was skipped without running (no result object).
+        assert second.result is None
+
+    def test_table1c_runs_selected_rows(self):
+        report = run_table1c(
+            names=("seca",), trajectories=2, timeout=60.0, backends=("dd",)
+        )
+        assert len(report.rows) == 1
+        label, runs = report.rows[0]
+        assert label == "seca (11)"
+        assert runs["dd"].completed
+
+    def test_render_includes_timeout_marker(self):
+        report = run_table1a(
+            qubit_range=(12,), trajectories=10**6, timeout=0.1, backends=("dd",)
+        )
+        assert ">0.1" in report.render()

@@ -1,0 +1,41 @@
+"""Tests for the Markdown experiment-report generator."""
+
+from repro.harness import report_markdown, run_table1a, table_markdown
+
+
+def small_report():
+    return run_table1a(qubit_range=(2, 3), trajectories=2, timeout=30.0)
+
+
+class TestTableMarkdown:
+    def test_contains_header_and_rows(self):
+        text = table_markdown(small_report())
+        assert text.startswith("### Table Ia")
+        assert "| n |" in text
+        assert "| 2 |" in text
+        assert "| 3 |" in text
+
+    def test_speedup_column(self):
+        text = table_markdown(small_report())
+        header_line = [line for line in text.splitlines() if line.startswith("| n")][0]
+        assert "speedup" in header_line
+
+    def test_markdown_table_well_formed(self):
+        text = table_markdown(small_report())
+        table_lines = [line for line in text.splitlines() if line.startswith("|")]
+        column_counts = {line.count("|") for line in table_lines}
+        assert len(column_counts) == 1  # consistent column count
+
+
+class TestReportMarkdown:
+    def test_full_document(self):
+        text = report_markdown([small_report()], title="Smoke", notes="a note")
+        assert text.startswith("# Smoke")
+        assert "a note" in text
+        assert "Python" in text
+        assert "### Table Ia" in text
+
+    def test_multiple_reports(self):
+        report = small_report()
+        text = report_markdown([report, report])
+        assert text.count("### Table Ia") == 2

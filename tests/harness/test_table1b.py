@@ -1,0 +1,41 @@
+"""Tests for the Table Ib (QFT) harness sweep."""
+
+import pytest
+
+from repro.harness import run_table1b
+from repro.noise import NoiseModel
+
+
+class TestTable1b:
+    def test_small_sweep_completes(self):
+        report = run_table1b(qubit_range=(3, 4), trajectories=3, timeout=30.0)
+        assert [label for label, _ in report.rows] == ["3", "4"]
+        for _, runs in report.rows:
+            assert runs["dd"].completed
+            assert runs["statevector"].completed
+
+    def test_uses_swap_free_qft(self):
+        """The harness must sweep the swap-free QFT (finding #2): DD peak
+        node counts stay linear."""
+        report = run_table1b(
+            qubit_range=(8,), trajectories=5, timeout=30.0, backends=("dd",)
+        )
+        _, runs = report.rows[0]
+        result = runs["dd"].result
+        assert result.peak_nodes <= 6 * 8 + 16
+
+    def test_custom_noise_model(self):
+        report = run_table1b(
+            qubit_range=(3,),
+            trajectories=3,
+            timeout=30.0,
+            noise_model=NoiseModel.noiseless(),
+            backends=("dd",),
+        )
+        _, runs = report.rows[0]
+        assert runs["dd"].result.errors_fired["depolarizing"] == 0
+
+    def test_render_title(self):
+        report = run_table1b(qubit_range=(3,), trajectories=2, timeout=30.0,
+                             backends=("dd",))
+        assert "Table Ib" in report.render()

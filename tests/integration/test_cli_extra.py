@@ -1,0 +1,70 @@
+"""Integration tests for the extended CLI commands (draw / equiv / fuse)."""
+
+import pytest
+
+from repro.cli import main
+from repro.circuits import parse_qasm
+from repro.circuits.library import ghz
+
+
+class TestDrawCommand:
+    def test_draw_ghz(self, capsys):
+        assert main(["draw", "ghz:3"]) == 0
+        output = capsys.readouterr().out
+        assert "[H]" in output
+        assert output.count("\n") >= 3
+
+    def test_draw_qasm_file(self, capsys, tmp_path):
+        path = tmp_path / "c.qasm"
+        path.write_text(ghz(2).to_qasm(), encoding="utf-8")
+        main(["draw", str(path)])
+        assert "●" in capsys.readouterr().out
+
+
+class TestEquivCommand:
+    def test_equivalent_exit_zero(self, capsys):
+        assert main(["equiv", "ghz:3", "ghz:3"]) == 0
+        assert "EQUIVALENT" in capsys.readouterr().out
+
+    def test_not_equivalent_exit_one(self, capsys):
+        assert main(["equiv", "ghz:3", "qft:3"]) == 1
+        assert "NOT equivalent" in capsys.readouterr().out
+
+    def test_strict_mode(self, capsys, tmp_path):
+        a = tmp_path / "a.qasm"
+        b = tmp_path / "b.qasm"
+        a.write_text(
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[1];\nrz(pi) q[0];\n',
+            encoding="utf-8",
+        )
+        b.write_text(
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[1];\nz q[0];\n',
+            encoding="utf-8",
+        )
+        assert main(["equiv", str(a), str(b)]) == 0
+        assert main(["equiv", str(a), str(b), "--strict"]) == 1
+
+
+class TestFuseCommand:
+    def test_fuse_to_stdout(self, capsys, tmp_path):
+        path = tmp_path / "c.qasm"
+        source = (
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[1];\n'
+            "h q[0]; t q[0]; h q[0];\n"
+        )
+        path.write_text(source, encoding="utf-8")
+        assert main(["fuse", str(path)]) == 0
+        output = capsys.readouterr().out
+        fused = parse_qasm(output)
+        assert fused.num_gates() == 1
+
+    def test_fuse_to_file(self, capsys, tmp_path):
+        source_path = tmp_path / "c.qasm"
+        out_path = tmp_path / "fused.qasm"
+        source_path.write_text(
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[1];\nh q[0]; s q[0];\n',
+            encoding="utf-8",
+        )
+        main(["fuse", str(source_path), "-o", str(out_path)])
+        assert "2 -> 1 gates" in capsys.readouterr().out
+        assert parse_qasm(out_path.read_text(encoding="utf-8")).num_gates() == 1

@@ -1,0 +1,139 @@
+"""Integration: stochastic Monte-Carlo estimates converge to the exact
+density-matrix oracle within Theorem 1's tolerance.
+
+This is the central correctness claim of the paper's method (Section III):
+the empirical average over stochastic trajectories approximates the true
+ensemble property.  We run moderate M and assert agreement within the
+Hoeffding half-width plus the oracle's own exactness.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.circuits.library import ghz, qft, w_state
+from repro.noise import NoiseModel, exact_channel_factory
+from repro.simulators import (
+    DensityMatrixSimulator,
+    StatevectorBackend,
+    execute_circuit,
+)
+from repro.stochastic import (
+    BasisProbability,
+    ExpectationZ,
+    IdealFidelity,
+    simulate_stochastic,
+)
+
+#: Exaggerated noise so effects dominate Monte-Carlo noise at moderate M.
+#: The exact Kraus unravelling is used so the stochastic average equals the
+#: oracle's channel *exactly* (the default "event" damping agrees only to
+#: second order in the damping rate).
+NOISE = NoiseModel.paper_defaults(damping_mode="exact").scaled(25)
+M = 4000
+#: Hoeffding 99.9% half-width at M samples — the assertion tolerance.
+TOLERANCE = float(np.sqrt(np.log(2 / 0.001) / (2 * M)))
+
+
+def exact_oracle(circuit):
+    oracle = DensityMatrixSimulator(circuit.num_qubits)
+    oracle.run_circuit(circuit, exact_channel_factory(NOISE))
+    return oracle
+
+
+def ideal_state(circuit):
+    backend = StatevectorBackend(circuit.num_qubits)
+    execute_circuit(backend, circuit, random.Random(0))
+    return backend.statevector()
+
+
+@pytest.mark.parametrize("make_circuit", [lambda: ghz(3), lambda: qft(3), lambda: w_state(3)])
+def test_basis_probabilities_converge(make_circuit):
+    circuit = make_circuit()
+    n = circuit.num_qubits
+    labels = ["0" * n, "1" * n, "01" + "0" * (n - 2)]
+    result = simulate_stochastic(
+        circuit,
+        NOISE,
+        [BasisProbability(bits) for bits in labels],
+        trajectories=M,
+        seed=17,
+    )
+    oracle = exact_oracle(circuit)
+    for bits in labels:
+        exact = oracle.probability_of_basis([int(b) for b in bits])
+        estimate = result.mean(f"P(|{bits}>)")
+        assert estimate == pytest.approx(exact, abs=TOLERANCE), bits
+
+
+def test_ideal_fidelity_converges():
+    circuit = ghz(3)
+    result = simulate_stochastic(
+        circuit, NOISE, [IdealFidelity()], trajectories=M, seed=23
+    )
+    oracle = exact_oracle(circuit)
+    exact = oracle.fidelity_with_pure(ideal_state(circuit))
+    assert result.mean("F(ideal)") == pytest.approx(exact, abs=TOLERANCE)
+
+
+def test_expectation_z_converges():
+    circuit = QuantumCircuit(2)
+    circuit.h(0).cx(0, 1).rx(0.7, 0)
+    result = simulate_stochastic(
+        circuit, NOISE, [ExpectationZ(0), ExpectationZ(1)], trajectories=M, seed=29
+    )
+    oracle = exact_oracle(circuit)
+    for qubit in range(2):
+        # <Z> has range 2, so the Hoeffding width doubles.
+        assert result.mean(f"<Z_{qubit}>") == pytest.approx(
+            oracle.expectation_z(qubit), abs=2 * TOLERANCE
+        )
+
+
+def test_sampled_outcome_histogram_converges():
+    """The per-trajectory samples approximate the oracle's diagonal."""
+    circuit = ghz(3)
+    result = simulate_stochastic(
+        circuit, NOISE, [], trajectories=M, seed=31, sample_shots=1
+    )
+    oracle = exact_oracle(circuit)
+    exact_probabilities = oracle.probabilities()
+    distribution = result.outcome_distribution()
+    for index in range(8):
+        key = format(index, "03b")
+        assert distribution.get(key, 0.0) == pytest.approx(
+            exact_probabilities[index], abs=TOLERANCE * 1.5
+        )
+
+
+def test_damping_dominates_without_unitaries():
+    """Idle damping only: P(1) after one noisy identity on |1> is 1 - p."""
+    circuit = QuantumCircuit(1)
+    circuit.x(0)
+    circuit.i(0)
+    noise = NoiseModel.uniform(amplitude_damping=0.2)
+    result = simulate_stochastic(
+        circuit, noise, [BasisProbability("1")], trajectories=M, seed=37
+    )
+    # Two noisy slots (the x and the id gates) each damp with p = 0.2.
+    expected = (1 - 0.2) ** 2
+    assert result.mean("P(|1>)") == pytest.approx(expected, abs=TOLERANCE)
+
+
+def test_convergence_improves_with_m():
+    """Error roughly halves when M quadruples (Monte-Carlo scaling)."""
+    circuit = ghz(2)
+    oracle = exact_oracle(circuit)
+    exact = oracle.probability_of_basis([0, 0])
+
+    def error_at(m, seed):
+        result = simulate_stochastic(
+            circuit, NOISE, [BasisProbability("00")], trajectories=m, seed=seed
+        )
+        return abs(result.mean("P(|00>)") - exact)
+
+    small_errors = np.mean([error_at(100, seed) for seed in range(8)])
+    large_errors = np.mean([error_at(1600, seed) for seed in range(8)])
+    assert large_errors < small_errors

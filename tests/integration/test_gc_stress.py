@@ -1,0 +1,83 @@
+"""Stress: correctness under aggressive garbage collection.
+
+Forces the unique tables to collect constantly (tiny adaptive limit) while
+running noisy trajectories — any node the GC wrongly drops, or any stale
+compute-table entry surviving a collection, shows up as a wrong state.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.circuits.library import ghz, qft, random_circuit
+from repro.dd import DDPackage
+from repro.noise import NoiseModel, StochasticErrorApplier
+from repro.simulators import DDBackend, StatevectorBackend, execute_circuit
+
+
+def run_with_gc_pressure(circuit, seed, gc_limit=8):
+    package = DDPackage(circuit.num_qubits)
+    package.vector_table.gc_limit = gc_limit
+    package.matrix_table.gc_limit = gc_limit
+    backend = DDBackend(circuit.num_qubits, package=package)
+    rng = random.Random(seed)
+    applier = StochasticErrorApplier(NoiseModel.paper_defaults().scaled(20), rng)
+    result = execute_circuit(backend, circuit, rng, error_hook=applier)
+    return backend, result, package
+
+
+class TestGcStress:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_noisy_trajectory_matches_statevector(self, seed):
+        circuit = random_circuit(5, 12, seed=seed)
+        dd_backend, _, package = run_with_gc_pressure(circuit, seed)
+        assert package.vector_table.collections > 0  # pressure actually applied
+
+        sv_backend = StatevectorBackend(5)
+        rng = random.Random(seed)
+        applier = StochasticErrorApplier(NoiseModel.paper_defaults().scaled(20), rng)
+        execute_circuit(sv_backend, circuit, rng, error_hook=applier)
+        assert np.allclose(
+            dd_backend.statevector(), sv_backend.statevector(), atol=1e-9
+        )
+
+    def test_many_trajectories_reuse_one_pressured_package(self):
+        package = DDPackage(6)
+        package.vector_table.gc_limit = 8
+        backend = DDBackend(6, package=package)
+        circuit = ghz(6)
+        for seed in range(15):
+            rng = random.Random(seed)
+            applier = StochasticErrorApplier(NoiseModel.paper_defaults(), rng)
+            execute_circuit(backend, circuit, rng, error_hook=applier)
+            backend.reset_all()
+        # After reset, the state is exactly |000000>.
+        assert backend.probability_of_basis([0] * 6) == pytest.approx(1.0)
+
+    def test_gate_cache_survives_collections(self):
+        circuit = qft(5, do_swaps=False)
+        backend, _, package = run_with_gc_pressure(circuit, seed=1)
+        # Gate DDs are pinned: re-running must not rebuild them from scratch.
+        cached_before = len(package._gate_cache)
+        backend.reset_all()
+        execute_circuit(backend, circuit, random.Random(2))
+        assert len(package._gate_cache) == cached_before
+
+    def test_table_size_stays_bounded(self):
+        """With constant collection, the unique table cannot grow without
+        bound across trajectories."""
+        package = DDPackage(5)
+        package.vector_table.gc_limit = 16
+        backend = DDBackend(5, package=package)
+        circuit = random_circuit(5, 10, seed=3)
+        sizes = []
+        for seed in range(10):
+            rng = random.Random(seed)
+            applier = StochasticErrorApplier(NoiseModel.paper_defaults(), rng)
+            execute_circuit(backend, circuit, rng, error_hook=applier)
+            backend.reset_all()
+            sizes.append(len(package.vector_table))
+        # Bounded: the last runs are no bigger than a small multiple of the
+        # state size (the adaptive limit may have grown a few doublings).
+        assert sizes[-1] < 4096

@@ -1,0 +1,95 @@
+"""Integration: OpenQASM source -> parse -> both simulators -> same physics."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.circuits import parse_qasm, parse_qasm_file
+from repro.circuits.library import bigadder, multiplier, qft
+from repro.noise import NoiseModel
+from repro.simulators import DDBackend, StatevectorBackend, execute_circuit
+from repro.stochastic import ClassicalOutcome, simulate_stochastic
+
+HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+def test_qasm_adder_runs_stochastically():
+    """A QASM ripple adder produces the right sum in most noisy runs."""
+    source = bigadder(10, a_value=5, b_value=9).to_qasm()
+    circuit = parse_qasm(source)
+    result = simulate_stochastic(
+        circuit,
+        NoiseModel.paper_defaults(),
+        [ClassicalOutcome(14)],
+        trajectories=300,
+        seed=3,
+    )
+    # With the paper's mild error rates the correct result dominates.
+    assert result.mean("P(c=14)") > 0.85
+
+
+def test_qasm_file_round_trip(tmp_path):
+    path = tmp_path / "mult.qasm"
+    path.write_text(multiplier(2, a_value=2, b_value=3).to_qasm(), encoding="utf-8")
+    circuit = parse_qasm_file(str(path))
+    assert circuit.name == "mult"
+    backend = DDBackend(circuit.num_qubits)
+    result = execute_circuit(backend, circuit, random.Random(0))
+    assert result.classical_value() == 6
+
+
+def test_parsed_qft_matches_library_qft():
+    library_circuit = qft(5)
+    parsed = parse_qasm(library_circuit.to_qasm())
+    dd1, dd2 = DDBackend(5), DDBackend(5)
+    execute_circuit(dd1, library_circuit, random.Random(0))
+    execute_circuit(dd2, parsed, random.Random(0))
+    assert np.allclose(dd1.statevector(), dd2.statevector(), atol=1e-12)
+
+
+def test_teleportation_program():
+    """Classic teleportation: mid-circuit measurement + two conditionals."""
+    source = HEADER + """
+    qreg q[3];
+    creg c0[1];
+    creg c1[1];
+    // prepare the payload state on q[0]
+    ry(1.1) q[0];
+    // Bell pair on q[1], q[2]
+    h q[1];
+    cx q[1], q[2];
+    // Bell measurement
+    cx q[0], q[1];
+    h q[0];
+    measure q[0] -> c0[0];
+    measure q[1] -> c1[0];
+    if (c1 == 1) x q[2];
+    if (c0 == 1) z q[2];
+    """
+    import math
+
+    circuit = parse_qasm(source)
+    expected_p1 = math.sin(1.1 / 2) ** 2
+    for seed in range(8):
+        backend = DDBackend(3)
+        execute_circuit(backend, circuit, random.Random(seed))
+        assert backend.probability_of_one(2) == pytest.approx(expected_p1, abs=1e-9)
+
+
+def test_noisy_simulation_of_parsed_circuit_both_backends():
+    source = HEADER + "qreg q[3]; creg c[3];\nh q[0]; cx q[0], q[1]; ccx q[0], q[1], q[2];\nmeasure q -> c;"
+    circuit = parse_qasm(source)
+    noise = NoiseModel.paper_defaults().scaled(20)
+    estimates = {}
+    for backend in ("dd", "statevector"):
+        result = simulate_stochastic(
+            circuit,
+            noise,
+            [ClassicalOutcome(0), ClassicalOutcome(7)],
+            trajectories=150,
+            backend=backend,
+            seed=5,
+        )
+        estimates[backend] = (result.mean("P(c=0)"), result.mean("P(c=7)"))
+    assert estimates["dd"] == pytest.approx(estimates["statevector"], abs=1e-9)

@@ -1,0 +1,87 @@
+"""Integration: empirical validation of Theorem 1's sample-size guarantee.
+
+We repeat the whole estimation experiment R times with independent seeds and
+check that ``max_l |o_hat_l - o_l| <= epsilon`` holds in at least a
+``1 - delta`` fraction of repetitions — the exact statement of Theorem 1.
+The true values come from the exact density-matrix oracle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.library import ghz
+from repro.noise import NoiseModel, exact_channel_factory
+from repro.simulators import DensityMatrixSimulator
+from repro.stochastic import BasisProbability, hoeffding_samples, simulate_stochastic
+
+NOISE = NoiseModel.paper_defaults(damping_mode="exact").scaled(30)
+
+
+def test_theorem1_coverage():
+    circuit = ghz(3)
+    labels = ["000", "111", "010", "100"]
+    properties = [BasisProbability(bits) for bits in labels]
+
+    epsilon = 0.05
+    delta = 0.1
+    m = hoeffding_samples(len(labels), epsilon, delta)
+
+    oracle = DensityMatrixSimulator(3)
+    oracle.run_circuit(circuit, exact_channel_factory(NOISE))
+    truth = {bits: oracle.probability_of_basis([int(b) for b in bits]) for bits in labels}
+
+    repetitions = 10
+    successes = 0
+    for repetition in range(repetitions):
+        result = simulate_stochastic(
+            circuit, NOISE, properties, trajectories=m, seed=1000 + repetition
+        )
+        max_deviation = max(
+            abs(result.mean(f"P(|{bits}>)") - truth[bits]) for bits in labels
+        )
+        if max_deviation <= epsilon:
+            successes += 1
+    # Theorem 1 guarantees success probability >= 1 - delta = 0.9; with the
+    # conservative bound the empirical rate is essentially always 10/10, but
+    # we assert the guaranteed level to keep the test sharp yet stable.
+    assert successes >= int((1 - delta) * repetitions)
+
+
+def test_single_run_unbiasedness():
+    """E|<omega|psi_j>|^2 equals the ensemble value (proof of Theorem 1)."""
+    circuit = ghz(2)
+    oracle = DensityMatrixSimulator(2)
+    oracle.run_circuit(circuit, exact_channel_factory(NOISE))
+    exact = oracle.probability_of_basis([0, 0])
+
+    estimates = [
+        simulate_stochastic(
+            circuit, NOISE, [BasisProbability("00")], trajectories=1, seed=seed
+        ).mean("P(|00>)")
+        for seed in range(600)
+    ]
+    assert np.mean(estimates) == pytest.approx(exact, abs=0.05)
+
+
+def test_sample_size_independent_of_system_size():
+    """Theorem 1's M depends on (L, eps, delta) only — not on qubit count.
+    The *runtime* grows with n, but the statistical budget does not: the
+    same M achieves the same accuracy on a larger register."""
+    epsilon, delta = 0.08, 0.1
+    m = hoeffding_samples(1, epsilon, delta)
+
+    for n in (2, 5):
+        circuit = ghz(n)
+        oracle_noise = NOISE
+        result = simulate_stochastic(
+            circuit,
+            oracle_noise,
+            [BasisProbability("0" * n)],
+            trajectories=m,
+            seed=77,
+        )
+        if n <= 5:
+            oracle = DensityMatrixSimulator(n)
+            oracle.run_circuit(circuit, exact_channel_factory(oracle_noise))
+            exact = oracle.probability_of_basis([0] * n)
+            assert result.mean(f"P(|{'0' * n}>)") == pytest.approx(exact, abs=epsilon)

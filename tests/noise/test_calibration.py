@@ -1,0 +1,88 @@
+"""Tests for calibration-style heterogeneous noise models."""
+
+import math
+
+import pytest
+
+from repro.noise import ErrorRates, NoiseModel
+from repro.noise.calibration import from_calibration_table, heterogeneous_model
+
+
+class TestHeterogeneousModel:
+    def test_every_qubit_has_override(self):
+        model = heterogeneous_model(5, seed=3)
+        rates = {q: model.rates_for("x", q) for q in range(5)}
+        assert len({r.depolarizing for r in rates.values()}) > 1
+
+    def test_deterministic_by_seed(self):
+        a = heterogeneous_model(5, seed=3)
+        b = heterogeneous_model(5, seed=3)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = heterogeneous_model(5, seed=3)
+        b = heterogeneous_model(5, seed=4)
+        assert a != b
+
+    def test_bad_qubit_is_worst(self):
+        model = heterogeneous_model(8, seed=2, worst_qubit_factor=10.0)
+        bad = 2 % 8
+        bad_rate = model.rates_for("x", bad).depolarizing
+        others = [model.rates_for("x", q).depolarizing for q in range(8) if q != bad]
+        assert bad_rate > max(others)
+
+    def test_rates_stay_in_range(self):
+        model = heterogeneous_model(20, base=ErrorRates(0.3, 0.3, 0.3), seed=1,
+                                    worst_qubit_factor=100.0)
+        for qubit in range(20):
+            rates = model.rates_for("x", qubit)
+            assert 0.0 <= rates.depolarizing <= 1.0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            heterogeneous_model(0)
+
+    def test_usable_by_simulator(self):
+        from repro.circuits.library import ghz
+        from repro.stochastic import simulate_stochastic
+
+        model = heterogeneous_model(3, seed=1)
+        result = simulate_stochastic(ghz(3), model, [], trajectories=5)
+        assert result.completed_trajectories == 5
+
+
+class TestFromCalibrationTable:
+    def test_t1_maps_to_damping(self):
+        model = from_calibration_table({0: {"t1_us": 50.0}}, gate_time_ns=100.0)
+        expected = 1.0 - math.exp(-0.1 / 50.0)
+        assert model.rates_for("x", 0).amplitude_damping == pytest.approx(expected)
+
+    def test_t2_maps_to_phase_flip(self):
+        model = from_calibration_table({0: {"t2_us": 30.0}}, gate_time_ns=60.0)
+        expected = 1.0 - math.exp(-0.06 / 30.0)
+        assert model.rates_for("x", 0).phase_flip == pytest.approx(expected)
+
+    def test_direct_rates(self):
+        model = from_calibration_table(
+            {1: {"gate_error": 0.004, "readout_error": 0.02}}
+        )
+        rates = model.rates_for("h", 1)
+        assert rates.depolarizing == 0.004
+        assert rates.readout == 0.02
+
+    def test_uncalibrated_qubits_use_default(self):
+        default = ErrorRates(0.001, 0.002, 0.001)
+        model = from_calibration_table({0: {"gate_error": 0.1}}, default=default)
+        assert model.rates_for("x", 5) == default
+
+    def test_longer_gates_are_noisier(self):
+        short = from_calibration_table({0: {"t1_us": 50.0}}, gate_time_ns=30.0)
+        long = from_calibration_table({0: {"t1_us": 50.0}}, gate_time_ns=300.0)
+        assert (
+            long.rates_for("x", 0).amplitude_damping
+            > short.rates_for("x", 0).amplitude_damping
+        )
+
+    def test_invalid_t1_rejected(self):
+        with pytest.raises(ValueError):
+            from_calibration_table({0: {"t1_us": -1.0}})

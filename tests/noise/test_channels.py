@@ -1,0 +1,102 @@
+"""Unit tests for the Kraus channel definitions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.noise.channels import (
+    DEPOLARIZING_PAULIS,
+    amplitude_damping_kraus,
+    depolarizing_kraus,
+    phase_flip_kraus,
+    validate_kraus,
+)
+
+
+@pytest.mark.parametrize("p", [0.0, 0.001, 0.1, 0.5, 1.0])
+class TestCompleteness:
+    def test_depolarizing_complete(self, p):
+        assert validate_kraus(depolarizing_kraus(p))
+
+    def test_amplitude_damping_complete(self, p):
+        assert validate_kraus(amplitude_damping_kraus(p))
+
+    def test_phase_flip_complete(self, p):
+        assert validate_kraus(phase_flip_kraus(p))
+
+
+class TestForms:
+    def test_depolarizing_weights(self):
+        p = 0.2
+        kraus = depolarizing_kraus(p)
+        assert np.allclose(kraus[0], math.sqrt(1 - 3 * p / 4) * np.eye(2))
+        assert np.allclose(kraus[1], math.sqrt(p / 4) * np.array([[0, 1], [1, 0]]))
+
+    def test_damping_decay_operator_maps_one_to_zero(self):
+        p = 0.4
+        _, decay = amplitude_damping_kraus(p)
+        one = np.array([0, 1], dtype=complex)
+        result = decay @ one
+        assert result[0] == pytest.approx(math.sqrt(p))
+        assert result[1] == 0.0
+
+    def test_damping_no_decay_preserves_zero(self):
+        no_decay, _ = amplitude_damping_kraus(0.4)
+        zero = np.array([1, 0], dtype=complex)
+        assert np.allclose(no_decay @ zero, zero)
+
+    def test_damping_uses_corrected_paper_matrix(self):
+        """The paper prints A_1 with sqrt(p); the correct entry is sqrt(1-p)."""
+        p = 0.19
+        no_decay, _ = amplitude_damping_kraus(p)
+        assert no_decay[1, 1] == pytest.approx(math.sqrt(1 - p))
+
+    def test_phase_flip_operators(self):
+        p = 0.3
+        kraus = phase_flip_kraus(p)
+        assert np.allclose(kraus[0], math.sqrt(1 - p) * np.eye(2))
+        assert np.allclose(kraus[1], math.sqrt(p) * np.diag([1, -1]))
+
+    def test_paulis_are_the_four_frames(self):
+        assert len(DEPOLARIZING_PAULIS) == 4
+        identity, x, y, z = DEPOLARIZING_PAULIS
+        assert np.allclose(identity, np.eye(2))
+        assert np.allclose(x @ x, np.eye(2))
+        assert np.allclose(y, 1j * x @ z)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("p", [-0.1, 1.5])
+    def test_out_of_range_probability_rejected(self, p):
+        with pytest.raises(ValueError):
+            depolarizing_kraus(p)
+        with pytest.raises(ValueError):
+            amplitude_damping_kraus(p)
+        with pytest.raises(ValueError):
+            phase_flip_kraus(p)
+
+    def test_validate_kraus_detects_incomplete(self):
+        assert not validate_kraus([np.eye(2) * 0.5])
+
+
+class TestChannelEquivalences:
+    def test_depolarizing_is_random_pauli_average(self):
+        """sum_k K rho K^dag == (1-p) rho + p/4 sum_P P rho P."""
+        p = 0.23
+        rho = np.array([[0.7, 0.2 - 0.1j], [0.2 + 0.1j, 0.3]], dtype=complex)
+        kraus = depolarizing_kraus(p)
+        channel = sum(k @ rho @ k.conj().T for k in kraus)
+        average = (1 - p) * rho + (p / 4) * sum(
+            pauli @ rho @ pauli.conj().T for pauli in DEPOLARIZING_PAULIS
+        )
+        assert np.allclose(channel, average)
+
+    def test_phase_flip_is_stochastic_z(self):
+        p = 0.4
+        rho = np.array([[0.6, 0.3], [0.3, 0.4]], dtype=complex)
+        kraus = phase_flip_kraus(p)
+        channel = sum(k @ rho @ k.conj().T for k in kraus)
+        z = np.diag([1.0, -1.0])
+        stochastic = (1 - p) * rho + p * z @ rho @ z
+        assert np.allclose(channel, stochastic)

@@ -1,0 +1,203 @@
+"""Tests for the two amplitude-damping unravellings (event vs exact).
+
+``exact`` reproduces the paper's Example 6 verbatim (two-Kraus branch
+selection with the no-decay tilt); ``event`` is the first-order error-event
+model whose no-fire branch leaves the state untouched.  Both fire with the
+same state-dependent probability ``p * P(qubit = 1)``; they differ only in
+what the no-fire branch does — and, consequently, in decision-diagram size
+on circuits where per-qubit tilts interleave (see DESIGN.md).
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, gates
+from repro.circuits.library import bernstein_vazirani, ghz
+from repro.noise import ErrorRates, NoiseModel, StochasticErrorApplier, exact_channel_factory
+from repro.simulators import DDBackend, DensityMatrixSimulator
+from repro.stochastic import BasisProbability, simulate_stochastic
+
+
+def model(p, mode):
+    return NoiseModel.uniform(amplitude_damping=p, damping_mode=mode)
+
+
+class TestModeSelection:
+    def test_default_is_event(self):
+        assert NoiseModel.paper_defaults().damping_mode == "event"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="damping_mode"):
+            NoiseModel(damping_mode="sometimes")
+
+    def test_with_damping_mode(self):
+        base = NoiseModel.paper_defaults()
+        exact = base.with_damping_mode("exact")
+        assert exact.damping_mode == "exact"
+        assert exact.default == base.default
+
+    def test_scaled_preserves_mode(self):
+        assert NoiseModel.paper_defaults(damping_mode="exact").scaled(2).damping_mode == "exact"
+
+
+class TestFiringProbabilities:
+    @pytest.mark.parametrize("mode", ["event", "exact"])
+    def test_same_firing_rate_on_excited_state(self, mode):
+        p = 0.3
+        fires = 0
+        trials = 600
+        for seed in range(trials):
+            backend = DDBackend(1)
+            backend.apply_gate(gates.X, 0, {})
+            applier = StochasticErrorApplier(model(p, mode), random.Random(seed))
+            applier(backend, (0,), "x")
+            fires += applier.fired["amplitude_damping"]
+        assert fires / trials == pytest.approx(p, abs=0.06)
+
+    @pytest.mark.parametrize("mode", ["event", "exact"])
+    def test_ground_state_never_fires(self, mode, rng):
+        backend = DDBackend(1)
+        applier = StochasticErrorApplier(model(0.9, mode), rng)
+        applier(backend, (0,), "x")
+        assert applier.fired["amplitude_damping"] == 0
+
+
+class TestBranchStates:
+    def test_event_no_fire_leaves_state_untouched(self):
+        """The defining property of event mode."""
+        backend = DDBackend(1)
+        backend.apply_gate(gates.H, 0, {})
+        before = backend.state
+        # seed chosen so the event does not fire (p tiny).
+        applier = StochasticErrorApplier(model(1e-9, "event"), random.Random(1))
+        applier(backend, (0,), "h")
+        assert backend.state.node is before.node
+        assert backend.state.weight is before.weight
+
+    def test_exact_no_fire_tilts_state(self):
+        """Exact mode's no-decay branch applies diag(1, sqrt(1-p))."""
+        p = 0.4
+        backend = DDBackend(1)
+        backend.apply_gate(gates.H, 0, {})
+        applier = StochasticErrorApplier(model(p, "exact"), random.Random(1))
+        applier(backend, (0,), "h")
+        if applier.fired["amplitude_damping"] == 0:
+            vector = backend.statevector()
+            ratio = abs(vector[1]) / abs(vector[0])
+            assert ratio == pytest.approx(np.sqrt(1 - p), abs=1e-9)
+
+    def test_fired_event_collapses_to_zero(self):
+        backend = DDBackend(1)
+        backend.apply_gate(gates.X, 0, {})
+        applier = StochasticErrorApplier(model(1.0, "event"), random.Random(0))
+        applier(backend, (0,), "x")
+        assert applier.fired["amplitude_damping"] == 1
+        assert backend.probability_of_basis([0]) == pytest.approx(1.0)
+
+
+class TestDDSizeImpact:
+    def test_event_mode_keeps_bv_compact(self):
+        result = simulate_stochastic(
+            bernstein_vazirani(13),
+            NoiseModel.uniform(amplitude_damping=0.002, damping_mode="event"),
+            [],
+            trajectories=2,
+            seed=0,
+            sample_shots=0,
+        )
+        assert result.peak_nodes <= 3 * 13
+
+    def test_exact_mode_blows_bv_up(self):
+        """The documented pathology: interleaved A1 tilts break sub-vector
+        sharing and the DD grows far beyond linear."""
+        result = simulate_stochastic(
+            bernstein_vazirani(13),
+            NoiseModel.uniform(amplitude_damping=0.002, damping_mode="exact"),
+            [],
+            trajectories=1,
+            seed=0,
+            sample_shots=0,
+        )
+        assert result.peak_nodes > 10 * 13
+
+
+class TestEventModelBias:
+    """The event model's bias structure (DESIGN.md §5): exact on basis
+    states, O(p) per slot on superposition observables."""
+
+    def test_event_matches_oracle_at_small_p(self):
+        """At small p the O(p)-per-slot deviation stays inside a loose
+        Monte-Carlo tolerance on a shallow circuit."""
+        p = 0.02
+        circuit = ghz(3)
+        event = NoiseModel.uniform(amplitude_damping=p, damping_mode="event")
+        oracle = DensityMatrixSimulator(3)
+        oracle.run_circuit(circuit, exact_channel_factory(event))
+        exact_value = oracle.probability_of_basis([0, 0, 0])
+        result = simulate_stochastic(
+            circuit, event, [BasisProbability("000")], trajectories=4000, seed=5
+        )
+        assert result.mean("P(|000>)") == pytest.approx(exact_value, abs=0.03)
+
+    def test_modes_agree_statistically_at_small_p(self):
+        p = 0.01
+        circuit = ghz(3)
+        estimates = {}
+        for mode in ("event", "exact"):
+            result = simulate_stochastic(
+                circuit,
+                NoiseModel.uniform(amplitude_damping=p, damping_mode=mode),
+                [BasisProbability("111")],
+                trajectories=3000,
+                seed=9,
+            )
+            estimates[mode] = result.mean("P(|111>)")
+        assert estimates["event"] == pytest.approx(estimates["exact"], abs=0.03)
+
+    def test_basis_state_populations_are_exact(self):
+        """On |1>, both semantics give P(1) = (1 - p)^k after k slots —
+        the event model is exact for computational basis states."""
+        from repro.circuits import QuantumCircuit
+
+        p = 0.2
+        circuit = QuantumCircuit(1)
+        circuit.x(0).i(0)
+        for mode in ("event", "exact"):
+            result = simulate_stochastic(
+                circuit,
+                NoiseModel.uniform(amplitude_damping=p, damping_mode=mode),
+                [BasisProbability("1")],
+                trajectories=4000,
+                seed=3,
+            )
+            assert result.mean("P(|1>)") == pytest.approx((1 - p) ** 2, abs=0.03), mode
+
+    def test_superposition_bias_is_first_order_and_measurable(self):
+        """The documented deviation: on |+> a single damping slot gives
+        <P1> = 0.5(1 - p/2) under the event model but 0.5(1 - p) under the
+        true channel — O(p), clearly visible at large p."""
+        from repro.circuits import QuantumCircuit
+        from repro.stochastic import ExpectationZ
+
+        p = 0.4
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        event = simulate_stochastic(
+            circuit,
+            NoiseModel.uniform(amplitude_damping=p, damping_mode="event"),
+            [ExpectationZ(0)],
+            trajectories=6000,
+            seed=11,
+        )
+        exact = simulate_stochastic(
+            circuit,
+            NoiseModel.uniform(amplitude_damping=p, damping_mode="exact"),
+            [ExpectationZ(0)],
+            trajectories=6000,
+            seed=11,
+        )
+        # <Z> = 1 - 2 <P1>: event -> 1 - (1 - p/2) = p/2; exact -> p.
+        assert event.mean("<Z_0>") == pytest.approx(p / 2, abs=0.04)
+        assert exact.mean("<Z_0>") == pytest.approx(p, abs=0.04)

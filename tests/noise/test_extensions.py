@@ -1,0 +1,156 @@
+"""Tests for the noise extensions: thermal relaxation and crosstalk."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, gates
+from repro.noise import ErrorRates, NoiseModel, StochasticErrorApplier
+from repro.noise.channels import (
+    TWO_QUBIT_PAULIS,
+    thermal_relaxation_kraus,
+    validate_kraus,
+)
+from repro.simulators import DDBackend, DensityMatrixSimulator, execute_circuit
+from repro.stochastic import BasisProbability, simulate_stochastic
+
+
+class TestThermalRelaxation:
+    @pytest.mark.parametrize(
+        "t1,t2,duration", [(50.0, 70.0, 0.1), (50.0, 100.0, 1.0), (30.0, 30.0, 5.0)]
+    )
+    def test_completeness(self, t1, t2, duration):
+        assert validate_kraus(thermal_relaxation_kraus(t1, t2, duration))
+
+    def test_population_decay_matches_t1(self):
+        t1, duration = 40.0, 8.0
+        simulator = DensityMatrixSimulator(1)
+        simulator.apply_gate(gates.X, 0, {})
+        simulator.apply_channel(thermal_relaxation_kraus(t1, 2 * t1, duration), 0)
+        expected = math.exp(-duration / t1)
+        assert simulator.probability_of_one(0) == pytest.approx(expected)
+
+    def test_coherence_decay_matches_t2(self):
+        t1, t2, duration = 50.0, 30.0, 10.0
+        simulator = DensityMatrixSimulator(1)
+        simulator.apply_gate(gates.H, 0, {})
+        simulator.apply_channel(thermal_relaxation_kraus(t1, t2, duration), 0)
+        rho = simulator.density_matrix()
+        assert abs(rho[0, 1]) == pytest.approx(0.5 * math.exp(-duration / t2))
+
+    def test_excited_population_steady_state(self):
+        kraus = thermal_relaxation_kraus(10.0, 10.0, 1000.0, excited_population=0.25)
+        simulator = DensityMatrixSimulator(1)
+        simulator.apply_channel(kraus, 0)
+        assert simulator.probability_of_one(0) == pytest.approx(0.25, abs=1e-6)
+
+    def test_unphysical_t2_rejected(self):
+        with pytest.raises(ValueError, match="T2"):
+            thermal_relaxation_kraus(10.0, 25.0, 1.0)
+
+    def test_invalid_times_rejected(self):
+        with pytest.raises(ValueError):
+            thermal_relaxation_kraus(-1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            thermal_relaxation_kraus(1.0, 1.0, 1.0, excited_population=2.0)
+
+    def test_zero_duration_is_identity(self):
+        kraus = thermal_relaxation_kraus(50.0, 70.0, 0.0)
+        simulator = DensityMatrixSimulator(1)
+        simulator.apply_gate(gates.H, 0, {})
+        before = simulator.density_matrix()
+        simulator.apply_channel(kraus, 0)
+        assert np.allclose(simulator.density_matrix(), before)
+
+
+class TestCrosstalkStochastic:
+    def crosstalk_model(self, p):
+        return NoiseModel(default=ErrorRates(crosstalk=p))
+
+    def test_fires_only_on_multi_qubit_gates(self, rng):
+        backend = DDBackend(2)
+        applier = StochasticErrorApplier(self.crosstalk_model(1.0), rng)
+        applier(backend, (0,), "h")
+        assert applier.fired.get("crosstalk", 0) == 0
+        applier(backend, (0, 1), "x")
+        assert applier.fired.get("crosstalk", 0) == 1
+
+    def test_fire_rate(self):
+        fires = 0
+        trials = 800
+        for seed in range(trials):
+            backend = DDBackend(2)
+            applier = StochasticErrorApplier(self.crosstalk_model(0.3), random.Random(seed))
+            applier(backend, (0, 1), "x")
+            fires += applier.fired.get("crosstalk", 0)
+        assert fires / trials == pytest.approx(0.3, abs=0.05)
+
+    def test_pauli_pair_statistics(self):
+        """The 16 outcomes are uniform; 12/16 move |00> off itself."""
+        moved = 0
+        trials = 800
+        for seed in range(trials):
+            backend = DDBackend(2)
+            applier = StochasticErrorApplier(self.crosstalk_model(1.0), random.Random(seed))
+            applier(backend, (0, 1), "x")
+            if backend.probability_of_basis([0, 0]) < 0.5:
+                moved += 1
+        # I(x)I, I(x)Z, Z(x)I, Z(x)Z leave |00> invariant: 12/16 move it.
+        assert moved / trials == pytest.approx(12 / 16, abs=0.05)
+
+    def test_two_qubit_paulis_constant(self):
+        assert len(TWO_QUBIT_PAULIS) == 15
+
+
+class TestCrosstalkOracle:
+    def test_channel_preserves_trace(self):
+        simulator = DensityMatrixSimulator(2)
+        simulator.apply_gate(gates.H, 0, {})
+        simulator.apply_gate(gates.X, 1, {0: 1})
+        simulator.apply_correlated_pauli_channel(0.4, 0, 1)
+        assert np.trace(simulator.density_matrix()) == pytest.approx(1.0)
+
+    def test_full_strength_mixes_completely(self):
+        simulator = DensityMatrixSimulator(2)
+        simulator.apply_gate(gates.H, 0, {})
+        simulator.apply_gate(gates.X, 1, {0: 1})
+        simulator.apply_correlated_pauli_channel(1.0, 0, 1)
+        # p=1 random two-qubit Pauli leaves the Bell state's diagonal mixed.
+        probabilities = simulator.probabilities()
+        assert probabilities.max() < 0.5
+
+    def test_invalid_probability_rejected(self):
+        simulator = DensityMatrixSimulator(2)
+        with pytest.raises(ValueError):
+            simulator.apply_correlated_pauli_channel(1.5, 0, 1)
+
+    def test_stochastic_matches_oracle(self):
+        """Monte-Carlo crosstalk converges onto the exact channel."""
+        p = 0.3
+        model = NoiseModel(default=ErrorRates(crosstalk=p))
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1)
+
+        oracle = DensityMatrixSimulator(2)
+        oracle.run_circuit_with_model(circuit, model)
+        exact = oracle.probability_of_basis([0, 0])
+
+        result = simulate_stochastic(
+            circuit, model, [BasisProbability("00")], trajectories=4000, seed=2
+        )
+        assert result.mean("P(|00>)") == pytest.approx(exact, abs=0.03)
+
+    def test_run_circuit_with_model_matches_factory_path(self):
+        """Without crosstalk, run_circuit_with_model equals the factory API."""
+        from repro.noise import exact_channel_factory
+
+        model = NoiseModel.paper_defaults(damping_mode="exact").scaled(10)
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1)
+        a = DensityMatrixSimulator(2)
+        a.run_circuit(circuit, exact_channel_factory(model))
+        b = DensityMatrixSimulator(2)
+        b.run_circuit_with_model(circuit, model)
+        assert np.allclose(a.density_matrix(), b.density_matrix())

@@ -1,0 +1,90 @@
+"""Unit tests for noise models and rate resolution."""
+
+import pickle
+
+import pytest
+
+from repro.noise import ErrorRates, NoiseModel
+
+
+class TestErrorRates:
+    def test_defaults_are_noiseless(self):
+        assert ErrorRates().is_noiseless
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorRates(depolarizing=1.5)
+        with pytest.raises(ValueError):
+            ErrorRates(amplitude_damping=-0.1)
+
+    def test_scaled(self):
+        rates = ErrorRates(0.001, 0.002, 0.001).scaled(10)
+        assert rates.depolarizing == pytest.approx(0.01)
+        assert rates.amplitude_damping == pytest.approx(0.02)
+
+    def test_scaled_clamps(self):
+        rates = ErrorRates(0.5, 0.5, 0.5).scaled(10)
+        assert rates.depolarizing == 1.0
+
+    def test_frozen(self):
+        rates = ErrorRates()
+        with pytest.raises(Exception):
+            rates.depolarizing = 0.5
+
+
+class TestNoiseModel:
+    def test_paper_defaults(self):
+        model = NoiseModel.paper_defaults()
+        rates = model.rates_for("h", 0)
+        assert rates.depolarizing == 0.001
+        assert rates.amplitude_damping == 0.002
+        assert rates.phase_flip == 0.001
+
+    def test_noiseless(self):
+        assert NoiseModel.noiseless().is_noiseless
+
+    def test_uniform(self):
+        model = NoiseModel.uniform(depolarizing=0.01)
+        assert model.rates_for("x", 3).depolarizing == 0.01
+
+    def test_gate_override(self):
+        model = NoiseModel.build(
+            default=ErrorRates(0.001, 0, 0),
+            gate_overrides={"measure": ErrorRates(0.05, 0, 0)},
+        )
+        assert model.rates_for("measure", 0).depolarizing == 0.05
+        assert model.rates_for("h", 0).depolarizing == 0.001
+
+    def test_qubit_override_beats_gate_override(self):
+        model = NoiseModel.build(
+            default=ErrorRates(0.001, 0, 0),
+            gate_overrides={"h": ErrorRates(0.01, 0, 0)},
+            qubit_overrides={2: ErrorRates(0.1, 0, 0)},
+        )
+        assert model.rates_for("h", 2).depolarizing == 0.1
+        assert model.rates_for("h", 1).depolarizing == 0.01
+
+    def test_is_noiseless_checks_overrides(self):
+        model = NoiseModel.build(
+            default=ErrorRates(),
+            qubit_overrides={0: ErrorRates(0.1, 0, 0)},
+        )
+        assert not model.is_noiseless
+
+    def test_scaled_model(self):
+        model = NoiseModel.paper_defaults().scaled(2)
+        assert model.rates_for("h", 0).depolarizing == pytest.approx(0.002)
+
+    def test_scaled_to_zero_is_noiseless(self):
+        assert NoiseModel.paper_defaults().scaled(0).is_noiseless
+
+    def test_picklable(self):
+        model = NoiseModel.build(
+            default=ErrorRates(0.001, 0.002, 0.001),
+            gate_overrides={"x": ErrorRates(0.01, 0, 0)},
+            qubit_overrides={1: ErrorRates(0, 0.05, 0)},
+            noisy_measure=False,
+        )
+        clone = pickle.loads(pickle.dumps(model))
+        assert clone == model
+        assert clone.rates_for("x", 0).depolarizing == 0.01

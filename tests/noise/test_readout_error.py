@@ -1,0 +1,94 @@
+"""Tests for the readout-error extension (pre-measurement bit flip)."""
+
+import random
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.noise import ErrorRates, NoiseModel, StochasticErrorApplier, exact_channel_factory
+from repro.simulators import DDBackend, DensityMatrixSimulator, execute_circuit
+from repro.stochastic import ClassicalOutcome, simulate_stochastic
+
+
+def readout_model(p):
+    return NoiseModel(default=ErrorRates(readout=p))
+
+
+class TestStochasticReadout:
+    def test_flip_statistics_on_zero_state(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+        p = 0.25
+        flips = 0
+        trials = 800
+        for seed in range(trials):
+            rng = random.Random(seed)
+            backend = DDBackend(1)
+            applier = StochasticErrorApplier(readout_model(p), rng)
+            result = execute_circuit(backend, circuit, rng, error_hook=applier)
+            flips += result.classical_bits[0]
+        assert flips / trials == pytest.approx(p, abs=0.05)
+
+    def test_no_readout_error_without_rate(self, rng):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+        backend = DDBackend(1)
+        applier = StochasticErrorApplier(NoiseModel.paper_defaults(), rng)
+        result = execute_circuit(backend, circuit, rng, error_hook=applier)
+        assert result.classical_bits == [0]
+
+    def test_fired_counter_includes_readout(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+        rng = random.Random(0)
+        backend = DDBackend(1)
+        applier = StochasticErrorApplier(readout_model(1.0), rng)
+        execute_circuit(backend, circuit, rng, error_hook=applier)
+        assert applier.fired["readout"] == 1
+
+    def test_runner_aggregates_readout_fires(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+        result = simulate_stochastic(
+            circuit,
+            readout_model(1.0),
+            [ClassicalOutcome(1)],
+            trajectories=20,
+            seed=0,
+        )
+        assert result.errors_fired.get("readout") == 20
+        assert result.mean("P(c=1)") == 1.0
+
+
+class TestOracleAgreement:
+    def test_oracle_matches_stochastic_readout(self):
+        """Readout on |+>: measured-one probability shifts from 0.5 by the
+        misassignment asymmetry... for a bit-flip model P(1) stays 0.5 on
+        |+>, so use |0> where P(1) = p exactly."""
+        p = 0.3
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+
+        oracle = DensityMatrixSimulator(1)
+        oracle.run_circuit(circuit, exact_channel_factory(readout_model(p)))
+        assert oracle.probability_of_one(0) == pytest.approx(p)
+
+        result = simulate_stochastic(
+            circuit,
+            readout_model(p),
+            [ClassicalOutcome(1)],
+            trajectories=3000,
+            seed=1,
+        )
+        assert result.mean("P(c=1)") == pytest.approx(p, abs=0.03)
+
+    def test_rates_validation(self):
+        with pytest.raises(ValueError):
+            ErrorRates(readout=1.2)
+
+    def test_scaled_includes_readout(self):
+        rates = ErrorRates(readout=0.01).scaled(10)
+        assert rates.readout == pytest.approx(0.1)
+
+    def test_is_noiseless_includes_readout(self):
+        assert not ErrorRates(readout=0.01).is_noiseless

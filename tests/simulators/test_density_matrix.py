@@ -1,0 +1,179 @@
+"""Unit tests for the exact density-matrix oracle."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, gates
+from repro.circuits.library import ghz, random_circuit
+from repro.noise.channels import (
+    amplitude_damping_kraus,
+    depolarizing_kraus,
+    phase_flip_kraus,
+)
+from repro.simulators import DensityMatrixSimulator, StatevectorBackend, execute_circuit
+
+
+class TestPureEvolution:
+    def test_initial_state(self):
+        simulator = DensityMatrixSimulator(2)
+        rho = simulator.density_matrix()
+        assert rho[0, 0] == 1.0
+        assert np.trace(rho) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_unitary_circuit_matches_outer_product(self, seed):
+        circuit = random_circuit(3, 10, seed=seed)
+        simulator = DensityMatrixSimulator(3)
+        simulator.run_circuit(circuit)
+        sv = StatevectorBackend(3)
+        execute_circuit(sv, circuit, random.Random(0))
+        psi = sv.statevector()
+        assert np.allclose(simulator.density_matrix(), np.outer(psi, psi.conj()), atol=1e-9)
+
+    def test_purity_preserved_by_unitaries(self):
+        circuit = random_circuit(3, 15, seed=1)
+        simulator = DensityMatrixSimulator(3)
+        simulator.run_circuit(circuit)
+        assert simulator.purity() == pytest.approx(1.0)
+
+    def test_controlled_gates(self):
+        simulator = DensityMatrixSimulator(2)
+        simulator.apply_gate(gates.X, 0, {})
+        simulator.apply_gate(gates.X, 1, {0: 1})
+        probs = simulator.probabilities()
+        assert probs[0b11] == pytest.approx(1.0)
+
+    def test_safety_cap(self):
+        with pytest.raises(ValueError, match="cap"):
+            DensityMatrixSimulator(14)
+
+
+class TestChannels:
+    def test_trace_preserved_by_all_channels(self):
+        for kraus in (
+            depolarizing_kraus(0.2),
+            amplitude_damping_kraus(0.3),
+            phase_flip_kraus(0.1),
+        ):
+            simulator = DensityMatrixSimulator(2)
+            simulator.apply_gate(gates.H, 0, {})
+            simulator.apply_gate(gates.X, 1, {0: 1})
+            simulator.apply_channel(kraus, 0)
+            assert np.trace(simulator.density_matrix()) == pytest.approx(1.0)
+
+    def test_depolarizing_reduces_purity(self):
+        simulator = DensityMatrixSimulator(1)
+        simulator.apply_gate(gates.H, 0, {})
+        simulator.apply_channel(depolarizing_kraus(0.5), 0)
+        assert simulator.purity() < 1.0
+
+    def test_full_depolarizing_gives_maximally_mixed(self):
+        simulator = DensityMatrixSimulator(1)
+        simulator.apply_gate(gates.H, 0, {})
+        simulator.apply_channel(depolarizing_kraus(1.0), 0)
+        assert np.allclose(simulator.density_matrix(), np.eye(2) / 2)
+
+    def test_amplitude_damping_fixed_point(self):
+        """Repeated damping drives any state to |0>."""
+        simulator = DensityMatrixSimulator(1)
+        simulator.apply_gate(gates.X, 0, {})
+        for _ in range(200):
+            simulator.apply_channel(amplitude_damping_kraus(0.1), 0)
+        assert simulator.probability_of_basis([0]) == pytest.approx(1.0, abs=1e-6)
+
+    def test_phase_flip_kills_coherence(self):
+        simulator = DensityMatrixSimulator(1)
+        simulator.apply_gate(gates.H, 0, {})
+        simulator.apply_channel(phase_flip_kraus(0.5), 0)
+        rho = simulator.density_matrix()
+        # p = 1/2 completely dephases.
+        assert rho[0, 1] == pytest.approx(0.0, abs=1e-12)
+        assert rho[0, 0] == pytest.approx(0.5)
+
+    def test_damping_example6_probabilities(self):
+        """Paper Example 6: damping the Bell state's first qubit."""
+        p = 0.3
+        simulator = DensityMatrixSimulator(2)
+        simulator.run_circuit(ghz(2))
+        simulator.apply_channel(amplitude_damping_kraus(p), 0)
+        # The ensemble {(p/2, |01>), (1 - p/2, normalized no-decay state)}.
+        probs = simulator.probabilities()
+        assert probs[0b01] == pytest.approx(p / 2)
+        assert probs[0b00] == pytest.approx(0.5)
+        assert probs[0b11] == pytest.approx((1 - p) / 2)
+
+
+class TestMeasurementStatistics:
+    def test_probability_of_one(self):
+        simulator = DensityMatrixSimulator(2)
+        simulator.apply_gate(gates.ry(2 * math.asin(math.sqrt(0.3))), 1, {})
+        assert simulator.probability_of_one(1) == pytest.approx(0.3)
+        assert simulator.probability_of_one(0) == pytest.approx(0.0)
+
+    def test_expectation_z(self):
+        simulator = DensityMatrixSimulator(1)
+        assert simulator.expectation_z(0) == pytest.approx(1.0)
+        simulator.apply_gate(gates.X, 0, {})
+        assert simulator.expectation_z(0) == pytest.approx(-1.0)
+
+    def test_fidelity_with_pure(self):
+        simulator = DensityMatrixSimulator(2)
+        simulator.run_circuit(ghz(2))
+        bell = np.zeros(4, dtype=complex)
+        bell[0] = bell[3] = 1 / math.sqrt(2)
+        assert simulator.fidelity_with_pure(bell) == pytest.approx(1.0)
+
+    def test_dephase_measure(self):
+        simulator = DensityMatrixSimulator(1)
+        simulator.apply_gate(gates.H, 0, {})
+        simulator.dephase_measure(0)
+        rho = simulator.density_matrix()
+        assert rho[0, 1] == pytest.approx(0.0, abs=1e-12)
+        assert rho[0, 0] == pytest.approx(0.5)
+
+    def test_reset_channel(self):
+        simulator = DensityMatrixSimulator(1)
+        simulator.apply_gate(gates.H, 0, {})
+        simulator.reset_qubit(0)
+        assert simulator.probability_of_basis([0]) == pytest.approx(1.0)
+
+
+class TestRunCircuit:
+    def test_measure_in_circuit_dephases(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0).measure(0, 0)
+        simulator = DensityMatrixSimulator(1)
+        simulator.run_circuit(circuit)
+        rho = simulator.density_matrix()
+        assert rho[0, 1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_conditional_gate_rejected(self):
+        from repro.circuits.operations import ClassicalCondition
+
+        circuit = QuantumCircuit(1, 1)
+        circuit.gate("x", 0, condition=ClassicalCondition((0,), 1))
+        simulator = DensityMatrixSimulator(1)
+        with pytest.raises(ValueError, match="conditioned"):
+            simulator.run_circuit(circuit)
+
+    def test_width_mismatch_rejected(self):
+        simulator = DensityMatrixSimulator(2)
+        with pytest.raises(ValueError):
+            simulator.run_circuit(QuantumCircuit(3))
+
+    def test_channel_factory_applied_per_qubit(self):
+        applied = []
+
+        def factory(gate_name, qubit):
+            applied.append((gate_name, qubit))
+            return []
+
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1)
+        simulator = DensityMatrixSimulator(2)
+        simulator.run_circuit(circuit, factory)
+        assert ("h", 0) in applied
+        assert ("x", 0) in applied and ("x", 1) in applied

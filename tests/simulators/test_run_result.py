@@ -1,0 +1,74 @@
+"""Unit tests for RunResult and execute_circuit bookkeeping."""
+
+import random
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.simulators import DDBackend, RunResult, execute_circuit
+
+
+class TestRunResult:
+    def test_classical_value_lsb_first(self):
+        result = RunResult([1, 0, 1])
+        assert result.classical_value() == 0b101
+
+    def test_classical_value_empty(self):
+        assert RunResult([]).classical_value() == 0
+
+    def test_bitstring_msb_first(self):
+        result = RunResult([1, 0, 1])
+        assert result.bitstring() == "101"
+        assert RunResult([0, 1]).bitstring() == "10"
+
+
+class TestExecutorBookkeeping:
+    def test_measured_qubits_recorded(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.x(0).measure(0, 1).measure(1, 0)
+        backend = DDBackend(2)
+        result = execute_circuit(backend, circuit, random.Random(0))
+        assert result.measured_qubits == {0: 1, 1: 0}
+        assert result.classical_bits == [0, 1]
+
+    def test_barrier_does_not_count_as_gate(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0).barrier()
+        backend = DDBackend(1)
+        result = execute_circuit(backend, circuit, random.Random(0))
+        assert result.applied_gates == 1
+
+    def test_skipped_conditional_not_counted(self):
+        from repro.circuits.operations import ClassicalCondition
+
+        circuit = QuantumCircuit(1, 1)
+        circuit.gate("x", 0, condition=ClassicalCondition((0,), 1))
+        backend = DDBackend(1)
+        result = execute_circuit(backend, circuit, random.Random(0))
+        assert result.applied_gates == 0
+        assert backend.probability_of_basis([0]) == pytest.approx(1.0)
+
+    def test_error_hook_called_for_measure_and_reset(self):
+        calls = []
+
+        def hook(backend, qubits, name):
+            calls.append((name, qubits))
+
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0).measure(0, 0).reset(0)
+        backend = DDBackend(1)
+        execute_circuit(backend, circuit, random.Random(0), error_hook=hook)
+        names = [name for name, _ in calls]
+        assert names == ["h", "measure", "reset"]
+
+    def test_error_hook_receives_all_gate_qubits(self):
+        captured = []
+
+        def hook(backend, qubits, name):
+            captured.append(qubits)
+
+        circuit = QuantumCircuit(3)
+        circuit.ccx(0, 1, 2)
+        backend = DDBackend(3)
+        execute_circuit(backend, circuit, random.Random(0), error_hook=hook)
+        assert captured == [(0, 1, 2)]

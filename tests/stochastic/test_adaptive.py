@@ -1,0 +1,111 @@
+"""Tests for adaptive (run-until-precision) Monte-Carlo sampling."""
+
+import pytest
+
+from repro.circuits.library import ghz
+from repro.noise import NoiseModel
+from repro.stochastic import (
+    BasisProbability,
+    hoeffding_samples,
+    run_until_precision,
+)
+
+NOISE = NoiseModel.paper_defaults().scaled(10)
+
+
+class TestAdaptiveSampling:
+    def test_reaches_target_precision(self):
+        run = run_until_precision(
+            ghz(3),
+            [BasisProbability("000")],
+            epsilon=0.08,
+            delta=0.1,
+            noise_model=NOISE,
+            seed=1,
+        )
+        assert run.epsilon_achieved <= 0.08
+        assert run.trajectories > 0
+
+    def test_never_exceeds_theorem1_ceiling(self):
+        run = run_until_precision(
+            ghz(2),
+            [BasisProbability("00"), BasisProbability("11")],
+            epsilon=0.1,
+            delta=0.1,
+            noise_model=NOISE,
+            seed=2,
+        )
+        ceiling = hoeffding_samples(2, 0.1, 0.1)
+        assert run.ceiling == ceiling
+        assert run.trajectories <= ceiling
+
+    def test_savings_reported(self):
+        run = run_until_precision(
+            ghz(2),
+            [BasisProbability("00")],
+            epsilon=0.09,
+            delta=0.1,
+            noise_model=NOISE,
+            seed=3,
+        )
+        assert 0.0 <= run.savings_vs_theorem1() < 1.0
+
+    def test_tighter_epsilon_needs_more_samples(self):
+        loose = run_until_precision(
+            ghz(2), [BasisProbability("00")], epsilon=0.15, noise_model=NOISE, seed=4
+        )
+        tight = run_until_precision(
+            ghz(2), [BasisProbability("00")], epsilon=0.05, noise_model=NOISE, seed=4
+        )
+        assert tight.trajectories > loose.trajectories
+
+    def test_estimate_matches_batch_runner(self):
+        """Index-derived trajectory seeds make the adaptive session
+        bit-identical to one batch of the same total size."""
+        from repro.stochastic import simulate_stochastic
+
+        run = run_until_precision(
+            ghz(3),
+            [BasisProbability("000")],
+            epsilon=0.1,
+            noise_model=NOISE,
+            seed=5,
+            initial_batch=64,
+        )
+        batch = simulate_stochastic(
+            ghz(3),
+            NOISE,
+            [BasisProbability("000")],
+            trajectories=run.trajectories,
+            seed=5,
+            sample_shots=0,
+        )
+        assert run.result.mean("P(|000>)") == pytest.approx(
+            batch.mean("P(|000>)"), abs=1e-12
+        )
+
+    def test_batches_grow_geometrically(self):
+        run = run_until_precision(
+            ghz(2),
+            [BasisProbability("00")],
+            epsilon=0.04,
+            noise_model=NOISE,
+            seed=6,
+            initial_batch=16,
+            growth_factor=4.0,
+        )
+        assert run.batches >= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one property"):
+            run_until_precision(ghz(2), [], epsilon=0.1)
+        with pytest.raises(ValueError, match="epsilon"):
+            run_until_precision(ghz(2), [BasisProbability("00")], epsilon=0.0)
+        with pytest.raises(ValueError, match="growth_factor"):
+            run_until_precision(
+                ghz(2), [BasisProbability("00")], epsilon=0.1, growth_factor=1.0
+            )
+        with pytest.raises(ValueError, match="initial_batch"):
+            run_until_precision(
+                ghz(2), [BasisProbability("00")], epsilon=0.1, initial_batch=0
+            )

@@ -1,0 +1,140 @@
+"""Unit tests for property specifications and the Theorem 1 bounds."""
+
+import math
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.stochastic.properties import (
+    BasisProbability,
+    ClassicalOutcome,
+    ExpectationZ,
+    IdealFidelity,
+    StateFidelity,
+    hoeffding_epsilon,
+    hoeffding_samples,
+)
+
+
+class TestHoeffdingSamples:
+    def test_paper_example(self):
+        """Paper Section V: L=1000, eps=0.01, delta=0.05 under the paper's
+        (2 eps)^2 convention gives M <= 30 000."""
+        m = hoeffding_samples(1000, 0.01, 0.05, paper_convention=True)
+        assert m == 26492
+        assert m <= 30000
+
+    def test_standard_convention_is_twice_paper(self):
+        paper = hoeffding_samples(10, 0.05, 0.05, paper_convention=True)
+        standard = hoeffding_samples(10, 0.05, 0.05, paper_convention=False)
+        assert standard == pytest.approx(2 * paper, abs=1)
+
+    def test_logarithmic_in_properties(self):
+        """Theorem 1's headline: M grows only logarithmically in L."""
+        m1 = hoeffding_samples(1, 0.01, 0.05)
+        m1000 = hoeffding_samples(1000, 0.01, 0.05)
+        assert m1000 < 4 * m1
+
+    def test_inverse_quadratic_in_epsilon(self):
+        m1 = hoeffding_samples(1, 0.02, 0.05)
+        m2 = hoeffding_samples(1, 0.01, 0.05)
+        assert m2 == pytest.approx(4 * m1, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hoeffding_samples(0, 0.1, 0.1)
+        with pytest.raises(ValueError):
+            hoeffding_samples(1, 0.0, 0.1)
+        with pytest.raises(ValueError):
+            hoeffding_samples(1, 0.1, 1.0)
+
+    def test_epsilon_inversion_consistency(self):
+        m = hoeffding_samples(50, 0.02, 0.05)
+        epsilon = hoeffding_epsilon(50, m, 0.05)
+        assert epsilon <= 0.02
+        assert epsilon > 0.015
+
+    def test_epsilon_paper_convention(self):
+        assert hoeffding_epsilon(1, 100, 0.05, paper_convention=True) == pytest.approx(
+            0.5 * hoeffding_epsilon(1, 100, 0.05) * math.sqrt(2), rel=1e-9
+        )
+
+
+class FakeBackend:
+    """Minimal backend double for property evaluation."""
+
+    def __init__(self):
+        self.num_qubits = 2
+
+    def probability_of_basis(self, bits):
+        return 0.25 if bits == [1, 0] else 0.0
+
+    def probability_of_one(self, qubit):
+        return 0.3 if qubit == 0 else 0.9
+
+    def fidelity(self, handle):
+        return 0.5
+
+
+class FakeRun:
+    def classical_value(self):
+        return 5
+
+
+class FakeContext:
+    def ideal_handle(self, backend):
+        return "ideal"
+
+    def target_handle(self, spec, backend):
+        return "target"
+
+
+class TestPropertySpecs:
+    def test_basis_probability(self):
+        spec = BasisProbability("10")
+        assert spec.name == "P(|10>)"
+        assert spec.evaluate(FakeBackend(), FakeRun(), FakeContext()) == 0.25
+
+    def test_basis_probability_validation(self):
+        with pytest.raises(ValueError):
+            BasisProbability("")
+        with pytest.raises(ValueError):
+            BasisProbability("012")
+
+    def test_expectation_z(self):
+        spec = ExpectationZ(0)
+        assert spec.name == "<Z_0>"
+        assert spec.evaluate(FakeBackend(), FakeRun(), FakeContext()) == pytest.approx(0.4)
+
+    def test_classical_outcome(self):
+        hit = ClassicalOutcome(5)
+        miss = ClassicalOutcome(6)
+        assert hit.evaluate(FakeBackend(), FakeRun(), FakeContext()) == 1.0
+        assert miss.evaluate(FakeBackend(), FakeRun(), FakeContext()) == 0.0
+
+    def test_ideal_fidelity(self):
+        spec = IdealFidelity()
+        assert spec.name == "F(ideal)"
+        assert spec.evaluate(FakeBackend(), FakeRun(), FakeContext()) == 0.5
+
+    def test_state_fidelity_from_vector_normalises(self):
+        spec = StateFidelity.from_vector([2.0, 0.0], label="zero")
+        assert spec.name == "F(zero)"
+        assert abs(spec.target[0]) == pytest.approx(1.0)
+
+    def test_state_fidelity_zero_vector_rejected(self):
+        with pytest.raises(ValueError):
+            StateFidelity.from_vector([0.0, 0.0])
+
+    def test_all_specs_picklable(self):
+        specs = [
+            BasisProbability("01"),
+            StateFidelity.from_vector([1, 0]),
+            IdealFidelity(),
+            ExpectationZ(1),
+            ClassicalOutcome(3),
+        ]
+        for spec in specs:
+            clone = pickle.loads(pickle.dumps(spec))
+            assert clone == spec

@@ -1,0 +1,133 @@
+"""Unit tests for result aggregation and confidence intervals."""
+
+import math
+
+import pytest
+
+from repro.stochastic.results import PropertyEstimate, StochasticResult
+
+
+class TestPropertyEstimate:
+    def test_mean(self):
+        estimate = PropertyEstimate("p")
+        for value in (0.2, 0.4, 0.6):
+            estimate.add(value)
+        assert estimate.mean == pytest.approx(0.4)
+
+    def test_mean_of_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PropertyEstimate("p").mean
+
+    def test_variance_unbiased(self):
+        estimate = PropertyEstimate("p")
+        values = [0.0, 1.0, 0.0, 1.0]
+        for value in values:
+            estimate.add(value)
+        assert estimate.variance == pytest.approx(1.0 / 3.0)
+
+    def test_variance_single_sample_is_zero(self):
+        estimate = PropertyEstimate("p")
+        estimate.add(0.5)
+        assert estimate.variance == 0.0
+
+    def test_std_error(self):
+        estimate = PropertyEstimate("p")
+        for value in (0.0, 1.0, 0.0, 1.0):
+            estimate.add(value)
+        assert estimate.std_error == pytest.approx(math.sqrt((1 / 3) / 4))
+
+    def test_merge(self):
+        a = PropertyEstimate("p")
+        b = PropertyEstimate("p")
+        a.add(0.2)
+        b.add(0.6)
+        a.merge(b)
+        assert a.count == 2
+        assert a.mean == pytest.approx(0.4)
+
+    def test_merge_name_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PropertyEstimate("p").merge(PropertyEstimate("q"))
+
+    def test_hoeffding_halfwidth_shrinks_with_samples(self):
+        small = PropertyEstimate("p")
+        large = PropertyEstimate("p")
+        for _ in range(10):
+            small.add(0.5)
+        for _ in range(1000):
+            large.add(0.5)
+        assert large.hoeffding_halfwidth() < small.hoeffding_halfwidth()
+
+    def test_hoeffding_halfwidth_formula(self):
+        estimate = PropertyEstimate("p")
+        for _ in range(100):
+            estimate.add(0.5)
+        expected = math.sqrt(math.log(2 / 0.05) / 200)
+        assert estimate.hoeffding_halfwidth(0.05) == pytest.approx(expected)
+
+    def test_value_range_scales_interval(self):
+        estimate = PropertyEstimate("z")
+        estimate.add(0.0)
+        assert estimate.hoeffding_halfwidth(value_range=2.0) == pytest.approx(
+            2 * estimate.hoeffding_halfwidth(value_range=1.0)
+        )
+
+    def test_confidence_interval_brackets_mean(self):
+        estimate = PropertyEstimate("p")
+        for _ in range(50):
+            estimate.add(0.3)
+        low, high = estimate.confidence_interval()
+        assert low < 0.3 < high
+
+
+class TestStochasticResult:
+    def make(self, n, mean_value):
+        result = StochasticResult("c", "dd", n)
+        estimate = PropertyEstimate("p")
+        for _ in range(n):
+            estimate.add(mean_value)
+        result.estimates["p"] = estimate
+        result.completed_trajectories = n
+        result.outcome_counts = {"00": n}
+        return result
+
+    def test_merge_combines_everything(self):
+        a = self.make(10, 0.2)
+        b = self.make(30, 0.6)
+        b.peak_nodes = 99
+        b.timed_out = True
+        a.merge(b)
+        assert a.completed_trajectories == 40
+        assert a.mean("p") == pytest.approx(0.5)
+        assert a.outcome_counts["00"] == 40
+        assert a.peak_nodes == 99
+        assert a.timed_out
+
+    def test_outcome_distribution(self):
+        result = self.make(10, 0.5)
+        result.outcome_counts = {"00": 8, "11": 2}
+        distribution = result.outcome_distribution()
+        assert distribution == {"00": 0.8, "11": 0.2}
+
+    def test_outcome_distribution_empty(self):
+        result = StochasticResult("c", "dd", 0)
+        assert result.outcome_distribution() == {}
+
+    def test_trajectories_per_second(self):
+        result = self.make(100, 0.5)
+        result.elapsed_seconds = 2.0
+        assert result.trajectories_per_second() == 50.0
+
+    def test_summary_mentions_key_facts(self):
+        result = self.make(10, 0.25)
+        result.elapsed_seconds = 1.0
+        result.peak_nodes = 17
+        text = result.summary()
+        assert "10/10" in text
+        assert "peak DD nodes: 17" in text
+        assert "p: 0.25" in text
+
+    def test_summary_flags_timeout(self):
+        result = self.make(5, 0.1)
+        result.timed_out = True
+        assert "TIMED OUT" in result.summary()

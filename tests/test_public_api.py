@@ -1,0 +1,56 @@
+"""Tests for the package-level public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "0.1.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackages_importable(self):
+        for module in (
+            "repro.dd",
+            "repro.circuits",
+            "repro.circuits.qasm",
+            "repro.circuits.library",
+            "repro.simulators",
+            "repro.noise",
+            "repro.stochastic",
+            "repro.harness",
+            "repro.cli",
+        ):
+            importlib.import_module(module)
+
+    def test_subpackage_all_exports_resolve(self):
+        for module_name in (
+            "repro.dd",
+            "repro.circuits",
+            "repro.simulators",
+            "repro.noise",
+            "repro.stochastic",
+            "repro.harness",
+        ):
+            module = importlib.import_module(module_name)
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_quickstart_docstring_flow(self):
+        """The README/module-docstring quickstart must actually run."""
+        from repro import BasisProbability, NoiseModel, ghz, simulate_stochastic
+
+        circuit = ghz(4)
+        result = simulate_stochastic(
+            circuit,
+            noise_model=NoiseModel.paper_defaults(),
+            properties=[BasisProbability("0000")],
+            trajectories=20,
+        )
+        assert "P(|0000>)" in result.summary()
