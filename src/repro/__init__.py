@@ -49,6 +49,13 @@ from .circuits.library import (
 from .circuits.optimize import fuse_single_qubit_runs
 from .dd import DDPackage
 from .noise import ErrorRates, NoiseModel
+from .service import (
+    JobSpec,
+    JobState,
+    JobStatus,
+    ResultStore,
+    Scheduler,
+)
 from .simulators import (
     DDBackend,
     DensityMatrixSimulator,
@@ -86,9 +93,14 @@ __all__ = [
     "ErrorRates",
     "ExpectationZ",
     "IdealFidelity",
+    "JobSpec",
+    "JobState",
+    "JobStatus",
     "NoiseModel",
     "PauliExpectation",
     "QuantumCircuit",
+    "ResultStore",
+    "Scheduler",
     "StateFidelity",
     "StatevectorBackend",
     "StochasticResult",

@@ -5,6 +5,10 @@ Subcommands:
 * ``run`` — stochastically simulate an OpenQASM 2.0 file or a library
   circuit under a noise model and print property estimates and the sampled
   outcome histogram;
+* ``submit`` / ``status`` / ``result`` / ``serve`` — the job-service mode:
+  spool content-addressed jobs into a store, drain them with a persistent
+  worker pool, and poll streaming estimates while they run (docs/SERVICE.md);
+* ``cache`` — inspect or clear the content-addressed result store;
 * ``table`` — regenerate one of the paper's tables (Ia/Ib/Ic) at a chosen
   scale;
 * ``circuits`` — list the built-in benchmark circuit generators;
@@ -14,6 +18,7 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -57,6 +62,50 @@ def _noise_from_args(args: argparse.Namespace) -> NoiseModel:
     )
 
 
+def _add_property_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fidelity", action="store_true",
+        help="estimate fidelity with the noiseless output (measurement-free circuits)",
+    )
+    parser.add_argument(
+        "--probability", action="append", default=[], metavar="BITSTRING",
+        help="estimate P(|bitstring>); repeatable",
+    )
+    parser.add_argument(
+        "--pauli", action="append", default=[], metavar="STRING",
+        help="estimate a Pauli-string expectation, e.g. ZZIII; repeatable",
+    )
+    parser.add_argument(
+        "--outcome", action="append", default=[], type=int, metavar="VALUE",
+        help="estimate P(classical register == VALUE); repeatable",
+    )
+
+
+def _properties_from_args(args: argparse.Namespace) -> List:
+    from .stochastic import ClassicalOutcome, PauliExpectation
+
+    properties: List = [BasisProbability(bits) for bits in args.probability]
+    properties.extend(PauliExpectation(p) for p in args.pauli)
+    properties.extend(ClassicalOutcome(v) for v in args.outcome)
+    if args.fidelity:
+        properties.append(IdealFidelity())
+    return properties
+
+
+def _add_store_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="result-store directory (default: $REPRO_STORE_DIR or "
+        "~/.cache/repro-sim)",
+    )
+
+
+def _open_store(args: argparse.Namespace):
+    from .service import ResultStore, default_store_directory
+
+    return ResultStore(directory=args.store or default_store_directory())
+
+
 def _add_noise_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--depolarizing", type=float, default=0.001,
@@ -75,9 +124,14 @@ def _add_noise_arguments(parser: argparse.ArgumentParser) -> None:
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro-sim",
         description="Stochastic quantum circuit simulation using decision diagrams",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -89,23 +143,60 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--shots", type=int, default=1, help="histogram samples per trajectory")
     run.add_argument("--timeout", type=float, default=None)
-    run.add_argument(
-        "--fidelity", action="store_true",
-        help="estimate fidelity with the noiseless output (measurement-free circuits)",
-    )
-    run.add_argument(
-        "--probability", action="append", default=[], metavar="BITSTRING",
-        help="estimate P(|bitstring>); repeatable",
-    )
-    run.add_argument(
-        "--pauli", action="append", default=[], metavar="STRING",
-        help="estimate a Pauli-string expectation, e.g. ZZIII; repeatable",
-    )
-    run.add_argument(
-        "--outcome", action="append", default=[], type=int, metavar="VALUE",
-        help="estimate P(classical register == VALUE); repeatable",
-    )
+    _add_property_arguments(run)
     _add_noise_arguments(run)
+
+    submit = subparsers.add_parser(
+        "submit", help="spool a simulation job for a `serve` batch runner"
+    )
+    submit.add_argument("circuit", help=".qasm file, ghz:<n>, qft:<n>, or a QASMBench name")
+    submit.add_argument("-M", "--trajectories", type=int, default=1000)
+    submit.add_argument("-b", "--backend", choices=("dd", "statevector"), default="dd")
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--shots", type=int, default=1, help="histogram samples per trajectory")
+    submit.add_argument("--timeout", type=float, default=None)
+    _add_property_arguments(submit)
+    _add_noise_arguments(submit)
+    _add_store_argument(submit)
+
+    status = subparsers.add_parser(
+        "status", help="poll a job's streaming estimates (key prefix accepted)"
+    )
+    status.add_argument("key", help="job key (or unique prefix) from `submit`")
+    _add_store_argument(status)
+
+    result = subparsers.add_parser(
+        "result", help="print a finished job's full result (key prefix accepted)"
+    )
+    result.add_argument("key", help="job key (or unique prefix) from `submit`")
+    result.add_argument(
+        "--wait", action="store_true", help="block until the result is available"
+    )
+    result.add_argument(
+        "--wait-timeout", type=float, default=None, metavar="SECONDS",
+        help="give up waiting after this many seconds",
+    )
+    _add_store_argument(result)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the batch scheduler over the spooled job queue"
+    )
+    serve.add_argument("-w", "--workers", type=int, default=2)
+    serve.add_argument("--chunk-size", type=int, default=None)
+    serve.add_argument("--max-retries", type=int, default=2)
+    serve.add_argument(
+        "--once", action="store_true",
+        help="drain the current queue and exit instead of polling forever",
+    )
+    serve.add_argument("--poll-interval", type=float, default=0.5)
+    serve.add_argument("--max-jobs", type=int, default=None)
+    _add_store_argument(serve)
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or clear the content-addressed result store"
+    )
+    cache.add_argument("action", choices=("show", "clear"))
+    _add_store_argument(cache)
 
     table = subparsers.add_parser("table", help="regenerate a paper table")
     table.add_argument("which", choices=("1a", "1b", "1c"))
@@ -148,14 +239,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _command_run(args: argparse.Namespace) -> int:
-    from .stochastic import ClassicalOutcome, PauliExpectation
-
     circuit = _load_circuit(args.circuit)
-    properties: List = [BasisProbability(bits) for bits in args.probability]
-    properties.extend(PauliExpectation(p) for p in args.pauli)
-    properties.extend(ClassicalOutcome(v) for v in args.outcome)
-    if args.fidelity:
-        properties.append(IdealFidelity())
+    properties = _properties_from_args(args)
     result = simulate_stochastic(
         circuit,
         noise_model=_noise_from_args(args),
@@ -168,6 +253,111 @@ def _command_run(args: argparse.Namespace) -> int:
         timeout=args.timeout,
     )
     print(result.summary())
+    return 0
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    from .service import JobSpec, enqueue_job
+
+    try:
+        circuit = _load_circuit(args.circuit)
+        spec = JobSpec.build(
+            circuit,
+            noise_model=_noise_from_args(args),
+            properties=_properties_from_args(args),
+            trajectories=args.trajectories,
+            seed=args.seed,
+            backend_kind=args.backend,
+            sample_shots=args.shots,
+            timeout=args.timeout,
+        )
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"cannot submit {args.circuit!r}: {error}")
+    store = _open_store(args)
+    key, cached = enqueue_job(store, spec)
+    if cached:
+        print(f"{key}\ncache hit: result already stored, nothing queued")
+    else:
+        print(f"{key}\nqueued {circuit.name} (M={args.trajectories}) — "
+              f"run `repro-sim serve --store {store.directory}` to execute")
+    return 0
+
+
+def _command_status(args: argparse.Namespace) -> int:
+    from .service import query_status
+
+    store = _open_store(args)
+    try:
+        key = store.resolve_key(args.key)
+        print(query_status(store, key).render())
+    except KeyError as error:
+        raise SystemExit(str(error))
+    return 0
+
+
+def _command_result(args: argparse.Namespace) -> int:
+    import time as _time
+
+    store = _open_store(args)
+    deadline = (
+        None if args.wait_timeout is None else _time.monotonic() + args.wait_timeout
+    )
+    while True:
+        try:
+            key = store.resolve_key(args.key)
+        except KeyError as error:
+            if not args.wait:
+                raise SystemExit(str(error))
+            key = None
+        if key is not None:
+            result = store.get(key)
+            if result is not None:
+                print(result.summary())
+                return 0
+            if not args.wait:
+                print(f"job {key[:16]}… has no final result yet "
+                      f"(use --wait, or check `status`)")
+                return 1
+        if deadline is not None and _time.monotonic() >= deadline:
+            print("timed out waiting for the result")
+            return 1
+        _time.sleep(0.1)
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from .service import serve
+
+    store = _open_store(args)
+    processed = serve(
+        store,
+        workers=args.workers,
+        once=args.once,
+        poll_interval=args.poll_interval,
+        chunk_size=args.chunk_size,
+        max_retries=args.max_retries,
+        max_jobs=args.max_jobs,
+    )
+    print(f"processed {processed} job(s)")
+    return 0
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"cleared {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"from {store.directory}")
+        return 0
+    stats = store.stats()
+    print(f"store: {stats['directory']}")
+    print(f"  final results: {stats['results']}")
+    print(f"  partial checkpoints: {stats['partials']}")
+    print(f"  queued jobs: {stats['queued']}")
+    print(f"  disk usage: {stats['disk_bytes']} bytes")
+    for key in store.result_keys():
+        spec = store.get_spec_dict(key)
+        label = spec["circuit_name"] if spec else "?"
+        print(f"  {key[:16]}… {label}")
     return 0
 
 
@@ -290,9 +480,28 @@ def _command_report(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
-    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(build_parser().parse_args(argv))
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe — the POSIX-polite exit.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+def _dispatch(args) -> int:
     if args.command == "run":
         return _command_run(args)
+    if args.command == "submit":
+        return _command_submit(args)
+    if args.command == "status":
+        return _command_status(args)
+    if args.command == "result":
+        return _command_result(args)
+    if args.command == "serve":
+        return _command_serve(args)
+    if args.command == "cache":
+        return _command_cache(args)
     if args.command == "table":
         return _command_table(args)
     if args.command == "report":

@@ -22,7 +22,7 @@ from typing import Optional, Sequence, Tuple
 from ..circuits.circuit import QuantumCircuit
 from ..noise.model import NoiseModel
 from ..stochastic.properties import PropertySpec
-from ..stochastic.runner import simulate_stochastic
+from ..stochastic.runner import StochasticSimulator, simulate_stochastic
 from ..stochastic.results import StochasticResult
 
 __all__ = ["TimedRun", "timed_stochastic_run"]
@@ -54,28 +54,45 @@ def timed_stochastic_run(
     workers: int = 1,
     seed: int = 0,
     sample_shots: int = 1,
+    simulator: Optional[StochasticSimulator] = None,
 ) -> TimedRun:
     """Run one benchmark case under a wall-clock budget.
 
     Returns a :class:`TimedRun` whose ``seconds`` is ``None`` when the case
     exceeded ``timeout`` or was infeasible for the backend (dense state
     vectors beyond the memory cap).
+
+    ``simulator`` may carry a pre-built :class:`StochasticSimulator` whose
+    persistent worker pool is then reused across benchmark cases — the
+    table sweeps pass one per backend so worker processes warm up once
+    per table instead of once per cell.
     """
     if noise_model is None:
         noise_model = NoiseModel.paper_defaults()
     started = time.perf_counter()
     try:
-        result = simulate_stochastic(
-            circuit,
-            noise_model=noise_model,
-            properties=properties,
-            trajectories=trajectories,
-            backend=backend,
-            workers=workers,
-            seed=seed,
-            sample_shots=sample_shots,
-            timeout=timeout,
-        )
+        if simulator is not None:
+            result = simulator.run(
+                circuit,
+                noise_model=noise_model,
+                properties=properties,
+                trajectories=trajectories,
+                seed=seed,
+                sample_shots=sample_shots,
+                timeout=timeout,
+            )
+        else:
+            result = simulate_stochastic(
+                circuit,
+                noise_model=noise_model,
+                properties=properties,
+                trajectories=trajectories,
+                backend=backend,
+                workers=workers,
+                seed=seed,
+                sample_shots=sample_shots,
+                timeout=timeout,
+            )
     except ValueError as error:
         if "refusing" in str(error):
             return TimedRun(circuit.name, backend, None, None, infeasible=True)

@@ -21,6 +21,7 @@ from ..circuits.circuit import QuantumCircuit
 from ..circuits.library import QASMBENCH_CIRCUITS, ghz, qft
 from ..noise.model import NoiseModel
 from ..stochastic.properties import BasisProbability
+from ..stochastic.runner import StochasticSimulator
 from .runner import TimedRun, timed_stochastic_run
 from .tables import format_cell, render_table
 
@@ -94,28 +95,40 @@ def _sweep(
         trajectories=trajectories,
     )
     dead_backends = set()
-    for label, circuit in cases:
-        runs: Dict[str, TimedRun] = {}
-        for backend in backends:
-            if backend in dead_backends:
-                runs[backend] = TimedRun(circuit.name, backend, None, None)
-                continue
-            run = timed_stochastic_run(
-                circuit,
-                backend,
-                trajectories,
-                noise_model=noise_model,
-                properties=properties_for(circuit),
-                timeout=timeout,
-                workers=workers,
-            )
-            runs[backend] = run
-            # Once a backend times out on a monotone sweep it will time out
-            # on every larger instance; skip them like the paper's ">3600"
-            # ellipsis rows.
-            if skip_backend_after_timeout and not run.completed:
-                dead_backends.add(backend)
-        report.rows.append((label, runs))
+    # One reusable simulator per backend: with workers > 1 its persistent
+    # worker pool (repro.service.Scheduler) stays warm across every cell
+    # of the sweep instead of being recreated per (circuit, backend) pair.
+    simulators = {
+        backend: StochasticSimulator(backend=backend, workers=workers)
+        for backend in backends
+    }
+    try:
+        for label, circuit in cases:
+            runs: Dict[str, TimedRun] = {}
+            for backend in backends:
+                if backend in dead_backends:
+                    runs[backend] = TimedRun(circuit.name, backend, None, None)
+                    continue
+                run = timed_stochastic_run(
+                    circuit,
+                    backend,
+                    trajectories,
+                    noise_model=noise_model,
+                    properties=properties_for(circuit),
+                    timeout=timeout,
+                    workers=workers,
+                    simulator=simulators[backend],
+                )
+                runs[backend] = run
+                # Once a backend times out on a monotone sweep it will time
+                # out on every larger instance; skip them like the paper's
+                # ">3600" ellipsis rows.
+                if skip_backend_after_timeout and not run.completed:
+                    dead_backends.add(backend)
+            report.rows.append((label, runs))
+    finally:
+        for simulator in simulators.values():
+            simulator.close()
     return report
 
 

@@ -1,0 +1,43 @@
+"""Persistent simulation job service (scheduling, caching, batch serving).
+
+The service layer turns the one-shot Monte-Carlo runner into infrastructure
+that can accept, queue, resume, and cache simulation work:
+
+* :mod:`~repro.service.job` — content-addressed :class:`JobSpec` and the
+  job lifecycle model;
+* :mod:`~repro.service.scheduler` — sharded dispatch onto a persistent
+  warm worker pool with streaming aggregation and fault tolerance;
+* :mod:`~repro.service.store` — in-memory-LRU + on-disk result cache and
+  checkpoint store;
+* :mod:`~repro.service.serve` — the spool-directory batch runner behind
+  ``repro submit`` / ``repro serve`` / ``repro status`` / ``repro result``.
+
+See docs/SERVICE.md for the architecture walk-through.
+"""
+
+from .job import JobSpec, JobState, JobStatus, StreamingEstimate
+from .scheduler import (
+    JobCancelledError,
+    JobFailedError,
+    Scheduler,
+    SchedulerError,
+)
+from .serve import enqueue_job, list_queue, query_status, serve
+from .store import ResultStore, default_store_directory
+
+__all__ = [
+    "JobCancelledError",
+    "JobFailedError",
+    "JobSpec",
+    "JobState",
+    "JobStatus",
+    "ResultStore",
+    "Scheduler",
+    "SchedulerError",
+    "StreamingEstimate",
+    "default_store_directory",
+    "enqueue_job",
+    "list_queue",
+    "query_status",
+    "serve",
+]

@@ -1,0 +1,559 @@
+"""Sharded job scheduler over a persistent warm worker pool.
+
+The scheduler accepts :class:`JobSpec` submissions, shards each job's ``M``
+trajectories into chunks, and feeds the chunks to long-lived worker
+processes (:mod:`repro.service.worker`).  Because per-trajectory seeds are
+derived from the absolute trajectory index, any sharding — and any retry
+or re-execution of a chunk — reproduces the same per-trajectory values, so
+the merged job result is a pure function of the spec.
+
+Key behaviours:
+
+* **Streaming aggregation** — partial chunk results merge into a running
+  aggregate the moment they arrive; :meth:`Scheduler.status` exposes the
+  current mean / Hoeffding half-width / completed-trajectory count while
+  the job is still running.
+* **Content-addressed caching** — submissions are checked against the
+  :class:`ResultStore` first: a byte-identical resubmission completes
+  instantly without dispatching a single chunk, and a job with an on-disk
+  checkpoint resumes from its completed spans rather than trajectory 0.
+* **Fault tolerance** — a worker that dies (or errors) has its chunk
+  requeued with bounded retries and the worker respawned; exceeding the
+  retry budget fails the job without wedging the scheduler.
+* **Determinism** — the final result is re-merged from chunk results in
+  chunk-index order, so it is bit-identical for a given chunk plan no
+  matter how many workers raced, which worker ran what, or in which order
+  chunks finished.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from ..stochastic.results import PropertyEstimate, StochasticResult
+from .job import JobSpec, JobState, JobStatus, StreamingEstimate
+from .store import ResultStore, Span
+from .worker import ChunkOutcome, ChunkTask, worker_main
+
+__all__ = ["Scheduler", "SchedulerError", "JobFailedError", "JobCancelledError"]
+
+
+class SchedulerError(RuntimeError):
+    """Base class for scheduler failures."""
+
+
+class JobFailedError(SchedulerError):
+    """A job exhausted its chunk retry budget."""
+
+
+class JobCancelledError(SchedulerError):
+    """The job was cancelled before completion."""
+
+
+def _remaining_spans(total: int, done: List[Span]) -> List[Span]:
+    """Complement of the completed spans within ``range(total)``."""
+    remaining: List[Span] = []
+    cursor = 0
+    for start, count in sorted(done):
+        end = min(start + count, total)
+        start = max(start, cursor)
+        if start > cursor:
+            remaining.append((cursor, start - cursor))
+        cursor = max(cursor, end)
+    if cursor < total:
+        remaining.append((cursor, total - cursor))
+    return remaining
+
+
+class _WorkerHandle:
+    """Book-keeping for one worker process and its private queues.
+
+    Each worker owns BOTH its task queue and its result queue.  A shared
+    result queue would be a liability: killing a worker mid-``put`` leaves
+    the queue's write lock held by a dead process, wedging every other
+    worker forever.  With per-worker queues a kill can only corrupt the
+    victim's own channel, which is discarded along with the handle.
+    """
+
+    __slots__ = (
+        "worker_id", "process", "task_queue", "result_queue", "busy",
+        "dispatched_at",
+    )
+
+    def __init__(self, worker_id: int, ctx) -> None:
+        self.worker_id = worker_id
+        self.task_queue = ctx.Queue()
+        self.result_queue = ctx.Queue()
+        self.process = ctx.Process(
+            target=worker_main,
+            args=(worker_id, self.task_queue, self.result_queue),
+            daemon=True,
+            name=f"repro-worker-{worker_id}",
+        )
+        self.busy: Optional[ChunkTask] = None
+        self.dispatched_at = 0.0
+        self.process.start()
+
+
+class _Job:
+    """Internal mutable state of one submitted job."""
+
+    def __init__(self, spec: JobSpec, key: str) -> None:
+        self.spec = spec
+        self.key = key
+        self.state = JobState.QUEUED
+        self.chunks: Dict[int, ChunkTask] = {}
+        self.pending: Deque[int] = deque()
+        self.in_flight: Set[int] = set()
+        self.completed: Dict[int, StochasticResult] = {}
+        self.retries: Dict[int, int] = {}
+        self.base_spans: List[Span] = []  #: spans restored from a checkpoint
+        self.base_partial: Optional[StochasticResult] = None
+        self.aggregate = StochasticResult(
+            circuit_name=spec.circuit.name,
+            backend_kind=spec.backend_kind,
+            requested_trajectories=spec.trajectories,
+        )
+        for prop in spec.properties:
+            self.aggregate.estimates[prop.name] = PropertyEstimate(prop.name)
+        self.final: Optional[StochasticResult] = None
+        self.error: Optional[str] = None
+        self.cached = False
+        self.started_at = time.perf_counter()
+        self.deadline = (
+            None if spec.timeout is None else self.started_at + spec.timeout
+        )
+        self.done = threading.Event()
+        self.chunks_since_checkpoint = 0
+
+    @property
+    def total_retries(self) -> int:
+        return sum(self.retries.values())
+
+    def finished(self) -> bool:
+        return self.done.is_set()
+
+
+class Scheduler:
+    """Persistent-pool scheduler for stochastic simulation jobs.
+
+    Parameters
+    ----------
+    workers:
+        Number of long-lived worker processes.
+    store:
+        Result cache / checkpoint store; defaults to a memory-only store.
+    chunk_size:
+        Trajectories per chunk; default aims at ~8 chunks per worker
+        (bounded below by 1) so streaming estimates refresh frequently and
+        a lost chunk is cheap to retry.
+    max_retries:
+        Requeue budget per chunk before the whole job is failed.
+    checkpoint_every:
+        Checkpoint the merged partial to the store after this many chunk
+        completions (1 = after every chunk).
+    chunk_timeout:
+        Wall-clock seconds an in-flight chunk may take before its worker
+        is presumed wedged, killed, and the chunk retried (None = never).
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        store: Optional[ResultStore] = None,
+        chunk_size: Optional[int] = None,
+        max_retries: int = 2,
+        checkpoint_every: int = 1,
+        chunk_timeout: Optional[float] = None,
+        mp_context: str = "fork",
+        poll_interval: float = 0.02,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.workers = workers
+        self.store = store if store is not None else ResultStore(directory=None)
+        self.chunk_size = chunk_size
+        self.max_retries = max_retries
+        self.checkpoint_every = max(1, checkpoint_every)
+        self.chunk_timeout = chunk_timeout
+        self.poll_interval = poll_interval
+        #: Trajectories actually executed by this scheduler instance —
+        #: cache hits and resumed checkpoints contribute nothing here.
+        self.trajectories_executed = 0
+
+        self._ctx = multiprocessing.get_context(mp_context)
+        self._lock = threading.RLock()
+        self._jobs: Dict[str, _Job] = {}
+        self._order: List[str] = []  #: submission order, for FIFO dispatch
+        self._closed = False
+        self._workers: List[_WorkerHandle] = [
+            _WorkerHandle(i, self._ctx) for i in range(workers)
+        ]
+        self._next_worker_id = workers
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, daemon=True, name="repro-scheduler"
+        )
+        self._dispatcher.start()
+        atexit.register(self.shutdown)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> str:
+        """Register a job; returns its content-addressed key immediately.
+
+        Cache hit → the job is born COMPLETED with the stored result.
+        Checkpoint hit → only the missing trajectory spans are scheduled.
+        Identical key already live → idempotent, the existing job is kept.
+        """
+        key = spec.job_key()
+        with self._lock:
+            if self._closed:
+                raise SchedulerError("scheduler is shut down")
+            existing = self._jobs.get(key)
+            if existing is not None and not existing.finished():
+                return key  # identical job already in flight — join it
+
+            job = _Job(spec, key)
+            cached = self.store.get(key)
+            if cached is not None:
+                job.final = cached
+                job.cached = True
+                job.state = JobState.COMPLETED
+                job.done.set()
+            else:
+                checkpoint = self.store.get_partial(key)
+                if checkpoint is not None:
+                    spans, partial = checkpoint
+                    job.base_spans = spans
+                    job.base_partial = partial
+                    job.aggregate.merge(partial)
+                self._plan_chunks(job)
+                if not job.chunks:
+                    # The checkpoint already covers every trajectory.
+                    self._finalize(job)
+            self._jobs[key] = job
+            self._order.append(key)
+        return key
+
+    def status(self, key: str) -> JobStatus:
+        """Point-in-time progress snapshot (streaming estimates included)."""
+        with self._lock:
+            job = self._jobs.get(key)
+            if job is None:
+                raise KeyError(f"unknown job {key!r}")
+            source = job.final if job.final is not None else job.aggregate
+            estimates = {
+                name: StreamingEstimate(
+                    name=name,
+                    mean=estimate.mean,
+                    halfwidth=estimate.hoeffding_halfwidth(),
+                    count=estimate.count,
+                )
+                for name, estimate in source.estimates.items()
+                if estimate.count > 0
+            }
+            elapsed = (
+                source.elapsed_seconds
+                if job.final is not None
+                else time.perf_counter() - job.started_at
+            )
+            return JobStatus(
+                key=key,
+                state=job.state,
+                circuit_name=job.spec.circuit.name,
+                requested_trajectories=job.spec.trajectories,
+                completed_trajectories=source.completed_trajectories,
+                estimates=estimates,
+                elapsed_seconds=elapsed,
+                retries=job.total_retries,
+                cached=job.cached,
+                error=job.error,
+            )
+
+    def result(self, key: str, timeout: Optional[float] = None) -> StochasticResult:
+        """Block until the job finishes; returns an independent result copy."""
+        with self._lock:
+            job = self._jobs.get(key)
+        if job is None:
+            raise KeyError(f"unknown job {key!r}")
+        if not job.done.wait(timeout):
+            raise TimeoutError(f"job {key[:16]}… still running after {timeout} s")
+        if job.state == JobState.FAILED:
+            raise JobFailedError(job.error or "job failed")
+        if job.state == JobState.CANCELLED:
+            raise JobCancelledError(f"job {key[:16]}… was cancelled")
+        assert job.final is not None
+        return job.final.copy()
+
+    def run(self, spec: JobSpec, timeout: Optional[float] = None) -> StochasticResult:
+        """Submit and wait — the synchronous convenience path."""
+        return self.result(self.submit(spec), timeout=timeout)
+
+    def cancel(self, key: str) -> bool:
+        """Cancel a job; its checkpoint (if any) survives for later resume."""
+        with self._lock:
+            job = self._jobs.get(key)
+            if job is None:
+                raise KeyError(f"unknown job {key!r}")
+            if job.finished():
+                return False
+            job.pending.clear()
+            job.state = JobState.CANCELLED
+            self._checkpoint(job, force=True)
+            job.done.set()
+            return True
+
+    def shutdown(self) -> None:
+        """Stop the dispatcher and terminate the worker pool (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for job in self._jobs.values():
+                if not job.finished():
+                    job.state = JobState.CANCELLED
+                    self._checkpoint(job, force=True)
+                    job.done.set()
+        if self._dispatcher.is_alive():
+            self._dispatcher.join(timeout=2.0)
+        for handle in self._workers:
+            try:
+                handle.task_queue.put(None)
+            except (OSError, ValueError):
+                pass
+        deadline = time.time() + 1.0
+        for handle in self._workers:
+            handle.process.join(timeout=max(0.0, deadline - time.time()))
+            if handle.process.is_alive():
+                handle.process.terminate()
+
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    def _default_chunk_size(self, trajectories: int) -> int:
+        return max(1, -(-trajectories // (self.workers * 8)))
+
+    def _plan_chunks(self, job: _Job) -> None:
+        size = self.chunk_size or self._default_chunk_size(job.spec.trajectories)
+        remaining = _remaining_spans(job.spec.trajectories, job.base_spans)
+        index = 0
+        for first, count in remaining:
+            offset = 0
+            while offset < count:
+                take = min(size, count - offset)
+                job.chunks[index] = ChunkTask(
+                    job_key=job.key,
+                    chunk_index=index,
+                    circuit=job.spec.circuit,
+                    noise_model=job.spec.noise_model,
+                    properties=job.spec.properties,
+                    backend_kind=job.spec.backend_kind,
+                    first_trajectory=first + offset,
+                    num_trajectories=take,
+                    master_seed=job.spec.seed,
+                    sample_shots=job.spec.sample_shots,
+                    timeout=job.spec.timeout,
+                )
+                job.pending.append(index)
+                index += 1
+                offset += take
+        if job.chunks:
+            job.state = JobState.RUNNING
+
+    # ------------------------------------------------------------------
+    # Dispatch loop (background thread)
+    # ------------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while not self._closed:
+            with self._lock:
+                self._reap_dead_workers()
+                self._check_deadlines()
+                self._assign_chunks()
+                drained = sum(
+                    self._drain_results(handle) for handle in list(self._workers)
+                )
+            if not drained:
+                time.sleep(self.poll_interval)
+
+    def _drain_results(self, handle: _WorkerHandle) -> int:
+        """Consume every outcome currently readable from one worker."""
+        count = 0
+        while True:
+            try:
+                outcome = handle.result_queue.get_nowait()
+            except Exception:
+                return count  # Empty, or a write torn by a mid-put kill
+            if isinstance(outcome, ChunkOutcome):
+                self._handle_outcome(outcome)
+                count += 1
+
+    def _idle_workers(self) -> List[_WorkerHandle]:
+        return [h for h in self._workers if h.busy is None and h.process.is_alive()]
+
+    def _assign_chunks(self) -> None:
+        idle = self._idle_workers()
+        if not idle:
+            return
+        for key in self._order:
+            job = self._jobs.get(key)
+            if job is None or job.finished() or not job.pending:
+                continue
+            while idle and job.pending:
+                handle = idle.pop()
+                index = job.pending.popleft()
+                task = job.chunks[index]
+                job.in_flight.add(index)
+                handle.busy = task
+                handle.dispatched_at = time.perf_counter()
+                handle.task_queue.put(task)
+            if not idle:
+                return
+
+    def _reap_dead_workers(self) -> None:
+        for position, handle in enumerate(self._workers):
+            alive = handle.process.is_alive()
+            stuck = (
+                self.chunk_timeout is not None
+                and handle.busy is not None
+                and time.perf_counter() - handle.dispatched_at > self.chunk_timeout
+            )
+            if alive and not stuck:
+                continue
+            if alive:
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+            # Salvage outcomes that were fully written before the death so a
+            # finished chunk is not needlessly re-executed.
+            self._drain_results(handle)
+            if handle.busy is not None:
+                self._requeue(handle.busy, "worker died" if not stuck else "chunk timed out")
+            replacement = _WorkerHandle(self._next_worker_id, self._ctx)
+            self._next_worker_id += 1
+            self._workers[position] = replacement
+
+    def _check_deadlines(self) -> None:
+        now = time.perf_counter()
+        for job in self._jobs.values():
+            if job.finished() or job.deadline is None or now < job.deadline:
+                continue
+            job.pending.clear()
+            job.aggregate.timed_out = True
+            self._finalize(job)
+
+    def _requeue(self, task: ChunkTask, reason: str) -> None:
+        job = self._jobs.get(task.job_key)
+        if job is None or job.finished():
+            return
+        job.in_flight.discard(task.chunk_index)
+        if task.chunk_index in job.completed:
+            return  # result raced in before the death was noticed
+        attempts = job.retries.get(task.chunk_index, 0) + 1
+        job.retries[task.chunk_index] = attempts
+        if attempts > self.max_retries:
+            job.state = JobState.FAILED
+            job.error = (
+                f"chunk {task.chunk_index} failed after {attempts} attempts ({reason})"
+            )
+            job.pending.clear()
+            job.done.set()
+        else:
+            job.pending.appendleft(task.chunk_index)
+
+    def _handle_outcome(self, outcome: ChunkOutcome) -> None:
+        for handle in self._workers:
+            if handle.worker_id == outcome.worker_id:
+                handle.busy = None
+                break
+        job = self._jobs.get(outcome.job_key)
+        if job is None or job.finished():
+            return  # late result for a cancelled/timed-out/failed job
+        if outcome.chunk_index in job.completed:
+            return  # duplicate after a spurious requeue
+        if outcome.error is not None:
+            self._requeue(job.chunks[outcome.chunk_index], outcome.error)
+            return
+
+        assert outcome.result is not None
+        job.in_flight.discard(outcome.chunk_index)
+        try:  # a spurious requeue may have put the chunk back on pending
+            job.pending.remove(outcome.chunk_index)
+        except ValueError:
+            pass
+        job.completed[outcome.chunk_index] = outcome.result
+        job.aggregate.merge(outcome.result)
+        self.trajectories_executed += outcome.result.completed_trajectories
+        job.chunks_since_checkpoint += 1
+        if outcome.result.timed_out:
+            job.pending.clear()
+            self._finalize(job)
+            return
+        if len(job.completed) == len(job.chunks):
+            self._finalize(job)
+        else:
+            self._checkpoint(job)
+
+    # ------------------------------------------------------------------
+    # Aggregation / persistence
+    # ------------------------------------------------------------------
+
+    def _completed_spans(self, job: _Job) -> List[Span]:
+        spans = list(job.base_spans)
+        spans.extend(
+            (result_chunk.first_trajectory, result_chunk.num_trajectories)
+            for result_chunk in (job.chunks[i] for i in job.completed)
+        )
+        return sorted(spans)
+
+    def _checkpoint(self, job: _Job, force: bool = False) -> None:
+        if not force and job.chunks_since_checkpoint < self.checkpoint_every:
+            return
+        if job.base_partial is None and not job.completed:
+            return  # nothing worth persisting yet
+        job.chunks_since_checkpoint = 0
+        snapshot = job.aggregate.copy()
+        snapshot.elapsed_seconds = time.perf_counter() - job.started_at
+        self.store.put_partial(job.key, self._completed_spans(job), snapshot)
+
+    def _finalize(self, job: _Job) -> None:
+        """Re-merge in chunk-index order for a deterministic final result."""
+        final = StochasticResult(
+            circuit_name=job.spec.circuit.name,
+            backend_kind=job.spec.backend_kind,
+            requested_trajectories=job.spec.trajectories,
+        )
+        for prop in job.spec.properties:
+            final.estimates[prop.name] = PropertyEstimate(prop.name)
+        if job.base_partial is not None:
+            final.merge(job.base_partial)
+        for index in sorted(job.completed):
+            final.merge(job.completed[index])
+        final.timed_out = final.timed_out or job.aggregate.timed_out
+        final.elapsed_seconds = time.perf_counter() - job.started_at
+        final.workers = self.workers
+        job.final = final
+        job.state = JobState.COMPLETED
+        complete = final.completed_trajectories >= job.spec.trajectories
+        if complete and not final.timed_out:
+            self.store.put(job.key, final, spec_dict=job.spec.to_dict())
+        else:
+            # Timed-out / partial outcomes are checkpointed, never cached
+            # as final: a resubmission with more budget resumes from here.
+            self.store.put_partial(job.key, self._completed_spans(job), final)
+        job.done.set()

@@ -1,0 +1,191 @@
+"""Batch-runner mode: drain a spool directory of submitted jobs.
+
+``repro submit`` serialises a :class:`JobSpec` into ``<store>/queue/<key>.json``;
+:func:`serve` (the engine behind ``repro serve``) picks queued specs up in
+submission order, runs them on a persistent :class:`Scheduler`, and leaves
+final results — and, while a job is still running, streaming checkpoints —
+in the same store, where ``repro status`` and ``repro result`` (separate
+processes) find them.  This decouples producers from the worker pool: many
+``submit`` invocations feed one long-lived ``serve`` process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Callable, List, Optional, Tuple
+
+from .job import JobSpec, JobState, JobStatus, StreamingEstimate
+from .scheduler import Scheduler, SchedulerError
+from .store import ResultStore
+
+__all__ = ["enqueue_job", "list_queue", "query_status", "serve"]
+
+
+def enqueue_job(store: ResultStore, spec: JobSpec) -> Tuple[str, bool]:
+    """Spool a job spec for a batch runner; returns (key, was_cached).
+
+    A spec whose result is already stored is *not* enqueued — the
+    submission is answered by the cache, no workers ever run.
+    """
+    if store.directory is None:
+        raise ValueError("enqueue_job needs a store with an on-disk directory")
+    key = spec.job_key()
+    if store.get(key) is not None:
+        return key, True
+    path = os.path.join(store.directory, "queue", f"{key}.json")
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(spec.to_dict(), handle)
+    os.replace(tmp, path)
+    return key, False
+
+
+def list_queue(store: ResultStore) -> List[str]:
+    """Queued job keys in submission (mtime, then name) order."""
+    if store.directory is None:
+        return []
+    folder = os.path.join(store.directory, "queue")
+    if not os.path.isdir(folder):
+        return []
+    entries = []
+    for name in os.listdir(folder):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(folder, name)
+        try:
+            entries.append((os.path.getmtime(path), name[: -len(".json")]))
+        except OSError:
+            continue
+    return [key for _, key in sorted(entries)]
+
+
+def _dequeue(store: ResultStore, key: str) -> Optional[JobSpec]:
+    path = os.path.join(store.directory, "queue", f"{key}.json")
+    data = ResultStore._read_json(path)
+    if data is None:
+        return None
+    try:
+        return JobSpec.from_dict(data)
+    except (KeyError, ValueError, TypeError):
+        return None
+
+
+def _remove_queued(store: ResultStore, key: str) -> None:
+    path = os.path.join(store.directory, "queue", f"{key}.json")
+    try:
+        os.remove(path)
+    except OSError:
+        pass
+
+
+def query_status(store: ResultStore, key: str) -> JobStatus:
+    """Reconstruct a job's status purely from the store (cross-process).
+
+    This is what lets ``repro status`` observe a job that a separate
+    ``repro serve`` process is running: final results, streaming
+    checkpoints, and queued specs all live on disk.
+    """
+
+    def estimates_of(result) -> dict:
+        return {
+            name: StreamingEstimate(
+                name=name,
+                mean=estimate.mean,
+                halfwidth=estimate.hoeffding_halfwidth(),
+                count=estimate.count,
+            )
+            for name, estimate in result.estimates.items()
+            if estimate.count > 0
+        }
+
+    final = store.get(key)
+    if final is not None:
+        return JobStatus(
+            key=key,
+            state=JobState.COMPLETED,
+            circuit_name=final.circuit_name,
+            requested_trajectories=final.requested_trajectories,
+            completed_trajectories=final.completed_trajectories,
+            estimates=estimates_of(final),
+            elapsed_seconds=final.elapsed_seconds,
+        )
+    checkpoint = store.get_partial(key)
+    if checkpoint is not None:
+        _, partial = checkpoint
+        return JobStatus(
+            key=key,
+            state=JobState.RUNNING,
+            circuit_name=partial.circuit_name,
+            requested_trajectories=partial.requested_trajectories,
+            completed_trajectories=partial.completed_trajectories,
+            estimates=estimates_of(partial),
+            elapsed_seconds=partial.elapsed_seconds,
+        )
+    if key in store.queued_keys():
+        spec = _dequeue(store, key)
+        return JobStatus(
+            key=key,
+            state=JobState.QUEUED,
+            circuit_name=spec.circuit.name if spec else "?",
+            requested_trajectories=spec.trajectories if spec else 0,
+        )
+    raise KeyError(f"unknown job {key!r}")
+
+
+def serve(
+    store: ResultStore,
+    workers: int = 2,
+    once: bool = False,
+    poll_interval: float = 0.5,
+    chunk_size: Optional[int] = None,
+    max_retries: int = 2,
+    max_jobs: Optional[int] = None,
+    log: Callable[[str], None] = print,
+) -> int:
+    """Process queued jobs until the queue stays empty (``once``) or forever.
+
+    Returns the number of jobs executed.  Jobs that fail (retry budget
+    exhausted) are logged and dequeued so one poisoned spec cannot wedge
+    the queue; their partial checkpoints remain for post-mortem or resume.
+    """
+    processed = 0
+    with Scheduler(
+        workers=workers,
+        store=store,
+        chunk_size=chunk_size,
+        max_retries=max_retries,
+    ) as scheduler:
+        while True:
+            keys = list_queue(store)
+            if not keys:
+                if once:
+                    break
+                time.sleep(poll_interval)
+                continue
+            for key in keys:
+                spec = _dequeue(store, key)
+                if spec is None:
+                    log(f"[serve] dropping unreadable queue entry {key[:16]}…")
+                    _remove_queued(store, key)
+                    continue
+                log(
+                    f"[serve] job {key[:16]}… ({spec.circuit.name}, "
+                    f"M={spec.trajectories}, backend={spec.backend_kind})"
+                )
+                try:
+                    result = scheduler.run(spec)
+                    log(
+                        f"[serve] job {key[:16]}… done: "
+                        f"{result.completed_trajectories}/{spec.trajectories} "
+                        f"trajectories in {result.elapsed_seconds:.3f} s"
+                    )
+                except SchedulerError as error:
+                    log(f"[serve] job {key[:16]}… FAILED: {error}")
+                finally:
+                    _remove_queued(store, key)
+                processed += 1
+                if max_jobs is not None and processed >= max_jobs:
+                    return processed
+    return processed

@@ -1,0 +1,243 @@
+"""Content-addressed result store: in-memory LRU over on-disk JSON.
+
+Results are keyed by the job's SHA-256 content hash (:meth:`JobSpec.job_key`).
+Three kinds of entries live under the store directory:
+
+* ``results/<key>.json`` — final :class:`StochasticResult` (plus the spec
+  that produced it, for provenance and CLI display);
+* ``partials/<key>.json`` — checkpoint of a job in flight: the trajectory
+  spans already completed and the merged partial result, written by the
+  scheduler after (configurably) every chunk so an interrupted job resumes
+  instead of restarting at trajectory 0;
+* ``queue/<key>.json`` — specs spooled by ``repro submit`` awaiting a
+  ``repro serve`` batch runner (managed by :mod:`repro.service.serve`).
+
+A store constructed with ``directory=None`` is memory-only — used by the
+:class:`~repro.stochastic.runner.StochasticSimulator` client, which must
+not write to disk behind the caller's back.  All reads return independent
+copies so callers can never mutate cached state in place.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from ..stochastic.results import StochasticResult
+
+__all__ = ["ResultStore", "default_store_directory"]
+
+#: Environment variable overriding the default on-disk store location.
+STORE_ENV = "REPRO_STORE_DIR"
+
+Span = Tuple[int, int]  #: (first_trajectory, num_trajectories)
+
+
+def default_store_directory() -> str:
+    """Resolve the CLI's store directory (env override, then XDG cache)."""
+    override = os.environ.get(STORE_ENV)
+    if override:
+        return override
+    cache_home = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(cache_home, "repro-sim")
+
+
+class ResultStore:
+    """LRU-fronted, content-addressed store of simulation results."""
+
+    def __init__(self, directory: Optional[str] = None, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.directory = directory
+        self.capacity = capacity
+        self._memory: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        if directory is not None:
+            for sub in ("results", "partials", "queue"):
+                os.makedirs(os.path.join(directory, sub), exist_ok=True)
+
+    # -- path helpers -----------------------------------------------------
+
+    def _path(self, kind: str, key: str) -> Optional[str]:
+        if self.directory is None:
+            return None
+        return os.path.join(self.directory, kind, f"{key}.json")
+
+    @staticmethod
+    def _read_json(path: Optional[str]) -> Optional[Dict[str, object]]:
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None  # a torn write is a cache miss, never an error
+
+    @staticmethod
+    def _write_json(path: str, payload: Dict[str, object]) -> None:
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)  # atomic: readers see old or new, never torn
+
+    # -- final results ----------------------------------------------------
+
+    def get(self, key: str) -> Optional[StochasticResult]:
+        """Stored final result for ``key`` (an independent copy), or None."""
+        entry = self._memory.get(key)
+        if entry is None:
+            entry = self._read_json(self._path("results", key))
+            if entry is not None:
+                self._remember(key, entry)
+        else:
+            self._memory.move_to_end(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return StochasticResult.from_dict(entry["result"])
+
+    def put(
+        self,
+        key: str,
+        result: StochasticResult,
+        spec_dict: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Store a final result and drop any checkpoint it supersedes."""
+        entry: Dict[str, object] = {"result": result.to_dict()}
+        if spec_dict is not None:
+            entry["spec"] = spec_dict
+        self._remember(key, entry)
+        path = self._path("results", key)
+        if path is not None:
+            self._write_json(path, entry)
+        self.delete_partial(key)
+
+    def get_spec_dict(self, key: str) -> Optional[Dict[str, object]]:
+        """The job spec stored alongside a final result, if any."""
+        entry = self._memory.get(key) or self._read_json(self._path("results", key))
+        if entry is None:
+            return None
+        return entry.get("spec")
+
+    def _remember(self, key: str, entry: Dict[str, object]) -> None:
+        self._memory[key] = entry
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+
+    # -- partial checkpoints ----------------------------------------------
+
+    def get_partial(self, key: str) -> Optional[Tuple[List[Span], StochasticResult]]:
+        """Checkpoint for ``key``: completed spans + merged partial result."""
+        entry = self._read_json(self._path("partials", key))
+        if entry is None:
+            return None
+        spans = [(int(first), int(count)) for first, count in entry["spans"]]
+        return spans, StochasticResult.from_dict(entry["result"])
+
+    def put_partial(self, key: str, spans: List[Span], result: StochasticResult) -> None:
+        """Checkpoint a job in flight (no-op for memory-only stores)."""
+        path = self._path("partials", key)
+        if path is None:
+            return
+        self._write_json(
+            path,
+            {"spans": [[first, count] for first, count in spans],
+             "result": result.to_dict()},
+        )
+
+    def delete_partial(self, key: str) -> None:
+        path = self._path("partials", key)
+        if path is not None and os.path.exists(path):
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+
+    # -- enumeration / maintenance ----------------------------------------
+
+    def _list_keys(self, kind: str) -> List[str]:
+        if self.directory is None:
+            return sorted(self._memory) if kind == "results" else []
+        folder = os.path.join(self.directory, kind)
+        if not os.path.isdir(folder):
+            return []
+        return sorted(
+            name[: -len(".json")]
+            for name in os.listdir(folder)
+            if name.endswith(".json")
+        )
+
+    def result_keys(self) -> List[str]:
+        keys = set(self._memory) | set(self._list_keys("results"))
+        return sorted(keys)
+
+    def partial_keys(self) -> List[str]:
+        return self._list_keys("partials")
+
+    def queued_keys(self) -> List[str]:
+        return self._list_keys("queue")
+
+    def resolve_key(self, prefix: str) -> str:
+        """Expand a key prefix to the unique full key it identifies."""
+        candidates = {
+            key
+            for key in (
+                self.result_keys() + self.partial_keys() + self.queued_keys()
+            )
+            if key.startswith(prefix)
+        }
+        if not candidates:
+            raise KeyError(f"no job matching {prefix!r} in the store")
+        if len(candidates) > 1:
+            raise KeyError(f"ambiguous key prefix {prefix!r}: {sorted(candidates)}")
+        return candidates.pop()
+
+    def clear(self) -> int:
+        """Drop every entry (results, partials, queued specs); return count."""
+        removed = len(self._memory)
+        self._memory.clear()
+        if self.directory is not None:
+            for kind in ("results", "partials", "queue"):
+                folder = os.path.join(self.directory, kind)
+                if not os.path.isdir(folder):
+                    continue
+                for name in os.listdir(folder):
+                    if name.endswith(".json"):
+                        try:
+                            os.remove(os.path.join(folder, name))
+                            removed += 1
+                        except OSError:
+                            pass
+        return removed
+
+    def stats(self) -> Dict[str, object]:
+        """Occupancy and hit-rate counters (``repro cache show``)."""
+        disk_bytes = 0
+        if self.directory is not None:
+            for kind in ("results", "partials", "queue"):
+                folder = os.path.join(self.directory, kind)
+                if not os.path.isdir(folder):
+                    continue
+                for name in os.listdir(folder):
+                    try:
+                        disk_bytes += os.path.getsize(os.path.join(folder, name))
+                    except OSError:
+                        pass
+        return {
+            "directory": self.directory,
+            "results": len(self.result_keys()),
+            "partials": len(self.partial_keys()),
+            "queued": len(self.queued_keys()),
+            "memory_entries": len(self._memory),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_bytes": disk_bytes,
+        }

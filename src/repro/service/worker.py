@@ -1,0 +1,120 @@
+"""Persistent worker processes for the simulation scheduler.
+
+Each worker is a long-lived process running :func:`worker_main`: it blocks
+on its private task queue, executes one chunk of trajectories at a time,
+and pushes the chunk's :class:`StochasticResult` onto its private result
+queue.  Between chunks of the *same job* the worker keeps its decision-
+diagram backend (unique/compute tables stay populated) and its evaluation
+context (the cached noiseless-reference snapshot) warm — the overhead the
+old per-call ``ProcessPoolExecutor`` paid on every invocation.
+
+Workers are crash-isolated: the scheduler detects a dead worker, respawns
+it with a fresh queue, and requeues the chunk it was holding.  For
+deterministic fault-injection tests, setting the ``REPRO_SERVICE_CRASH_ONCE``
+environment variable to a marker-file path makes the first worker that
+picks up a task after spawn die hard (``os._exit``) exactly once.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..circuits.circuit import QuantumCircuit
+from ..noise.model import NoiseModel
+from ..stochastic.properties import PropertySpec
+from ..stochastic.results import StochasticResult
+from ..stochastic.runner import _EvaluationContext, _make_backend, run_trajectory_span
+
+__all__ = ["ChunkTask", "ChunkOutcome", "worker_main"]
+
+#: Env var for deterministic crash injection (see module docstring).
+CRASH_ONCE_ENV = "REPRO_SERVICE_CRASH_ONCE"
+
+#: Warm (backend, context) pairs kept per worker, LRU-evicted beyond this.
+_WARM_CACHE_LIMIT = 4
+
+
+@dataclass(frozen=True)
+class ChunkTask:
+    """One shard of a job's trajectory range, shipped to a worker."""
+
+    job_key: str
+    chunk_index: int
+    circuit: QuantumCircuit
+    noise_model: NoiseModel
+    properties: Tuple[PropertySpec, ...]
+    backend_kind: str
+    first_trajectory: int
+    num_trajectories: int
+    master_seed: int
+    sample_shots: int
+    timeout: Optional[float]
+
+
+@dataclass(frozen=True)
+class ChunkOutcome:
+    """A worker's report for one chunk (result or error, never both)."""
+
+    worker_id: int
+    job_key: str
+    chunk_index: int
+    first_trajectory: int
+    num_trajectories: int
+    result: Optional[StochasticResult]
+    error: Optional[str]
+
+
+def _maybe_crash_for_test() -> None:
+    marker = os.environ.get(CRASH_ONCE_ENV)
+    if marker and not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8"):
+            pass
+        os._exit(1)
+
+
+def worker_main(worker_id: int, task_queue, result_queue) -> None:
+    """Worker process entry point: loop on tasks until the None sentinel."""
+    warm: "OrderedDict[str, tuple]" = OrderedDict()
+    while True:
+        task = task_queue.get()
+        if task is None:
+            break
+        _maybe_crash_for_test()
+        try:
+            entry = warm.get(task.job_key)
+            if entry is None:
+                backend = _make_backend(task.backend_kind, task.circuit.num_qubits)
+                context = _EvaluationContext(task.circuit, task.backend_kind)
+                warm[task.job_key] = (backend, context)
+                while len(warm) > _WARM_CACHE_LIMIT:
+                    warm.popitem(last=False)
+            else:
+                backend, context = entry
+                warm.move_to_end(task.job_key)
+            result = run_trajectory_span(
+                task.circuit,
+                task.noise_model,
+                task.properties,
+                task.backend_kind,
+                task.first_trajectory,
+                task.num_trajectories,
+                task.master_seed,
+                sample_shots=task.sample_shots,
+                timeout=task.timeout,
+                backend=backend,
+                context=context,
+            )
+            outcome = ChunkOutcome(
+                worker_id, task.job_key, task.chunk_index,
+                task.first_trajectory, task.num_trajectories, result, None,
+            )
+        except Exception as exc:  # report, don't kill the worker
+            outcome = ChunkOutcome(
+                worker_id, task.job_key, task.chunk_index,
+                task.first_trajectory, task.num_trajectories, None,
+                f"{type(exc).__name__}: {exc}",
+            )
+        result_queue.put(outcome)

@@ -40,6 +40,25 @@ class PropertyEstimate:
         self.total += other.total
         self.total_squared += other.total_squared
 
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON form (used by the service result store)."""
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total": self.total,
+            "total_squared": self.total_squared,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PropertyEstimate":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=str(data["name"]),
+            count=int(data["count"]),
+            total=float(data["total"]),
+            total_squared=float(data["total_squared"]),
+        )
+
     @property
     def mean(self) -> float:
         """The Monte-Carlo estimate ``o_hat`` (paper Section III)."""
@@ -112,6 +131,48 @@ class StochasticResult:
             self.errors_fired[kind] = self.errors_fired.get(kind, 0) + count
         self.peak_nodes = max(self.peak_nodes, other.peak_nodes)
         self.timed_out = self.timed_out or other.timed_out
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON form (used by the service result store)."""
+        return {
+            "circuit_name": self.circuit_name,
+            "backend_kind": self.backend_kind,
+            "requested_trajectories": self.requested_trajectories,
+            "completed_trajectories": self.completed_trajectories,
+            "estimates": {
+                name: estimate.to_dict() for name, estimate in self.estimates.items()
+            },
+            "outcome_counts": dict(self.outcome_counts),
+            "errors_fired": dict(self.errors_fired),
+            "elapsed_seconds": self.elapsed_seconds,
+            "peak_nodes": self.peak_nodes,
+            "workers": self.workers,
+            "timed_out": self.timed_out,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "StochasticResult":
+        """Inverse of :meth:`to_dict` (always yields an independent copy)."""
+        return cls(
+            circuit_name=str(data["circuit_name"]),
+            backend_kind=str(data["backend_kind"]),
+            requested_trajectories=int(data["requested_trajectories"]),
+            completed_trajectories=int(data["completed_trajectories"]),
+            estimates={
+                name: PropertyEstimate.from_dict(entry)
+                for name, entry in dict(data["estimates"]).items()
+            },
+            outcome_counts={k: int(v) for k, v in dict(data["outcome_counts"]).items()},
+            errors_fired={k: int(v) for k, v in dict(data["errors_fired"]).items()},
+            elapsed_seconds=float(data["elapsed_seconds"]),
+            peak_nodes=int(data["peak_nodes"]),
+            workers=int(data["workers"]),
+            timed_out=bool(data["timed_out"]),
+        )
+
+    def copy(self) -> "StochasticResult":
+        """Deep, independent copy (cache reads must not alias the store)."""
+        return StochasticResult.from_dict(self.to_dict())
 
     def mean(self, property_name: str) -> float:
         """Estimate of one property by name."""

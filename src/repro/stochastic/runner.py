@@ -22,9 +22,8 @@ from __future__ import annotations
 
 import random
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -38,7 +37,12 @@ from ..simulators.statevector import StatevectorBackend
 from .properties import IdealFidelity, PropertySpec, StateFidelity
 from .results import PropertyEstimate, StochasticResult
 
-__all__ = ["StochasticSimulator", "simulate_stochastic", "BACKEND_KINDS"]
+__all__ = [
+    "StochasticSimulator",
+    "simulate_stochastic",
+    "run_trajectory_span",
+    "BACKEND_KINDS",
+]
 
 BACKEND_KINDS = ("dd", "statevector")
 
@@ -54,7 +58,7 @@ class _EvaluationContext:
         self.circuit = circuit
         self.backend_kind = backend_kind
         self._ideal = None
-        self._targets: Dict[int, object] = {}
+        self._targets: Dict[str, object] = {}
 
     def ideal_handle(self, backend):
         """Noiseless output state of the circuit (computed once per worker)."""
@@ -74,8 +78,13 @@ class _EvaluationContext:
         return self._ideal
 
     def target_handle(self, spec: StateFidelity, backend):
-        """Backend-native handle for an explicit target state."""
-        key = id(spec)
+        """Backend-native handle for an explicit target state.
+
+        Keyed by the property *name* (the same key the result estimates
+        use), so a context that outlives one chunk — the warm worker pool
+        re-pickles the specs per chunk — still hits its cache.
+        """
+        key = spec.name
         handle = self._targets.get(key)
         if handle is None:
             vector = np.asarray(spec.target, dtype=complex)
@@ -110,46 +119,85 @@ class _ChunkSpec:
     timeout: Optional[float]
 
 
-def _run_chunk(spec: _ChunkSpec) -> StochasticResult:
-    """Execute one chunk of trajectories (runs inside a worker process)."""
+def run_trajectory_span(
+    circuit: QuantumCircuit,
+    noise_model: NoiseModel,
+    properties: Sequence[PropertySpec],
+    backend_kind: str,
+    first_trajectory: int,
+    num_trajectories: int,
+    master_seed: int,
+    sample_shots: int = 0,
+    timeout: Optional[float] = None,
+    backend=None,
+    context: Optional[_EvaluationContext] = None,
+) -> StochasticResult:
+    """Execute trajectories ``first .. first + num - 1`` and aggregate them.
+
+    This is the sharding primitive shared by the in-process runner and the
+    persistent worker pool (``repro.service``): seeds are derived from the
+    absolute trajectory index, so *any* partition of ``range(M)`` into spans
+    produces the same per-trajectory values.  ``backend`` and ``context``
+    may be passed in warm (a worker keeps them between chunks of the same
+    job, preserving the DD package's unique/compute tables and the cached
+    ideal-state snapshot); omitted, fresh ones are built.
+    """
     result = StochasticResult(
-        circuit_name=spec.circuit.name,
-        backend_kind=spec.backend_kind,
-        requested_trajectories=spec.num_trajectories,
+        circuit_name=circuit.name,
+        backend_kind=backend_kind,
+        requested_trajectories=num_trajectories,
     )
-    for prop in spec.properties:
+    for prop in properties:
         result.estimates[prop.name] = PropertyEstimate(prop.name)
 
-    backend = _make_backend(spec.backend_kind, spec.circuit.num_qubits)
-    context = _EvaluationContext(spec.circuit, spec.backend_kind)
+    warm = backend is not None
+    if backend is None:
+        backend = _make_backend(backend_kind, circuit.num_qubits)
+    if context is None:
+        context = _EvaluationContext(circuit, backend_kind)
     started = time.perf_counter()
 
-    for index in range(spec.num_trajectories):
-        if spec.timeout is not None and time.perf_counter() - started > spec.timeout:
+    for index in range(num_trajectories):
+        if timeout is not None and time.perf_counter() - started > timeout:
             result.timed_out = True
             break
-        trajectory = spec.first_trajectory + index
-        rng = random.Random((spec.master_seed + trajectory * _SEED_STRIDE) & (2**63 - 1))
-        applier = StochasticErrorApplier(spec.noise_model, rng)
-        if index > 0:
-            if spec.backend_kind == "dd":
+        trajectory = first_trajectory + index
+        rng = random.Random((master_seed + trajectory * _SEED_STRIDE) & (2**63 - 1))
+        applier = StochasticErrorApplier(noise_model, rng)
+        if index > 0 or warm:
+            if backend_kind == "dd":
                 backend.reset_all()
             else:
-                backend = _make_backend(spec.backend_kind, spec.circuit.num_qubits)
-        run_result = execute_circuit(backend, spec.circuit, rng, error_hook=applier)
-        for prop in spec.properties:
+                backend = _make_backend(backend_kind, circuit.num_qubits)
+        run_result = execute_circuit(backend, circuit, rng, error_hook=applier)
+        for prop in properties:
             result.estimates[prop.name].add(prop.evaluate(backend, run_result, context))
-        if spec.sample_shots > 0:
-            for outcome, count in backend.sample_counts(spec.sample_shots, rng).items():
+        if sample_shots > 0:
+            for outcome, count in backend.sample_counts(sample_shots, rng).items():
                 result.outcome_counts[outcome] = result.outcome_counts.get(outcome, 0) + count
         for kind, count in applier.fired.items():
             result.errors_fired[kind] = result.errors_fired.get(kind, 0) + count
         result.completed_trajectories += 1
 
-    if spec.backend_kind == "dd":
+    if backend_kind == "dd":
         result.peak_nodes = backend.peak_nodes
     result.elapsed_seconds = time.perf_counter() - started
     return result
+
+
+def _run_chunk(spec: _ChunkSpec) -> StochasticResult:
+    """Execute one chunk of trajectories (runs inside a worker process)."""
+    return run_trajectory_span(
+        spec.circuit,
+        spec.noise_model,
+        spec.properties,
+        spec.backend_kind,
+        spec.first_trajectory,
+        spec.num_trajectories,
+        spec.master_seed,
+        sample_shots=spec.sample_shots,
+        timeout=spec.timeout,
+    )
 
 
 class StochasticSimulator:
@@ -163,6 +211,13 @@ class StochasticSimulator:
     workers:
         Number of worker processes for concurrent trajectory generation;
         1 runs everything in-process.
+
+    With ``workers > 1`` the simulator is a thin client of
+    :class:`repro.service.Scheduler`: the first ``run()`` call spins up a
+    persistent pool of worker processes (each keeping its DD package and
+    evaluation context warm between chunks) and subsequent calls reuse it.
+    Call :meth:`close` (or use the instance as a context manager) to tear
+    the pool down eagerly; otherwise it is reclaimed at interpreter exit.
     """
 
     def __init__(self, backend: str = "dd", workers: int = 1) -> None:
@@ -172,6 +227,33 @@ class StochasticSimulator:
             raise ValueError("workers must be >= 1")
         self.backend_kind = backend
         self.workers = workers
+        self._scheduler = None
+
+    def close(self) -> None:
+        """Shut down the warm worker pool (no-op if never started)."""
+        if self._scheduler is not None:
+            self._scheduler.shutdown()
+            self._scheduler = None
+
+    def __enter__(self) -> "StochasticSimulator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _get_scheduler(self):
+        """The lazily-created persistent scheduler backing parallel runs."""
+        if self._scheduler is None:
+            from ..service.scheduler import Scheduler
+            from ..service.store import ResultStore
+
+            # Memory-only store: the simulator API must not write to disk
+            # behind the caller's back, but identical repeat submissions
+            # within a session still short-circuit to the cached result.
+            self._scheduler = Scheduler(
+                workers=self.workers, store=ResultStore(directory=None)
+            )
+        return self._scheduler
 
     def run(
         self,
@@ -239,30 +321,27 @@ class StochasticSimulator:
         sample_shots: int,
         timeout: Optional[float],
     ) -> StochasticResult:
-        chunks: List[_ChunkSpec] = []
-        base = trajectories // self.workers
-        remainder = trajectories % self.workers
-        first = 0
-        for worker in range(self.workers):
-            size = base + (1 if worker < remainder else 0)
-            if size == 0:
-                continue
-            chunks.append(
-                _ChunkSpec(
-                    circuit, noise_model, properties, self.backend_kind,
-                    first, size, seed, sample_shots, timeout,
-                )
-            )
-            first += size
-        aggregate = StochasticResult(
-            circuit_name=circuit.name,
+        from ..service.job import JobSpec
+        from ..service.scheduler import JobFailedError
+
+        spec = JobSpec(
+            circuit=circuit,
+            noise_model=noise_model,
+            properties=properties,
+            trajectories=trajectories,
+            seed=seed,
             backend_kind=self.backend_kind,
-            requested_trajectories=trajectories,
+            sample_shots=sample_shots,
+            timeout=timeout,
         )
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            for partial in pool.map(_run_chunk, chunks):
-                aggregate.merge(partial)
-        return aggregate
+        try:
+            return self._get_scheduler().run(spec)
+        except JobFailedError as error:
+            if "refusing" in str(error):
+                # Infeasible-backend refusals keep their historical type so
+                # the harness can report them as the paper's ">1 h" cells.
+                raise ValueError(str(error)) from error
+            raise
 
 
 def simulate_stochastic(

@@ -1,0 +1,262 @@
+"""Tests for the sharded scheduler: streaming, caching, resume, faults."""
+
+import os
+import time
+
+import pytest
+
+from repro.circuits.library import ghz
+from repro.noise import NoiseModel
+from repro.service import (
+    JobCancelledError,
+    JobFailedError,
+    JobSpec,
+    JobState,
+    ResultStore,
+    Scheduler,
+)
+from repro.service.scheduler import _remaining_spans
+from repro.service.worker import CRASH_ONCE_ENV
+from repro.stochastic import BasisProbability, simulate_stochastic
+
+NOISE = NoiseModel.paper_defaults().scaled(10)
+
+
+def ghz_spec(n=4, trajectories=40, seed=5, **overrides) -> JobSpec:
+    return JobSpec.build(
+        ghz(n),
+        NOISE,
+        [BasisProbability("0" * n)],
+        trajectories=trajectories,
+        seed=seed,
+        sample_shots=0,
+        **overrides,
+    )
+
+
+def reference(spec: JobSpec):
+    """Single-process ground truth for a spec (same master seed)."""
+    return simulate_stochastic(
+        spec.circuit,
+        spec.noise_model,
+        spec.properties,
+        trajectories=spec.trajectories,
+        seed=spec.seed,
+        sample_shots=spec.sample_shots,
+    )
+
+
+class TestRemainingSpans:
+    def test_nothing_done(self):
+        assert _remaining_spans(10, []) == [(0, 10)]
+
+    def test_everything_done(self):
+        assert _remaining_spans(10, [(0, 10)]) == []
+
+    def test_holes_are_found(self):
+        assert _remaining_spans(10, [(0, 2), (5, 3)]) == [(2, 3), (8, 2)]
+
+    def test_unsorted_and_overlapping_input(self):
+        assert _remaining_spans(10, [(5, 3), (0, 6)]) == [(8, 2)]
+
+
+class TestSchedulerBasics:
+    def test_matches_single_process_reference(self):
+        spec = ghz_spec()
+        ref = reference(spec)
+        with Scheduler(workers=2, chunk_size=7) as scheduler:
+            result = scheduler.run(spec)
+        assert result.completed_trajectories == spec.trajectories
+        name = spec.properties[0].name
+        assert result.mean(name) == pytest.approx(ref.mean(name), abs=1e-12)
+        assert result.errors_fired == ref.errors_fired
+
+    def test_final_result_deterministic_across_worker_counts(self):
+        """Fixed chunk plan + index-ordered final merge → bit-identical
+        results no matter how many workers raced over the chunks."""
+        spec = ghz_spec(trajectories=30)
+        name = spec.properties[0].name
+        means = []
+        for workers in (1, 3):
+            with Scheduler(workers=workers, chunk_size=4) as scheduler:
+                means.append(scheduler.run(spec).mean(name))
+        assert means[0] == means[1]
+
+    def test_submit_is_idempotent_while_live(self):
+        spec = ghz_spec()
+        with Scheduler(workers=1, chunk_size=10) as scheduler:
+            key_a = scheduler.submit(spec)
+            key_b = scheduler.submit(spec)
+            assert key_a == key_b
+            scheduler.result(key_a, timeout=60)
+
+    def test_unknown_key_raises(self):
+        with Scheduler(workers=1) as scheduler:
+            with pytest.raises(KeyError):
+                scheduler.status("nope")
+            with pytest.raises(KeyError):
+                scheduler.result("nope")
+
+
+class TestStreaming:
+    def test_streaming_estimates_before_completion(self):
+        spec = ghz_spec(n=12, trajectories=30, seed=2)
+        name = spec.properties[0].name
+        with Scheduler(workers=2, chunk_size=1) as scheduler:
+            key = scheduler.submit(spec)
+            snapshots = []
+            deadline = time.time() + 120
+            while time.time() < deadline:
+                status = scheduler.status(key)
+                snapshots.append(status)
+                if status.state == JobState.COMPLETED:
+                    break
+                time.sleep(0.001)
+            final = scheduler.result(key, timeout=60)
+
+        partials = [
+            s for s in snapshots
+            if 0 < s.completed_trajectories < spec.trajectories
+        ]
+        assert partials, "never observed a streaming (partial) estimate"
+        probe = partials[-1]
+        assert probe.state == JobState.RUNNING
+        assert name in probe.estimates
+        estimate = probe.estimates[name]
+        assert 0.0 <= estimate.mean <= 1.0
+        assert estimate.count == probe.completed_trajectories
+        # Hoeffding half-width shrinks as trajectories accumulate.
+        assert final.completed_trajectories == spec.trajectories
+        assert (
+            final.estimates[name].hoeffding_halfwidth() < estimate.halfwidth
+        )
+
+    def test_status_render_smoke(self):
+        spec = ghz_spec(trajectories=10)
+        with Scheduler(workers=1) as scheduler:
+            key = scheduler.submit(spec)
+            scheduler.result(key, timeout=60)
+            text = scheduler.status(key).render()
+        assert "completed" in text
+        assert "10/10" in text
+
+
+class TestCaching:
+    def test_resubmission_is_a_cache_hit_with_zero_trajectories(self):
+        spec = ghz_spec()
+        store = ResultStore(directory=None)
+        with Scheduler(workers=2, store=store, chunk_size=5) as scheduler:
+            first = scheduler.run(spec)
+            executed = scheduler.trajectories_executed
+            assert executed == spec.trajectories
+            again = scheduler.run(spec)
+            # Zero new trajectories: the store answered the resubmission.
+            assert scheduler.trajectories_executed == executed
+            assert scheduler.status(spec.job_key()).cached
+            name = spec.properties[0].name
+            assert again.mean(name) == first.mean(name)
+
+    def test_cache_hit_across_scheduler_instances_via_disk(self, tmp_path):
+        spec = ghz_spec()
+        with Scheduler(workers=1, store=ResultStore(directory=str(tmp_path))) as a:
+            a.run(spec)
+        with Scheduler(workers=1, store=ResultStore(directory=str(tmp_path))) as b:
+            result = b.run(spec)
+            assert b.trajectories_executed == 0
+        assert result.completed_trajectories == spec.trajectories
+
+    def test_resume_from_checkpoint_not_from_zero(self, tmp_path):
+        spec = ghz_spec(n=8, trajectories=60, seed=3)
+        ref = reference(spec)
+        name = spec.properties[0].name
+        store = ResultStore(directory=str(tmp_path))
+        with Scheduler(workers=2, store=store, chunk_size=3) as first:
+            key = first.submit(spec)
+            deadline = time.time() + 120
+            while (
+                first.status(key).completed_trajectories < 9
+                and time.time() < deadline
+            ):
+                time.sleep(0.002)
+            first.cancel(key)
+            assert first.status(key).state == JobState.CANCELLED
+            with pytest.raises(JobCancelledError):
+                first.result(key, timeout=5)
+        spans, partial = store.get_partial(spec.job_key())
+        assert partial.completed_trajectories >= 9
+        assert spans
+
+        with Scheduler(
+            workers=2, store=ResultStore(directory=str(tmp_path)), chunk_size=3
+        ) as second:
+            result = second.run(spec)
+            # Strictly fewer than M trajectories ran the second time around.
+            assert 0 < second.trajectories_executed < spec.trajectories
+        assert result.completed_trajectories == spec.trajectories
+        assert result.mean(name) == pytest.approx(ref.mean(name), abs=1e-12)
+        # Final result replaces the checkpoint.
+        assert store.get_partial(spec.job_key()) is None
+
+
+class TestFaultTolerance:
+    def test_injected_worker_crash_is_retried(self, tmp_path, monkeypatch):
+        marker = str(tmp_path / "crash-marker")
+        monkeypatch.setenv(CRASH_ONCE_ENV, marker)
+        spec = ghz_spec(n=8, trajectories=60, seed=3)
+        ref = reference(spec)
+        name = spec.properties[0].name
+        with Scheduler(workers=2, chunk_size=5) as scheduler:
+            result = scheduler.run(spec)
+            status = scheduler.status(spec.job_key())
+        assert os.path.exists(marker), "the crash was never triggered"
+        assert status.retries >= 1
+        assert result.completed_trajectories == spec.trajectories
+        assert result.mean(name) == pytest.approx(ref.mean(name), abs=1e-12)
+        assert result.errors_fired == ref.errors_fired
+
+    def test_externally_killed_worker_does_not_fail_the_job(self):
+        spec = ghz_spec(n=12, trajectories=40, seed=9)
+        ref = reference(spec)
+        name = spec.properties[0].name
+        with Scheduler(workers=2, chunk_size=1) as scheduler:
+            key = scheduler.submit(spec)
+            time.sleep(0.05)  # let chunks get in flight
+            scheduler._workers[0].process.terminate()
+            result = scheduler.result(key, timeout=120)
+        assert result.completed_trajectories == spec.trajectories
+        assert result.mean(name) == pytest.approx(ref.mean(name), abs=1e-12)
+
+    def test_poisoned_job_fails_after_bounded_retries(self):
+        # A 48-qubit dense state vector is refused by the backend, so every
+        # attempt at the chunk errors out and the retry budget is consumed.
+        spec = JobSpec.build(
+            ghz(48),
+            NOISE,
+            [],
+            trajectories=4,
+            backend_kind="statevector",
+            sample_shots=0,
+        )
+        with Scheduler(workers=1, max_retries=1, chunk_size=4) as scheduler:
+            with pytest.raises(JobFailedError, match="attempts"):
+                scheduler.run(spec, timeout=120)
+            assert scheduler.status(spec.job_key()).state == JobState.FAILED
+
+    def test_timed_out_job_returns_partial_and_is_not_cached_final(self):
+        spec = ghz_spec(n=14, trajectories=100000, timeout=0.4)
+        store = ResultStore(directory=None)
+        with Scheduler(workers=2, store=store, chunk_size=8) as scheduler:
+            result = scheduler.run(spec, timeout=120)
+        assert result.timed_out
+        assert 0 < result.completed_trajectories < spec.trajectories
+        # Partial outcomes must never satisfy future cache lookups.
+        assert store.get(spec.job_key()) is None
+
+
+class TestShutdown:
+    def test_shutdown_is_idempotent_and_rejects_new_work(self):
+        scheduler = Scheduler(workers=1)
+        scheduler.shutdown()
+        scheduler.shutdown()
+        with pytest.raises(Exception):
+            scheduler.submit(ghz_spec())

@@ -1,0 +1,157 @@
+"""End-to-end CLI tests: submit → serve → status/result → cached resubmit."""
+
+import os
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.service import ResultStore, query_status
+from repro.service.job import JobState
+
+GHZ_QASM = os.path.join(
+    os.path.dirname(__file__), "..", "..", "examples", "circuits", "ghz_n8.qasm"
+)
+
+
+def submit(store_dir, capsys, extra=()):
+    exit_code = main(
+        [
+            "submit", GHZ_QASM, "-M", "40", "--seed", "4",
+            "--probability", "00000000", "--probability", "11111111",
+            "--store", store_dir, *extra,
+        ]
+    )
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    return output.splitlines()[0].strip(), output
+
+
+class TestVersionFlag:
+    def test_version_prints_and_exits(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro-sim" in capsys.readouterr().out
+
+
+class TestSubmitServeRoundTrip:
+    def test_full_round_trip(self, tmp_path, capsys):
+        store_dir = str(tmp_path)
+        key, output = submit(store_dir, capsys)
+        assert len(key) == 64
+        assert "queued" in output
+
+        # Before serving: the job is visible as queued.
+        assert main(["status", key[:12], "--store", store_dir]) == 0
+        assert "[queued]" in capsys.readouterr().out
+
+        # result without --wait reports not-ready.
+        assert main(["result", key[:12], "--store", store_dir]) == 1
+        capsys.readouterr()
+
+        # Drain the queue with the batch runner.
+        assert main(
+            ["serve", "--once", "-w", "2", "--chunk-size", "5",
+             "--store", store_dir]
+        ) == 0
+        serve_output = capsys.readouterr().out
+        assert "processed 1 job(s)" in serve_output
+
+        # Status now shows completion with estimates.
+        assert main(["status", key[:12], "--store", store_dir]) == 0
+        status_output = capsys.readouterr().out
+        assert "[completed]" in status_output
+        assert "40/40" in status_output
+        assert "P(|00000000>)" in status_output
+
+        # Full result renders the standard summary.
+        assert main(["result", key[:12], "--store", store_dir]) == 0
+        result_output = capsys.readouterr().out
+        assert "trajectories: 40/40" in result_output
+        assert "P(|11111111>)" in result_output
+
+    def test_resubmission_is_answered_by_cache(self, tmp_path, capsys):
+        store_dir = str(tmp_path)
+        key, _ = submit(store_dir, capsys)
+        main(["serve", "--once", "--store", store_dir])
+        capsys.readouterr()
+
+        key_again, output = submit(store_dir, capsys)
+        assert key_again == key
+        assert "cache hit" in output
+        # Nothing was re-queued, so another serve pass finds no work.
+        assert main(["serve", "--once", "--store", store_dir]) == 0
+        assert "processed 0 job(s)" in capsys.readouterr().out
+
+    def test_streaming_estimates_visible_while_serving(self, tmp_path, capsys):
+        """A status poller in a separate thread (standing in for a separate
+        process) observes RUNNING checkpoints while `serve` executes."""
+        store_dir = str(tmp_path)
+        exit_code = main(
+            ["submit", "ghz:12", "-M", "30", "--seed", "2", "--shots", "0",
+             "--probability", "0" * 12, "--store", store_dir]
+        )
+        assert exit_code == 0
+        key = capsys.readouterr().out.splitlines()[0].strip()
+
+        store = ResultStore(directory=store_dir)
+        seen = []
+        done = threading.Event()
+
+        def poll():
+            while not done.is_set():
+                try:
+                    status = query_status(store, key)
+                except KeyError:
+                    continue
+                seen.append(
+                    (status.state, status.completed_trajectories,
+                     dict(status.estimates))
+                )
+
+        poller = threading.Thread(target=poll)
+        poller.start()
+        try:
+            assert main(
+                ["serve", "--once", "-w", "2", "--chunk-size", "1",
+                 "--store", store_dir]
+            ) == 0
+        finally:
+            done.set()
+            poller.join(timeout=30)
+        capsys.readouterr()
+
+        partial = [
+            entry for entry in seen
+            if entry[0] == JobState.RUNNING and 0 < entry[1] < 30
+        ]
+        assert partial, "no streaming (mid-run) status was observed"
+        # The streaming snapshot carries a live Hoeffding estimate.
+        state, count, estimates = partial[-1]
+        estimate = estimates["P(|000000000000>)"]
+        assert estimate.count == count
+        assert estimate.halfwidth > 0
+
+    def test_unknown_key_fails_cleanly(self, tmp_path, capsys):
+        with pytest.raises(SystemExit, match="no job"):
+            main(["status", "beef", "--store", str(tmp_path)])
+
+
+class TestCacheCommand:
+    def test_show_and_clear(self, tmp_path, capsys):
+        store_dir = str(tmp_path)
+        key, _ = submit(store_dir, capsys)
+        main(["serve", "--once", "--store", store_dir])
+        capsys.readouterr()
+
+        assert main(["cache", "show", "--store", store_dir]) == 0
+        shown = capsys.readouterr().out
+        assert "final results: 1" in shown
+        assert key[:16] in shown
+        assert "ghz_n8" in shown
+
+        assert main(["cache", "clear", "--store", store_dir]) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert main(["cache", "show", "--store", store_dir]) == 0
+        assert "final results: 0" in capsys.readouterr().out
