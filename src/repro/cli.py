@@ -9,8 +9,11 @@ Subcommands:
   spool content-addressed jobs into a store, drain them with a persistent
   worker pool, and poll streaming estimates while they run (docs/SERVICE.md);
 * ``cache`` — inspect or clear the content-addressed result store;
+* ``stats`` — run a circuit and report engine observability: table hit
+  rates, per-trajectory latency histograms, scheduler counters
+  (docs/OBSERVABILITY.md);
 * ``table`` — regenerate one of the paper's tables (Ia/Ib/Ic) at a chosen
-  scale;
+  scale, optionally with a ``--metrics`` JSON sidecar;
 * ``circuits`` — list the built-in benchmark circuit generators;
 * ``dot`` — export a circuit's final-state decision diagram as Graphviz dot.
 """
@@ -198,11 +201,36 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("action", choices=("show", "clear"))
     _add_store_argument(cache)
 
+    stats = subparsers.add_parser(
+        "stats", help="simulate a circuit and report engine metrics"
+    )
+    stats.add_argument("circuit", help=".qasm file, ghz:<n>, qft:<n>, or a QASMBench name")
+    stats.add_argument("-M", "--trajectories", type=int, default=100)
+    stats.add_argument("-b", "--backend", choices=("dd", "statevector"), default="dd")
+    stats.add_argument("-w", "--workers", type=int, default=1)
+    stats.add_argument("--seed", type=int, default=0)
+    stats.add_argument("--shots", type=int, default=1, help="histogram samples per trajectory")
+    stats.add_argument("--timeout", type=float, default=None)
+    stats.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON instead of text"
+    )
+    stats.add_argument("-o", "--output", default=None, help="output path (default stdout)")
+    stats.add_argument(
+        "--trace", action="store_true",
+        help="include scheduler trace events (parallel runs only)",
+    )
+    _add_property_arguments(stats)
+    _add_noise_arguments(stats)
+
     table = subparsers.add_parser("table", help="regenerate a paper table")
     table.add_argument("which", choices=("1a", "1b", "1c"))
     table.add_argument("-M", "--trajectories", type=int, default=None)
     table.add_argument("--timeout", type=float, default=None)
     table.add_argument("-w", "--workers", type=int, default=1)
+    table.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="also write a JSON metrics sidecar (hit rates, latency, peak nodes)",
+    )
 
     report = subparsers.add_parser(
         "report", help="regenerate all paper tables as a Markdown report"
@@ -361,7 +389,113 @@ def _command_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_stats(payload: dict) -> str:
+    """Human-readable view of a ``repro.stats/v1`` payload."""
+    from .obs import format_histogram
+
+    lines = [
+        f"{payload['circuit']} — {payload['backend']} backend, "
+        f"{payload['workers']} worker(s)",
+        f"trajectories: {payload['completed_trajectories']}"
+        f"/{payload['requested_trajectories']}"
+        + (" [TIMED OUT]" if payload["timed_out"] else ""),
+        f"elapsed: {payload['elapsed_seconds']:.3f} s "
+        f"(cpu {payload['cpu_seconds']:.3f} s)",
+    ]
+    if payload["peak_nodes"]:
+        lines.append(f"peak DD nodes: {payload['peak_nodes']}")
+    rates = payload["rates"]
+    if rates:
+        lines.append("hit rates:")
+        lines.extend(f"  {name}: {rates[name]:.3f}" for name in sorted(rates))
+    counters = payload["metrics"].get("counters", {})
+    service_counters = {
+        name: value
+        for name, value in sorted(counters.items())
+        if name.startswith(("scheduler.", "store.", "errors.fired.", "dd.gc."))
+    }
+    if service_counters:
+        lines.append("counters:")
+        lines.extend(f"  {name}: {value}" for name, value in service_counters.items())
+    histograms = payload["metrics"].get("histograms", {})
+    for name in ("trajectory.seconds", "property.eval_seconds", "dd.state_nodes"):
+        data = histograms.get(name)
+        if data and data.get("count"):
+            lines.append(f"{name}:")
+            lines.extend(format_histogram(data))
+    trace = payload.get("trace")
+    if trace is not None:
+        lines.append(f"trace ({len(trace)} events, newest last):")
+        for event in trace[-20:]:
+            attrs = " ".join(f"{k}={v}" for k, v in event["attrs"].items())
+            lines.append(
+                f"  {event['name']} +{1000.0 * event['duration']:.1f}ms {attrs}"
+            )
+    return "\n".join(lines)
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .obs import derive_rates
+    from .stochastic import StochasticSimulator
+
+    circuit = _load_circuit(args.circuit)
+    simulator = StochasticSimulator(backend=args.backend, workers=args.workers)
+    try:
+        result = simulator.run(
+            circuit,
+            noise_model=_noise_from_args(args),
+            properties=_properties_from_args(args),
+            trajectories=args.trajectories,
+            seed=args.seed,
+            sample_shots=args.shots,
+            timeout=args.timeout,
+        )
+        trace = simulator.trace_events() if args.trace else None
+    finally:
+        simulator.close()
+
+    metrics = result.metrics
+    # Scheduler health counters appear even when nothing went wrong (and
+    # even on serial runs): "0 retries, 0 respawns" is itself the report.
+    counters = metrics.setdefault("counters", {})
+    counters.setdefault("scheduler.retries", 0)
+    counters.setdefault("scheduler.worker_respawns", 0)
+    payload = {
+        "schema": "repro.stats/v1",
+        "circuit": circuit.name,
+        "backend": args.backend,
+        "workers": args.workers,
+        "requested_trajectories": result.requested_trajectories,
+        "completed_trajectories": result.completed_trajectories,
+        "timed_out": result.timed_out,
+        "elapsed_seconds": result.elapsed_seconds,
+        "cpu_seconds": result.cpu_seconds,
+        "peak_nodes": result.peak_nodes,
+        "metrics": metrics,
+        "rates": derive_rates(metrics),
+    }
+    if trace is not None:
+        payload["trace"] = trace
+
+    text = (
+        _json.dumps(payload, indent=2, sort_keys=True)
+        if args.json
+        else _render_stats(payload)
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
 def _command_table(args: argparse.Namespace) -> int:
+    import json as _json
+
     if args.which == "1a":
         report = run_table1a(
             trajectories=args.trajectories or 50,
@@ -381,6 +515,11 @@ def _command_table(args: argparse.Namespace) -> int:
             workers=args.workers,
         )
     print(report.render())
+    if args.metrics:
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            _json.dump(report.metrics_sidecar(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote metrics sidecar {args.metrics}")
     return 0
 
 
@@ -502,6 +641,8 @@ def _dispatch(args) -> int:
         return _command_serve(args)
     if args.command == "cache":
         return _command_cache(args)
+    if args.command == "stats":
+        return _command_stats(args)
     if args.command == "table":
         return _command_table(args)
     if args.command == "report":

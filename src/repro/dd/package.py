@@ -41,6 +41,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.metrics import MetricsRegistry
 from .complex_table import ComplexTable, ComplexValue, DEFAULT_TOLERANCE
 from .compute_table import ComputeTable
 from .edge import Edge
@@ -88,6 +89,10 @@ class DDPackage:
         self._mat_mat_table: ComputeTable[Edge] = ComputeTable("mat_mat", size)
         self._inner_table: ComputeTable[ComplexValue] = ComputeTable("inner", size)
         self._gate_cache: Dict[tuple, Edge] = {}
+        #: Engine-local observability registry (GC sweeps, node growth, ...).
+        #: Table hit/miss counters live in the tables themselves and are
+        #: folded in by :meth:`metrics_snapshot`.
+        self.metrics = MetricsRegistry()
 
     # ------------------------------------------------------------------
     # Node construction and normalisation
@@ -112,8 +117,14 @@ class DDPackage:
         mag2_0 = w0.magnitude_squared()
         mag2_1 = w1.magnitude_squared()
         norm = math.sqrt(mag2_0 + mag2_1)
-        first = w0 if not w0.is_zero() else w1
-        phase = first.value / first.magnitude()
+        # Anchor the common phase on the larger-magnitude child: a leading
+        # weight with |w| near the canonicalisation tolerance carries O(1)
+        # relative noise in its components, and dividing by it would rotate
+        # the whole sub-state by that noise (ties resolve to w0, which
+        # keeps the historical first-non-zero convention for the common
+        # equal-magnitude case).
+        reference = w0 if mag2_0 >= mag2_1 else w1
+        phase = reference.value / reference.magnitude()
         common = norm * phase
         new_w0 = ct.lookup(w0.value / common) if not w0.is_zero() else ct.zero
         new_w1 = ct.lookup(w1.value / common) if not w1.is_zero() else ct.zero
@@ -785,6 +796,8 @@ class DDPackage:
         collected += self.matrix_table.garbage_collect()
         for table in (self._add_table, self._mat_vec_table, self._mat_mat_table, self._inner_table):
             table.clear()
+        self.metrics.counter("dd.gc.sweeps").inc()
+        self.metrics.counter("dd.gc.reclaimed_nodes").inc(collected)
         return collected
 
     # ------------------------------------------------------------------
@@ -816,6 +829,42 @@ class DDPackage:
             "mat_mat": self._mat_mat_table.stats(),
             "inner": self._inner_table.stats(),
         }
+
+    def metrics_snapshot(self) -> Dict[str, Dict[str, object]]:
+        """One observability snapshot covering every engine table.
+
+        Extends the package's own registry (GC sweeps, node growth) with
+        the hit/miss counters the unique, compute, and complex tables keep
+        themselves, under the canonical ``dd.*`` metric names.  Callers
+        wanting per-chunk numbers on a warm package should snapshot before
+        and after and take :func:`repro.obs.delta_snapshots`.
+        """
+        snapshot = self.metrics.snapshot()
+        counters = snapshot["counters"]
+        gauges = snapshot["gauges"]
+        for prefix, table in (
+            ("dd.unique.vector", self.vector_table),
+            ("dd.unique.matrix", self.matrix_table),
+        ):
+            counters[f"{prefix}.hits"] = table.hits
+            counters[f"{prefix}.misses"] = table.misses
+            counters[f"{prefix}.collections"] = table.collections
+            gauges[f"{prefix}.entries"] = len(table)
+        for name, table in (
+            ("add", self._add_table),
+            ("mat_vec", self._mat_vec_table),
+            ("mat_mat", self._mat_mat_table),
+            ("inner", self._inner_table),
+        ):
+            counters[f"dd.compute.{name}.hits"] = table.hits
+            counters[f"dd.compute.{name}.misses"] = table.misses
+            counters[f"dd.compute.{name}.evictions"] = table.evictions
+            gauges[f"dd.compute.{name}.entries"] = len(table)
+        complex_stats = self.complex_table.stats()
+        counters["dd.complex.real.hits"] = complex_stats["real_hits"]
+        counters["dd.complex.real.misses"] = complex_stats["real_misses"]
+        gauges["dd.complex.entries"] = complex_stats["entries"]
+        return snapshot
 
 
 def _log2_size(size: int, what: str) -> int:

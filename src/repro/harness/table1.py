@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.library import QASMBENCH_CIRCUITS, ghz, qft
 from ..noise.model import NoiseModel
+from ..obs.metrics import derive_rates
 from ..stochastic.properties import BasisProbability
 from ..stochastic.runner import StochasticSimulator
 from .runner import TimedRun, timed_stochastic_run
@@ -58,6 +59,44 @@ class TableReport:
             self.headers,
             body,
         )
+
+    def metrics_sidecar(self) -> Dict[str, object]:
+        """JSON-able observability companion to the rendered table.
+
+        For every (row, backend) cell that produced a result: seconds,
+        trajectory counts, CPU time, peak DD nodes, the raw metrics
+        snapshot, and derived hit rates.  Written next to benchmark JSON by
+        ``repro-sim table --metrics`` so a perf regression can be traced to
+        the table behaviour that caused it.
+        """
+        rows: Dict[str, Dict[str, object]] = {}
+        for label, runs in self.rows:
+            entry: Dict[str, object] = {}
+            for backend, run in runs.items():
+                result = run.result
+                if result is None:
+                    entry[backend] = {
+                        "seconds": run.seconds,
+                        "infeasible": run.infeasible,
+                    }
+                    continue
+                entry[backend] = {
+                    "seconds": run.seconds,
+                    "timed_out": result.timed_out,
+                    "completed_trajectories": result.completed_trajectories,
+                    "cpu_seconds": result.cpu_seconds,
+                    "peak_nodes": result.peak_nodes,
+                    "metrics": result.metrics,
+                    "rates": derive_rates(result.metrics),
+                }
+            rows[label] = entry
+        return {
+            "schema": "repro.table-metrics/v1",
+            "title": self.title,
+            "trajectories": self.trajectories,
+            "timeout": self.timeout,
+            "rows": rows,
+        }
 
     def speedups(self) -> Dict[str, Optional[float]]:
         """Baseline/proposed runtime ratio per row (None when incomparable)."""

@@ -1,0 +1,47 @@
+"""repro.obs — dependency-free observability: metrics and tracing.
+
+The cross-cutting layer every subsystem reports into:
+
+* ``repro.dd`` — unique/compute/complex-table hit rates, garbage-collection
+  sweeps and reclaimed nodes, per-multiply node growth;
+* ``repro.stochastic`` — per-trajectory latency, property-evaluation time,
+  errors-fired counts;
+* ``repro.service`` — chunk queue depth, retries, worker respawns, store
+  hits/misses, checkpoint writes.
+
+Snapshots are plain dictionaries that travel inside
+:class:`~repro.stochastic.results.StochasticResult` from worker processes
+back to the scheduler, merge associatively (:func:`merge_snapshots`), and
+surface through ``repro-sim stats`` and the table harness's ``--metrics``
+sidecar.  See docs/OBSERVABILITY.md for the metric catalogue.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NODE_BUCKETS,
+    TIME_BUCKETS,
+    delta_snapshots,
+    derive_rates,
+    format_histogram,
+    merge_snapshots,
+)
+from .tracing import NULL_TRACER, TraceEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NODE_BUCKETS",
+    "NULL_TRACER",
+    "TIME_BUCKETS",
+    "TraceEvent",
+    "Tracer",
+    "delta_snapshots",
+    "derive_rates",
+    "format_histogram",
+    "merge_snapshots",
+]

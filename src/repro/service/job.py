@@ -247,6 +247,9 @@ class JobStatus:
     retries: int = 0
     cached: bool = False
     error: Optional[str] = None
+    #: Observability snapshot merged from the chunk results seen so far
+    #: (see :mod:`repro.obs`); empty until the first chunk reports.
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     @property
     def progress(self) -> float:

@@ -35,12 +35,20 @@ import time
 from collections import deque
 from typing import Deque, Dict, List, Optional, Set, Tuple
 
+from ..obs.metrics import MetricsRegistry, merge_snapshots
+from ..obs.tracing import Tracer
 from ..stochastic.results import PropertyEstimate, StochasticResult
 from .job import JobSpec, JobState, JobStatus, StreamingEstimate
 from .store import ResultStore, Span
 from .worker import ChunkOutcome, ChunkTask, worker_main
 
 __all__ = ["Scheduler", "SchedulerError", "JobFailedError", "JobCancelledError"]
+
+#: Seconds a timed-out job waits for its in-flight chunks to report their
+#: partial trajectories before finalizing without them.  Chunks observe the
+#: same absolute deadline the scheduler does, so they normally drain within
+#: one trajectory's latency — the grace only bounds a wedged straggler.
+_TIMEOUT_DRAIN_GRACE = 1.0
 
 
 class SchedulerError(RuntimeError):
@@ -125,9 +133,14 @@ class _Job:
         self.error: Optional[str] = None
         self.cached = False
         self.started_at = time.perf_counter()
+        #: Absolute monotonic instant the whole job must respect — shipped
+        #: to every chunk so N workers share ONE wall-clock budget instead
+        #: of each chunk getting the full relative timeout.
         self.deadline = (
-            None if spec.timeout is None else self.started_at + spec.timeout
+            None if spec.timeout is None else time.monotonic() + spec.timeout
         )
+        #: When the deadline was first observed tripped (drain-grace anchor).
+        self.timeout_at: Optional[float] = None
         self.done = threading.Event()
         self.chunks_since_checkpoint = 0
 
@@ -187,6 +200,21 @@ class Scheduler:
         #: Trajectories actually executed by this scheduler instance —
         #: cache hits and resumed checkpoints contribute nothing here.
         self.trajectories_executed = 0
+        #: Scheduler-side observability (see docs/OBSERVABILITY.md).  The
+        #: counters are pre-registered so snapshots always carry them, even
+        #: when zero — "no retries" is itself a useful report.
+        self.metrics = MetricsRegistry()
+        for name in (
+            "scheduler.retries",
+            "scheduler.worker_respawns",
+            "scheduler.chunks_completed",
+            "scheduler.checkpoint_writes",
+            "scheduler.trajectories_executed",
+            "store.hits",
+            "store.misses",
+        ):
+            self.metrics.counter(name)
+        self.tracer = Tracer(max_events=2048)
 
         self._ctx = multiprocessing.get_context(mp_context)
         self._lock = threading.RLock()
@@ -225,17 +253,24 @@ class Scheduler:
             job = _Job(spec, key)
             cached = self.store.get(key)
             if cached is not None:
+                self.metrics.counter("store.hits").inc()
+                self.tracer.event("job.cache_hit", job=key[:16])
                 job.final = cached
                 job.cached = True
                 job.state = JobState.COMPLETED
                 job.done.set()
             else:
+                self.metrics.counter("store.misses").inc()
                 checkpoint = self.store.get_partial(key)
                 if checkpoint is not None:
                     spans, partial = checkpoint
                     job.base_spans = spans
                     job.base_partial = partial
                     job.aggregate.merge(partial)
+                    self.tracer.event(
+                        "job.resume", job=key[:16],
+                        restored=partial.completed_trajectories,
+                    )
                 self._plan_chunks(job)
                 if not job.chunks:
                     # The checkpoint already covers every trajectory.
@@ -277,6 +312,7 @@ class Scheduler:
                 retries=job.total_retries,
                 cached=job.cached,
                 error=job.error,
+                metrics=merge_snapshots(source.metrics),
             )
 
     def result(self, key: str, timeout: Optional[float] = None) -> StochasticResult:
@@ -297,6 +333,22 @@ class Scheduler:
     def run(self, spec: JobSpec, timeout: Optional[float] = None) -> StochasticResult:
         """Submit and wait — the synchronous convenience path."""
         return self.result(self.submit(spec), timeout=timeout)
+
+    def metrics_snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Point-in-time snapshot of scheduler-side metrics.
+
+        Covers retries, respawns, chunk completions, checkpoint writes,
+        store hits/misses, and peak queue depth.  Callers attributing
+        activity to one job should snapshot before and after and take
+        :func:`repro.obs.delta_snapshots` (the pool is shared).
+        """
+        with self._lock:
+            return self.metrics.snapshot()
+
+    def trace_events(self) -> List[Dict[str, object]]:
+        """Buffered scheduler trace events as JSON-able dictionaries."""
+        with self._lock:
+            return self.tracer.export()
 
     def cancel(self, key: str) -> bool:
         """Cancel a job; its checkpoint (if any) survives for later resume."""
@@ -368,7 +420,7 @@ class Scheduler:
                     num_trajectories=take,
                     master_seed=job.spec.seed,
                     sample_shots=job.spec.sample_shots,
-                    timeout=job.spec.timeout,
+                    deadline=job.deadline,
                 )
                 job.pending.append(index)
                 index += 1
@@ -408,6 +460,10 @@ class Scheduler:
         return [h for h in self._workers if h.busy is None and h.process.is_alive()]
 
     def _assign_chunks(self) -> None:
+        depth = sum(
+            len(job.pending) for job in self._jobs.values() if not job.finished()
+        )
+        self.metrics.gauge("scheduler.queue_depth").max(depth)
         idle = self._idle_workers()
         if not idle:
             return
@@ -447,15 +503,31 @@ class Scheduler:
             replacement = _WorkerHandle(self._next_worker_id, self._ctx)
             self._next_worker_id += 1
             self._workers[position] = replacement
+            self.metrics.counter("scheduler.worker_respawns").inc()
+            self.tracer.event(
+                "worker.respawn",
+                died=handle.worker_id,
+                spawned=replacement.worker_id,
+            )
 
     def _check_deadlines(self) -> None:
-        now = time.perf_counter()
+        now = time.monotonic()
         for job in self._jobs.values():
-            if job.finished() or job.deadline is None or now < job.deadline:
+            if job.finished():
+                continue
+            tripped = job.deadline is not None and now >= job.deadline
+            if not tripped and job.timeout_at is None:
                 continue
             job.pending.clear()
             job.aggregate.timed_out = True
-            self._finalize(job)
+            if job.timeout_at is None:
+                job.timeout_at = now
+                self.tracer.event("job.deadline", job=job.key[:16])
+            # In-flight chunks observe the same deadline and return their
+            # partial trajectories within moments — wait for that drain (up
+            # to a bounded grace) so timed-out work is counted, not lost.
+            if not job.in_flight or now >= job.timeout_at + _TIMEOUT_DRAIN_GRACE:
+                self._finalize(job)
 
     def _requeue(self, task: ChunkTask, reason: str) -> None:
         job = self._jobs.get(task.job_key)
@@ -466,6 +538,11 @@ class Scheduler:
             return  # result raced in before the death was noticed
         attempts = job.retries.get(task.chunk_index, 0) + 1
         job.retries[task.chunk_index] = attempts
+        self.metrics.counter("scheduler.retries").inc()
+        self.tracer.event(
+            "chunk.requeue", job=task.job_key[:16],
+            chunk=task.chunk_index, attempt=attempts, reason=reason,
+        )
         if attempts > self.max_retries:
             job.state = JobState.FAILED
             job.error = (
@@ -499,10 +576,21 @@ class Scheduler:
         job.completed[outcome.chunk_index] = outcome.result
         job.aggregate.merge(outcome.result)
         self.trajectories_executed += outcome.result.completed_trajectories
+        self.metrics.counter("scheduler.trajectories_executed").inc(
+            outcome.result.completed_trajectories
+        )
+        self.metrics.counter("scheduler.chunks_completed").inc()
         job.chunks_since_checkpoint += 1
         if outcome.result.timed_out:
+            # The shared deadline tripped inside this chunk; siblings are
+            # about to report theirs too.  Finalize once the last in-flight
+            # chunk has drained (the deadline check bounds the wait).
             job.pending.clear()
-            self._finalize(job)
+            job.aggregate.timed_out = True
+            if job.timeout_at is None:
+                job.timeout_at = time.monotonic()
+            if not job.in_flight:
+                self._finalize(job)
             return
         if len(job.completed) == len(job.chunks):
             self._finalize(job)
@@ -530,6 +618,7 @@ class Scheduler:
         snapshot = job.aggregate.copy()
         snapshot.elapsed_seconds = time.perf_counter() - job.started_at
         self.store.put_partial(job.key, self._completed_spans(job), snapshot)
+        self.metrics.counter("scheduler.checkpoint_writes").inc()
 
     def _finalize(self, job: _Job) -> None:
         """Re-merge in chunk-index order for a deterministic final result."""
@@ -549,6 +638,10 @@ class Scheduler:
         final.workers = self.workers
         job.final = final
         job.state = JobState.COMPLETED
+        self.tracer.event(
+            "job.finalize", job=job.key[:16],
+            completed=final.completed_trajectories, timed_out=final.timed_out,
+        )
         complete = final.completed_trajectories >= job.spec.trajectories
         if complete and not final.timed_out:
             self.store.put(job.key, final, spec_dict=job.spec.to_dict())

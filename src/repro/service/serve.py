@@ -110,6 +110,7 @@ def query_status(store: ResultStore, key: str) -> JobStatus:
             completed_trajectories=final.completed_trajectories,
             estimates=estimates_of(final),
             elapsed_seconds=final.elapsed_seconds,
+            metrics=dict(final.metrics),
         )
     checkpoint = store.get_partial(key)
     if checkpoint is not None:
@@ -122,6 +123,7 @@ def query_status(store: ResultStore, key: str) -> JobStatus:
             completed_trajectories=partial.completed_trajectories,
             estimates=estimates_of(partial),
             elapsed_seconds=partial.elapsed_seconds,
+            metrics=dict(partial.metrics),
         )
     if key in store.queued_keys():
         spec = _dequeue(store, key)

@@ -51,7 +51,11 @@ class ChunkTask:
     num_trajectories: int
     master_seed: int
     sample_shots: int
-    timeout: Optional[float]
+    #: Absolute ``time.monotonic()`` instant shared by every chunk of the
+    #: job — one wall-clock budget for the whole job, not per chunk.  The
+    #: monotonic clock is system-wide on Linux, so the instant the
+    #: scheduler stamps is meaningful inside forked workers.
+    deadline: Optional[float]
 
 
 @dataclass(frozen=True)
@@ -103,7 +107,7 @@ def worker_main(worker_id: int, task_queue, result_queue) -> None:
                 task.num_trajectories,
                 task.master_seed,
                 sample_shots=task.sample_shots,
-                timeout=task.timeout,
+                deadline=task.deadline,
                 backend=backend,
                 context=context,
             )

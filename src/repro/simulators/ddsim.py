@@ -22,6 +22,7 @@ import numpy as np
 
 from ..dd.edge import Edge
 from ..dd.package import DDPackage
+from ..obs.metrics import NODE_BUCKETS
 
 __all__ = ["DDBackend"]
 
@@ -62,6 +63,7 @@ class DDBackend:
         state = initial_state if initial_state is not None else self.package.zero_state(num_qubits)
         self._state = self.package.inc_ref(state)
         self.peak_nodes = self.package.node_count(state)
+        self._nodes_hist = self.package.metrics.histogram("dd.state_nodes", NODE_BUCKETS)
 
     @property
     def state(self) -> Edge:
@@ -75,6 +77,7 @@ class DDBackend:
         self._state = new_state
         self.package.garbage_collect()
         nodes = self.package.node_count(new_state)
+        self._nodes_hist.observe(float(nodes))
         if nodes > self.peak_nodes:
             self.peak_nodes = nodes
 
@@ -175,6 +178,15 @@ class DDBackend:
     def reset_all(self) -> None:
         """Reset to |0...0> for the next trajectory (package state shared)."""
         self._replace_state(self.package.zero_state(self.num_qubits))
+
+    def reset_peak_nodes(self) -> None:
+        """Restart peak tracking from the current state.
+
+        A warm backend keeps ``peak_nodes`` across trajectories by design
+        (it is the per-span maximum), but a new *span* must not inherit the
+        previous job's peak — call this at span start.
+        """
+        self.peak_nodes = self.package.node_count(self._state)
 
     def release(self) -> None:
         """Drop the reference on the current state (end of backend life)."""

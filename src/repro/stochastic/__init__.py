@@ -13,7 +13,12 @@ from .properties import (
     hoeffding_samples,
 )
 from .results import PropertyEstimate, StochasticResult
-from .runner import BACKEND_KINDS, StochasticSimulator, simulate_stochastic
+from .runner import (
+    BACKEND_KINDS,
+    StochasticSimulator,
+    run_trajectory_span,
+    simulate_stochastic,
+)
 
 __all__ = [
     "AdaptiveRun",
@@ -31,5 +36,6 @@ __all__ = [
     "StochasticSimulator",
     "hoeffding_epsilon",
     "hoeffding_samples",
+    "run_trajectory_span",
     "simulate_stochastic",
 ]

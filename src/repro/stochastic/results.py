@@ -13,6 +13,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.metrics import merge_snapshots
+
 __all__ = ["PropertyEstimate", "StochasticResult"]
 
 
@@ -112,10 +114,16 @@ class StochasticResult:
     errors_fired: Dict[str, int] = field(
         default_factory=lambda: {"depolarizing": 0, "amplitude_damping": 0, "phase_flip": 0}
     )
+    #: Wall-clock seconds stamped by whoever ran the job (scheduler or span).
     elapsed_seconds: float = 0.0
+    #: Compute seconds summed across all contributing chunks; with parallel
+    #: workers this exceeds ``elapsed_seconds`` (up to ``workers`` times).
+    cpu_seconds: float = 0.0
     peak_nodes: int = 0
     workers: int = 1
     timed_out: bool = False
+    #: Observability snapshot (see :mod:`repro.obs`); merges associatively.
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     def merge(self, other: "StochasticResult") -> None:
         """Fold a worker's partial result into this aggregate."""
@@ -129,8 +137,11 @@ class StochasticResult:
             self.outcome_counts[outcome] = self.outcome_counts.get(outcome, 0) + count
         for kind, count in other.errors_fired.items():
             self.errors_fired[kind] = self.errors_fired.get(kind, 0) + count
+        self.cpu_seconds += other.cpu_seconds
         self.peak_nodes = max(self.peak_nodes, other.peak_nodes)
         self.timed_out = self.timed_out or other.timed_out
+        if other.metrics:
+            self.metrics = merge_snapshots(self.metrics, other.metrics)
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-JSON form (used by the service result store)."""
@@ -145,9 +156,11 @@ class StochasticResult:
             "outcome_counts": dict(self.outcome_counts),
             "errors_fired": dict(self.errors_fired),
             "elapsed_seconds": self.elapsed_seconds,
+            "cpu_seconds": self.cpu_seconds,
             "peak_nodes": self.peak_nodes,
             "workers": self.workers,
             "timed_out": self.timed_out,
+            "metrics": self.metrics,
         }
 
     @classmethod
@@ -165,9 +178,12 @@ class StochasticResult:
             outcome_counts={k: int(v) for k, v in dict(data["outcome_counts"]).items()},
             errors_fired={k: int(v) for k, v in dict(data["errors_fired"]).items()},
             elapsed_seconds=float(data["elapsed_seconds"]),
+            # Tolerant defaults: results cached before these fields existed.
+            cpu_seconds=float(data.get("cpu_seconds", 0.0)),
             peak_nodes=int(data["peak_nodes"]),
             workers=int(data["workers"]),
             timed_out=bool(data["timed_out"]),
+            metrics=merge_snapshots(data.get("metrics")) if data.get("metrics") else {},
         )
 
     def copy(self) -> "StochasticResult":
@@ -199,7 +215,9 @@ class StochasticResult:
             f"trajectories: {self.completed_trajectories}/{self.requested_trajectories}"
             + (" [TIMED OUT]" if self.timed_out else ""),
             f"elapsed: {self.elapsed_seconds:.3f} s "
-            f"({self.trajectories_per_second():.1f} traj/s)",
+            f"({self.trajectories_per_second():.1f} traj/s"
+            + (f", {self.cpu_seconds:.3f} cpu-s" if self.cpu_seconds else "")
+            + ")",
             f"errors fired: {self.errors_fired}",
         ]
         if self.peak_nodes:

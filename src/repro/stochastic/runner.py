@@ -31,6 +31,7 @@ from ..circuits.circuit import QuantumCircuit
 from ..circuits.operations import MeasureOperation
 from ..noise.model import NoiseModel
 from ..noise.stochastic import StochasticErrorApplier
+from ..obs.metrics import MetricsRegistry, TIME_BUCKETS, delta_snapshots, merge_snapshots
 from ..simulators.base import execute_circuit
 from ..simulators.ddsim import DDBackend
 from ..simulators.statevector import StatevectorBackend
@@ -116,6 +117,8 @@ class _ChunkSpec:
     num_trajectories: int
     master_seed: int
     sample_shots: int
+    #: Relative budget for a *single-chunk* (serial) run; parallel chunks
+    #: instead share one absolute monotonic deadline (see ``run_trajectory_span``).
     timeout: Optional[float]
 
 
@@ -131,6 +134,7 @@ def run_trajectory_span(
     timeout: Optional[float] = None,
     backend=None,
     context: Optional[_EvaluationContext] = None,
+    deadline: Optional[float] = None,
 ) -> StochasticResult:
     """Execute trajectories ``first .. first + num - 1`` and aggregate them.
 
@@ -141,6 +145,14 @@ def run_trajectory_span(
     may be passed in warm (a worker keeps them between chunks of the same
     job, preserving the DD package's unique/compute tables and the cached
     ideal-state snapshot); omitted, fresh ones are built.
+
+    ``timeout`` is a budget relative to span start; ``deadline`` is an
+    absolute ``time.monotonic()`` instant shared by every chunk of a job,
+    so N parallel chunks cannot each burn the full job budget.  When both
+    are given the earlier one wins.  The returned result carries an
+    observability snapshot in ``result.metrics`` (trajectory latency and
+    property-evaluation histograms, completion/timeout/error counters, and
+    — on the DD backend — this span's unique/compute/complex-table deltas).
     """
     result = StochasticResult(
         circuit_name=circuit.name,
@@ -153,35 +165,68 @@ def run_trajectory_span(
     warm = backend is not None
     if backend is None:
         backend = _make_backend(backend_kind, circuit.num_qubits)
+    elif backend_kind == "dd":
+        # A warm backend starts every span from |0...0> and a fresh peak:
+        # the previous job's state width must not leak into this report.
+        backend.reset_all()
+        backend.reset_peak_nodes()
+    else:
+        backend = _make_backend(backend_kind, circuit.num_qubits)
     if context is None:
         context = _EvaluationContext(circuit, backend_kind)
+
+    registry = MetricsRegistry()
+    trajectory_hist = registry.histogram("trajectory.seconds", TIME_BUCKETS)
+    property_hist = registry.histogram("property.eval_seconds", TIME_BUCKETS)
+    completed_counter = registry.counter("trajectory.completed")
+    evaluation_counter = registry.counter("property.evaluations")
+    dd_before = backend.package.metrics_snapshot() if backend_kind == "dd" else None
+
     started = time.perf_counter()
+    if timeout is not None:
+        relative_deadline = time.monotonic() + timeout
+        deadline = relative_deadline if deadline is None else min(deadline, relative_deadline)
 
     for index in range(num_trajectories):
-        if timeout is not None and time.perf_counter() - started > timeout:
+        if deadline is not None and time.monotonic() >= deadline:
             result.timed_out = True
+            registry.counter("trajectory.timeouts").inc()
             break
         trajectory = first_trajectory + index
         rng = random.Random((master_seed + trajectory * _SEED_STRIDE) & (2**63 - 1))
         applier = StochasticErrorApplier(noise_model, rng)
-        if index > 0 or warm:
+        if index > 0:
             if backend_kind == "dd":
                 backend.reset_all()
             else:
                 backend = _make_backend(backend_kind, circuit.num_qubits)
+        trajectory_started = time.perf_counter()
         run_result = execute_circuit(backend, circuit, rng, error_hook=applier)
-        for prop in properties:
-            result.estimates[prop.name].add(prop.evaluate(backend, run_result, context))
+        if properties:
+            evaluation_started = time.perf_counter()
+            for prop in properties:
+                result.estimates[prop.name].add(prop.evaluate(backend, run_result, context))
+                evaluation_counter.inc()
+            property_hist.observe(time.perf_counter() - evaluation_started)
         if sample_shots > 0:
             for outcome, count in backend.sample_counts(sample_shots, rng).items():
                 result.outcome_counts[outcome] = result.outcome_counts.get(outcome, 0) + count
         for kind, count in applier.fired.items():
             result.errors_fired[kind] = result.errors_fired.get(kind, 0) + count
+            if count:
+                registry.counter(f"errors.fired.{kind}").inc(count)
+        trajectory_hist.observe(time.perf_counter() - trajectory_started)
         result.completed_trajectories += 1
+        completed_counter.inc()
 
     if backend_kind == "dd":
         result.peak_nodes = backend.peak_nodes
+        dd_delta = delta_snapshots(backend.package.metrics_snapshot(), dd_before)
+        result.metrics = merge_snapshots(registry.snapshot(), dd_delta)
+    else:
+        result.metrics = registry.snapshot()
     result.elapsed_seconds = time.perf_counter() - started
+    result.cpu_seconds = result.elapsed_seconds
     return result
 
 
@@ -234,6 +279,12 @@ class StochasticSimulator:
         if self._scheduler is not None:
             self._scheduler.shutdown()
             self._scheduler = None
+
+    def trace_events(self) -> list:
+        """Scheduler trace events from parallel runs (empty for serial)."""
+        if self._scheduler is None:
+            return []
+        return self._scheduler.trace_events()
 
     def __enter__(self) -> "StochasticSimulator":
         return self
@@ -334,14 +385,22 @@ class StochasticSimulator:
             sample_shots=sample_shots,
             timeout=timeout,
         )
+        scheduler = self._get_scheduler()
+        scheduler_before = scheduler.metrics_snapshot()
         try:
-            return self._get_scheduler().run(spec)
+            result = scheduler.run(spec)
         except JobFailedError as error:
             if "refusing" in str(error):
                 # Infeasible-backend refusals keep their historical type so
                 # the harness can report them as the paper's ">1 h" cells.
                 raise ValueError(str(error)) from error
             raise
+        # Fold in what the scheduler itself did for this job (retries,
+        # respawns, checkpoint writes, store traffic).  The delta keeps a
+        # warm scheduler from re-reporting earlier jobs' counters.
+        scheduler_delta = delta_snapshots(scheduler.metrics_snapshot(), scheduler_before)
+        result.metrics = merge_snapshots(result.metrics, scheduler_delta)
+        return result
 
 
 def simulate_stochastic(

@@ -120,7 +120,13 @@ class TestCanonicity:
 
         walk(edge.node)
 
-    def test_first_nonzero_child_weight_real_positive(self, package, np_rng):
+    def test_larger_child_weight_real_positive(self, package, np_rng):
+        """The phase anchor is the larger-magnitude child (ties go to w0).
+
+        Anchoring on the dominant child rather than the first non-zero one
+        keeps a tiny-but-nonzero leading weight from injecting its O(1)
+        relative phase noise into the whole sub-state.
+        """
         edge = package.from_state_vector(random_state(np_rng, 4))
         seen = set()
 
@@ -128,15 +134,41 @@ class TestCanonicity:
             if node.is_terminal or id(node) in seen:
                 return
             seen.add(id(node))
-            for child in node.edges:
-                if not child.weight.is_zero():
-                    assert child.weight.imag == pytest.approx(0.0, abs=1e-9)
-                    assert child.weight.real > 0.0
-                    break
+            w0, w1 = (child.weight for child in node.edges)
+            anchor = w0 if w0.magnitude_squared() >= w1.magnitude_squared() else w1
+            assert anchor.imag == pytest.approx(0.0, abs=1e-9)
+            assert anchor.real > 0.0
             for child in node.edges:
                 walk(child.node)
 
         walk(edge.node)
+
+    def test_tiny_leading_amplitude_does_not_steer_the_phase(self, package):
+        """A near-tolerance leading weight must not become the phase anchor.
+
+        With the old first-nonzero rule the whole sub-state was divided by
+        the phase of a ~1e-12 amplitude — whose components carry O(1)
+        relative noise after canonical snapping — rotating the dominant
+        amplitude by garbage.  The anchor must be the dominant child.
+        """
+        import cmath
+
+        tiny = 2e-12 * cmath.exp(0.7j)
+        big = cmath.sqrt(1.0 - abs(tiny) ** 2)
+        edge = package.from_state_vector([tiny, big])
+        node = edge.node
+        w1 = node.edges[1].weight
+        assert w1.imag == pytest.approx(0.0, abs=1e-9)
+        assert w1.real == pytest.approx(1.0, abs=1e-6)
+        # The reconstructed dominant amplitude keeps its value exactly.
+        assert package.get_amplitude(edge, [1]) == pytest.approx(big, abs=1e-9)
+
+    def test_zero_leading_amplitude_still_canonical(self, package):
+        edge = package.from_state_vector([0.0, 1j])
+        w1 = edge.node.edges[1].weight
+        assert w1.imag == pytest.approx(0.0, abs=1e-12)
+        assert w1.real == pytest.approx(1.0)
+        assert package.get_amplitude(edge, [1]) == pytest.approx(1j)
 
 
 class TestAmplitudes:

@@ -1,0 +1,224 @@
+"""Unit tests for repro.obs.metrics: instruments, snapshots, merge algebra."""
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TIME_BUCKETS,
+    delta_snapshots,
+    derive_rates,
+    format_histogram,
+    merge_snapshots,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_gauge_set_and_max(self):
+        gauge = Gauge("g")
+        gauge.set(3.0)
+        gauge.max(1.0)
+        assert gauge.value == 3.0
+        gauge.max(7.0)
+        assert gauge.value == 7.0
+
+    def test_histogram_bucketing(self):
+        hist = Histogram("h", (1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 100.0):
+            hist.observe(value)
+        assert hist.counts == [1, 1, 1, 1]  # last is the +inf overflow
+        assert hist.count == 4
+        assert hist.total == pytest.approx(105.0)
+        assert hist.mean() == pytest.approx(105.0 / 4)
+
+    def test_histogram_boundary_goes_to_lower_bucket(self):
+        hist = Histogram("h", (1.0, 2.0))
+        hist.observe(1.0)
+        assert hist.counts == [1, 0, 0]
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", ())
+        with pytest.raises(ValueError):
+            Histogram("h", (2.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("y") is registry.gauge("y")
+        assert registry.histogram("z") is registry.histogram("z")
+
+    def test_histogram_bounds_conflict(self):
+        registry = MetricsRegistry()
+        registry.histogram("z", (1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("z", (1.0, 3.0))
+
+    def test_timer_records_into_histogram(self):
+        registry = MetricsRegistry()
+        with registry.timer("op.seconds"):
+            pass
+        hist = registry.histogram("op.seconds", TIME_BUCKETS)
+        assert hist.count == 1
+        assert hist.total >= 0.0
+
+    def test_snapshot_is_json_like(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(2.5)
+        registry.histogram("h", (1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        json.dumps(snapshot)  # must not raise
+        assert snapshot["counters"] == {"c": 1}
+        assert snapshot["gauges"] == {"g": 2.5}
+        assert snapshot["histograms"]["h"]["counts"] == [1, 0]
+
+
+def _snap(counters=None, gauges=None, hist=None):
+    snapshot = {"counters": counters or {}, "gauges": gauges or {}, "histograms": {}}
+    if hist is not None:
+        snapshot["histograms"]["h"] = hist
+    return snapshot
+
+
+def _hist(counts, total):
+    return {"bounds": [1.0, 2.0], "counts": list(counts), "sum": total,
+            "count": sum(counts)}
+
+
+class TestMergeAlgebra:
+    def test_counters_add_gauges_max(self):
+        merged = merge_snapshots(
+            _snap({"c": 2}, {"g": 1.0}), _snap({"c": 3}, {"g": 5.0})
+        )
+        assert merged["counters"] == {"c": 5}
+        assert merged["gauges"] == {"g": 5.0}
+
+    def test_histograms_add_elementwise(self):
+        merged = merge_snapshots(
+            _snap(hist=_hist([1, 0, 2], 3.0)), _snap(hist=_hist([0, 4, 1], 7.0))
+        )
+        assert merged["histograms"]["h"]["counts"] == [1, 4, 3]
+        assert merged["histograms"]["h"]["sum"] == pytest.approx(10.0)
+        assert merged["histograms"]["h"]["count"] == 8
+
+    def test_bounds_mismatch_raises(self):
+        other = {"bounds": [9.0], "counts": [0, 0], "sum": 0.0, "count": 0}
+        with pytest.raises(ValueError):
+            merge_snapshots(_snap(hist=_hist([1, 0, 0], 0.5)),
+                            {"counters": {}, "gauges": {}, "histograms": {"h": other}})
+
+    def test_merge_is_associative_and_commutative(self):
+        a = _snap({"c": 1, "x": 7}, {"g": 2.0}, _hist([1, 0, 0], 0.5))
+        b = _snap({"c": 2}, {"g": 9.0}, _hist([0, 3, 0], 4.5))
+        c = _snap({"y": 4}, {"g": 1.0}, _hist([0, 0, 2], 20.0))
+        left = merge_snapshots(merge_snapshots(a, b), c)
+        right = merge_snapshots(a, merge_snapshots(b, c))
+        flat = merge_snapshots(a, b, c)
+        swapped = merge_snapshots(c, a, b)
+        for variant in (right, flat, swapped):
+            assert variant["counters"] == left["counters"]
+            assert variant["gauges"] == left["gauges"]
+            assert variant["histograms"]["h"]["counts"] == left["histograms"]["h"]["counts"]
+            assert variant["histograms"]["h"]["count"] == left["histograms"]["h"]["count"]
+            # Float addition reorders across variants; identical up to ulps.
+            assert variant["histograms"]["h"]["sum"] == pytest.approx(
+                left["histograms"]["h"]["sum"]
+            )
+
+    def test_single_argument_is_deep_copy(self):
+        original = _snap({"c": 1}, hist=_hist([1, 0, 0], 0.5))
+        copy = merge_snapshots(original)
+        copy["counters"]["c"] = 99
+        copy["histograms"]["h"]["counts"][0] = 99
+        assert original["counters"]["c"] == 1
+        assert original["histograms"]["h"]["counts"][0] == 1
+
+    def test_merge_ignores_none_and_empty(self):
+        merged = merge_snapshots(None, {}, _snap({"c": 1}))
+        assert merged["counters"] == {"c": 1}
+
+
+class TestDelta:
+    def test_counters_subtract_clamped(self):
+        delta = delta_snapshots(_snap({"c": 5, "new": 2}), _snap({"c": 3, "gone": 9}))
+        assert delta["counters"] == {"c": 2, "new": 2, "gone": 0}
+
+    def test_gauges_keep_after_level(self):
+        delta = delta_snapshots(_snap(gauges={"g": 4.0}), _snap(gauges={"g": 9.0}))
+        assert delta["gauges"] == {"g": 4.0}
+
+    def test_histograms_subtract(self):
+        delta = delta_snapshots(
+            _snap(hist=_hist([3, 1, 0], 5.0)), _snap(hist=_hist([1, 1, 0], 2.0))
+        )
+        assert delta["histograms"]["h"]["counts"] == [2, 0, 0]
+        assert delta["histograms"]["h"]["sum"] == pytest.approx(3.0)
+
+    def test_none_before_is_identity(self):
+        after = _snap({"c": 5})
+        assert delta_snapshots(after, None)["counters"] == {"c": 5}
+
+    def test_delta_then_merge_roundtrip(self):
+        """merge(before, delta(after, before)) == after for counters."""
+        before = _snap({"c": 3}, hist=_hist([1, 0, 0], 1.0))
+        after = _snap({"c": 8}, hist=_hist([2, 2, 0], 6.0))
+        rebuilt = merge_snapshots(before, delta_snapshots(after, before))
+        assert rebuilt["counters"] == after["counters"]
+        assert rebuilt["histograms"]["h"]["counts"] == after["histograms"]["h"]["counts"]
+
+
+class TestDeriveRates:
+    def test_rates_from_hit_miss_pairs(self):
+        rates = derive_rates(_snap({"t.hits": 3, "t.misses": 1, "lone.hits": 5}))
+        assert rates == {"t.hit_rate": pytest.approx(0.75)}
+
+    def test_zero_total_is_zero_rate(self):
+        rates = derive_rates(_snap({"t.hits": 0, "t.misses": 0}))
+        assert rates["t.hit_rate"] == 0.0
+
+    def test_empty_snapshot(self):
+        assert derive_rates(None) == {}
+        assert derive_rates({}) == {}
+
+    def test_rates_always_in_unit_interval(self):
+        rates = derive_rates(
+            _snap({"a.hits": 100, "a.misses": 0, "b.hits": 0, "b.misses": 50})
+        )
+        for value in rates.values():
+            assert 0.0 <= value <= 1.0
+
+
+class TestFormatHistogram:
+    def test_skips_empty_buckets_and_labels_overflow(self):
+        lines = format_histogram(
+            {"bounds": [1.0, 2.0], "counts": [3, 0, 1], "sum": 9.0, "count": 4}
+        )
+        text = "\n".join(lines)
+        assert "count=4" in text
+        assert "<=        1" in text
+        assert "2" not in text.split("\n")[1]  # the empty 2.0 bucket is skipped
+        assert "+inf" in text
+
+    def test_empty_histogram(self):
+        lines = format_histogram(
+            {"bounds": [1.0], "counts": [0, 0], "sum": 0.0, "count": 0}
+        )
+        assert "count=0" in lines[0]
+        assert len(lines) == 1

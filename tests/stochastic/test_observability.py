@@ -1,0 +1,166 @@
+"""Observability behaviour of the trajectory runner and simulator.
+
+Covers the guarantees docs/OBSERVABILITY.md documents: every span reports a
+metrics snapshot, trajectory-level counters are deterministic for a fixed
+seed and worker count, the payload merges associatively, and a warm backend
+never leaks the previous span's ``peak_nodes``.
+"""
+
+import pytest
+
+from repro.circuits.library import ghz, qft
+from repro.noise import NoiseModel
+from repro.obs import merge_snapshots
+from repro.simulators import DDBackend
+from repro.stochastic import (
+    BasisProbability,
+    StochasticSimulator,
+    run_trajectory_span,
+    simulate_stochastic,
+)
+
+NOISE = NoiseModel.paper_defaults()
+
+
+def span(circuit, n=6, backend=None, seed=0, properties=(), kind="dd"):
+    return run_trajectory_span(
+        circuit, NOISE, properties, kind, 0, n, seed,
+        sample_shots=0, backend=backend,
+    )
+
+
+class TestSpanMetrics:
+    def test_span_reports_trajectory_histogram_and_counters(self):
+        result = span(ghz(4), n=8, properties=(BasisProbability("0000"),))
+        counters = result.metrics["counters"]
+        assert counters["trajectory.completed"] == 8
+        assert counters["property.evaluations"] == 8
+        latency = result.metrics["histograms"]["trajectory.seconds"]
+        assert latency["count"] == 8
+        evaluation = result.metrics["histograms"]["property.eval_seconds"]
+        assert evaluation["count"] == 8
+
+    def test_dd_span_reports_table_deltas(self):
+        result = span(ghz(4), n=4)
+        counters = result.metrics["counters"]
+        assert counters["dd.unique.vector.misses"] > 0
+        assert counters["dd.compute.mat_vec.misses"] > 0
+        nodes = result.metrics["histograms"]["dd.state_nodes"]
+        assert nodes["count"] > 0
+
+    def test_statevector_span_reports_only_runner_metrics(self):
+        result = span(ghz(4), n=4, kind="statevector")
+        assert result.metrics["counters"]["trajectory.completed"] == 4
+        assert not any(
+            name.startswith("dd.") for name in result.metrics["counters"]
+        )
+
+    def test_warm_backend_reports_its_own_delta_not_lifetime_totals(self):
+        backend = DDBackend(4)
+        first = span(ghz(4), n=8, backend=backend)
+        second = span(ghz(4), n=8, backend=backend)
+        lifetime = backend.package.metrics_snapshot()["counters"]
+        for name in ("dd.unique.vector.hits", "dd.compute.mat_vec.misses"):
+            assert second.metrics["counters"][name] <= lifetime[name]
+            assert (
+                first.metrics["counters"][name] + second.metrics["counters"][name]
+                <= lifetime[name]
+            )
+
+    def test_errors_fired_counters_match_result_field(self):
+        result = span(ghz(6), n=50)
+        counters = result.metrics["counters"]
+        for kind, count in result.errors_fired.items():
+            assert counters.get(f"errors.fired.{kind}", 0) == count
+
+
+class TestDeterminism:
+    def _trajectory_level(self, metrics):
+        """The counters documented as seed-deterministic."""
+        return {
+            name: value
+            for name, value in metrics["counters"].items()
+            if name.startswith(("trajectory.completed", "property.evaluations",
+                                "errors.fired."))
+        }
+
+    def test_serial_runs_repeat_exactly(self):
+        a = span(ghz(6), n=20, seed=7, properties=(BasisProbability("0" * 6),))
+        b = span(ghz(6), n=20, seed=7, properties=(BasisProbability("0" * 6),))
+        assert self._trajectory_level(a.metrics) == self._trajectory_level(b.metrics)
+
+    def test_parallel_runs_repeat_exactly(self):
+        def run_once():
+            with StochasticSimulator(backend="dd", workers=2) as simulator:
+                return simulator.run(
+                    ghz(6), noise_model=NOISE,
+                    properties=(BasisProbability("0" * 6),),
+                    trajectories=30, seed=3, sample_shots=0,
+                )
+
+        first, second = run_once(), run_once()
+        assert self._trajectory_level(first.metrics) == self._trajectory_level(
+            second.metrics
+        )
+        assert first.metrics["counters"]["trajectory.completed"] == 30
+
+    def test_serial_and_parallel_agree_on_trajectory_counters(self):
+        serial = simulate_stochastic(
+            ghz(6), noise_model=NOISE, trajectories=30, seed=3,
+            sample_shots=0, workers=1,
+        )
+        with StochasticSimulator(backend="dd", workers=2) as simulator:
+            parallel = simulator.run(
+                ghz(6), noise_model=NOISE, trajectories=30, seed=3,
+                sample_shots=0,
+            )
+        serial_counters = self._trajectory_level(serial.metrics)
+        parallel_counters = self._trajectory_level(parallel.metrics)
+        assert serial_counters == parallel_counters
+
+
+class TestMergeAssociativity:
+    def test_chunked_metrics_merge_like_estimates(self):
+        chunks = [
+            run_trajectory_span(
+                ghz(4), NOISE, (), "dd", first, 5, 0, sample_shots=0
+            )
+            for first in (0, 5, 10)
+        ]
+        left = merge_snapshots(
+            merge_snapshots(chunks[0].metrics, chunks[1].metrics), chunks[2].metrics
+        )
+        right = merge_snapshots(
+            chunks[0].metrics, merge_snapshots(chunks[1].metrics, chunks[2].metrics)
+        )
+        assert left["counters"] == right["counters"]
+        for name, histogram in left["histograms"].items():
+            assert histogram["counts"] == right["histograms"][name]["counts"]
+            assert histogram["count"] == right["histograms"][name]["count"]
+            assert histogram["sum"] == pytest.approx(right["histograms"][name]["sum"])
+        assert left["counters"]["trajectory.completed"] == 15
+
+
+class TestPeakNodesReset:
+    def test_warm_backend_does_not_leak_previous_peak(self):
+        # GHZ states are genuinely entangled (wide diagrams); the QFT of
+        # |0...0> stays a product state, so its true peak is much smaller.
+        backend = DDBackend(6)
+        heavy = span(ghz(6), n=3, backend=backend)
+        light = span(qft(6, do_swaps=False), n=3, backend=backend)
+        fresh = span(qft(6, do_swaps=False), n=3)
+        assert light.peak_nodes == fresh.peak_nodes
+        assert light.peak_nodes < heavy.peak_nodes
+
+    def test_back_to_back_jobs_of_different_widths(self):
+        with StochasticSimulator(backend="dd", workers=2) as simulator:
+            wide = simulator.run(
+                ghz(12), noise_model=NOISE, trajectories=12, sample_shots=0,
+            )
+            narrow = simulator.run(
+                ghz(4), noise_model=NOISE, trajectories=12, sample_shots=0,
+            )
+        assert narrow.peak_nodes < wide.peak_nodes
+        # A 4-qubit GHZ trajectory can never exceed a handful of nodes; a
+        # stale peak from the 12-qubit job would blow well past this.
+        assert narrow.peak_nodes <= 10

@@ -131,3 +131,53 @@ class TestStochasticResult:
         result = self.make(5, 0.1)
         result.timed_out = True
         assert "TIMED OUT" in result.summary()
+
+    def test_merge_sums_cpu_seconds(self):
+        a = self.make(10, 0.2)
+        a.cpu_seconds = 1.5
+        b = self.make(10, 0.2)
+        b.cpu_seconds = 2.25
+        a.merge(b)
+        assert a.cpu_seconds == pytest.approx(3.75)
+
+    def test_cpu_seconds_round_trips(self):
+        result = self.make(10, 0.2)
+        result.cpu_seconds = 4.5
+        rebuilt = StochasticResult.from_dict(result.to_dict())
+        assert rebuilt.cpu_seconds == pytest.approx(4.5)
+
+    def test_from_dict_tolerates_missing_new_fields(self):
+        # Results cached before cpu_seconds/metrics existed must still load.
+        data = self.make(10, 0.2).to_dict()
+        del data["cpu_seconds"]
+        del data["metrics"]
+        rebuilt = StochasticResult.from_dict(data)
+        assert rebuilt.cpu_seconds == 0.0
+        assert rebuilt.metrics == {}
+
+    def test_merge_combines_metrics_snapshots(self):
+        a = self.make(10, 0.2)
+        a.metrics = {"counters": {"trajectory.completed": 10}, "gauges": {},
+                     "histograms": {}}
+        b = self.make(5, 0.2)
+        b.metrics = {"counters": {"trajectory.completed": 5}, "gauges": {},
+                     "histograms": {}}
+        a.merge(b)
+        assert a.metrics["counters"]["trajectory.completed"] == 15
+
+    def test_metrics_round_trip_is_independent_copy(self):
+        result = self.make(10, 0.2)
+        result.metrics = {"counters": {"c": 1}, "gauges": {},
+                          "histograms": {"h": {"bounds": [1.0], "counts": [1, 0],
+                                               "sum": 0.5, "count": 1}}}
+        rebuilt = StochasticResult.from_dict(result.to_dict())
+        rebuilt.metrics["counters"]["c"] = 99
+        rebuilt.metrics["histograms"]["h"]["counts"][0] = 99
+        assert result.metrics["counters"]["c"] == 1
+        assert result.metrics["histograms"]["h"]["counts"][0] == 1
+
+    def test_summary_mentions_cpu_seconds(self):
+        result = self.make(10, 0.2)
+        result.elapsed_seconds = 1.0
+        result.cpu_seconds = 3.0
+        assert "3.000 cpu-s" in result.summary()

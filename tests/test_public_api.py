@@ -25,6 +25,7 @@ class TestPublicApi:
             "repro.noise",
             "repro.stochastic",
             "repro.harness",
+            "repro.obs",
             "repro.cli",
         ):
             importlib.import_module(module)
@@ -37,6 +38,7 @@ class TestPublicApi:
             "repro.noise",
             "repro.stochastic",
             "repro.harness",
+            "repro.obs",
         ):
             module = importlib.import_module(module_name)
             for name in module.__all__:
