@@ -48,6 +48,14 @@ from .circuits.library import (
 )
 from .circuits.optimize import fuse_single_qubit_runs
 from .dd import DDPackage
+from .errors import (
+    NumericalDriftError,
+    PoisonChunkError,
+    ReproError,
+    StoreCorruptionError,
+    WorkerPoolBrokenError,
+)
+from .faults import FaultPlan, FaultSpec
 from .noise import ErrorRates, NoiseModel
 from .service import (
     JobSpec,
@@ -92,15 +100,22 @@ __all__ = [
     "DensityMatrixSimulator",
     "ErrorRates",
     "ExpectationZ",
+    "FaultPlan",
+    "FaultSpec",
     "IdealFidelity",
     "JobSpec",
     "JobState",
     "JobStatus",
     "NoiseModel",
+    "NumericalDriftError",
     "PauliExpectation",
+    "PoisonChunkError",
     "QuantumCircuit",
+    "ReproError",
     "ResultStore",
     "Scheduler",
+    "StoreCorruptionError",
+    "WorkerPoolBrokenError",
     "StateFidelity",
     "StatevectorBackend",
     "StochasticResult",

@@ -222,6 +222,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_property_arguments(stats)
     _add_noise_arguments(stats)
 
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="run the seeded fault-injection suite against the service stack",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--faults", default=None, metavar="KINDS",
+        help="comma-separated fault kinds (default: a crash/hang/corruption mix; "
+             "see docs/ROBUSTNESS.md for the full taxonomy and aliases)",
+    )
+    chaos.add_argument("-M", "--trajectories", type=int, default=80)
+    chaos.add_argument("-n", "--qubits", type=int, default=4)
+    chaos.add_argument("-w", "--workers", type=int, default=2)
+    chaos.add_argument("--chunk-size", type=int, default=16)
+    chaos.add_argument(
+        "--chunk-timeout", type=float, default=2.0,
+        help="scheduler chunk timeout (bounds how long a `hang` fault stalls)",
+    )
+    chaos.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON instead of text"
+    )
+
     table = subparsers.add_parser("table", help="regenerate a paper table")
     table.add_argument("which", choices=("1a", "1b", "1c"))
     table.add_argument("-M", "--trajectories", type=int, default=None)
@@ -382,6 +404,10 @@ def _command_cache(args: argparse.Namespace) -> int:
     print(f"  partial checkpoints: {stats['partials']}")
     print(f"  queued jobs: {stats['queued']}")
     print(f"  disk usage: {stats['disk_bytes']} bytes")
+    if stats.get("corrupt"):
+        print(f"  quarantined (corrupt) entries: {stats['corrupt']}")
+        for name in store.corrupt_entries():
+            print(f"    {name}")
     for key in store.result_keys():
         spec = store.get_spec_dict(key)
         label = spec["circuit_name"] if spec else "?"
@@ -412,7 +438,7 @@ def _render_stats(payload: dict) -> str:
     service_counters = {
         name: value
         for name, value in sorted(counters.items())
-        if name.startswith(("scheduler.", "store.", "errors.fired.", "dd.gc."))
+        if name.startswith(("scheduler.", "store.", "errors.fired.", "dd.gc.", "faults."))
     }
     if service_counters:
         lines.append("counters:")
@@ -491,6 +517,48 @@ def _command_stats(args: argparse.Namespace) -> int:
     else:
         print(text)
     return 0
+
+
+def _command_chaos(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .faults.chaos import DEFAULT_KINDS, run_chaos
+
+    kinds = (
+        tuple(name.strip() for name in args.faults.split(",") if name.strip())
+        if args.faults
+        else DEFAULT_KINDS
+    )
+    report = run_chaos(
+        seed=args.seed,
+        kinds=kinds,
+        trajectories=args.trajectories,
+        num_qubits=args.qubits,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        chunk_timeout=args.chunk_timeout,
+    )
+    if args.json:
+        payload = {
+            "schema": "repro.chaos/v1",
+            "seed": report.seed,
+            "kinds": list(report.kinds),
+            "trajectories": report.trajectories,
+            "plan": report.plan,
+            "reference_estimates": report.reference_estimates,
+            "pass_estimates": report.pass_estimates,
+            "injected": report.injected,
+            "recovered": report.recovered,
+            "checks": [
+                {"name": check.name, "ok": check.ok, "detail": check.detail}
+                for check in report.checks
+            ],
+            "ok": report.ok,
+        }
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
 
 
 def _command_table(args: argparse.Namespace) -> int:
@@ -643,6 +711,8 @@ def _dispatch(args) -> int:
         return _command_cache(args)
     if args.command == "stats":
         return _command_stats(args)
+    if args.command == "chaos":
+        return _command_chaos(args)
     if args.command == "table":
         return _command_table(args)
     if args.command == "report":

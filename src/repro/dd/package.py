@@ -649,6 +649,15 @@ class DDPackage:
             raise ValueError("cannot normalise the zero vector")
         return self.scale(edge, 1.0 / norm)
 
+    def norm_drift(self, edge: Edge) -> float:
+        """Absolute deviation of the squared norm from unity.
+
+        O(1) like :meth:`squared_norm` — cheap enough to check after every
+        trajectory, which is exactly what the runner's numerical guard does
+        (docs/ROBUSTNESS.md).
+        """
+        return abs(self.squared_norm(edge) - 1.0)
+
     def iterate_nonzero_amplitudes(self, edge: Edge):
         """Yield ``(bitstring, amplitude)`` for every non-zero basis state.
 

@@ -1,0 +1,123 @@
+"""Shared error taxonomy for the whole reproduction.
+
+Every subsystem raises out of one tree rooted at :class:`ReproError`, so
+callers (the CLI, the serve loop, the chaos harness) can catch at the
+granularity they care about instead of pattern-matching ad-hoc
+``RuntimeError``/``ValueError`` messages:
+
+* :class:`SchedulerError` — the job service could not do its work
+  (:class:`JobFailedError`, :class:`JobCancelledError`,
+  :class:`PoisonChunkError`, :class:`WorkerPoolBrokenError`);
+* :class:`StoreCorruptionError` — a result-store entry failed its
+  integrity check (the store quarantines the entry and reports a cache
+  miss; the exception type is raised internally and by strict readers);
+* :class:`NumericalDriftError` — a decision-diagram trajectory's state
+  norm drifted beyond tolerance (see ``repro.stochastic.runner``).
+
+``SchedulerError`` keeps ``RuntimeError`` in its bases and
+``NumericalDriftError`` keeps ``ValueError`` — pre-taxonomy callers that
+caught the builtin types keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = [
+    "ReproError",
+    "SchedulerError",
+    "JobFailedError",
+    "JobCancelledError",
+    "PoisonChunkError",
+    "WorkerPoolBrokenError",
+    "StoreCorruptionError",
+    "NumericalDriftError",
+]
+
+
+class ReproError(Exception):
+    """Root of the repo-wide error taxonomy."""
+
+
+class SchedulerError(ReproError, RuntimeError):
+    """Base class for job-service failures."""
+
+
+class JobFailedError(SchedulerError):
+    """A job exhausted its chunk retry budget."""
+
+
+class JobCancelledError(SchedulerError):
+    """The job was cancelled before completion."""
+
+
+class PoisonChunkError(JobFailedError):
+    """A chunk deterministically killed its worker and was quarantined.
+
+    Retrying a chunk that reliably crashes the process that runs it would
+    loop forever; after ``N`` worker-fatal attempts the scheduler
+    quarantines the chunk and fails the job fast, attaching a structured
+    :attr:`diagnosis` (chunk index, trajectory span, attempt count, and
+    the observed failure reasons) so the bug can be reproduced offline.
+    """
+
+    def __init__(self, message: str, diagnosis: Optional[Dict[str, object]] = None) -> None:
+        super().__init__(message)
+        #: Structured description of the quarantined chunk: ``chunk_index``,
+        #: ``first_trajectory``, ``num_trajectories``, ``attempts``,
+        #: ``reasons`` (one entry per failed attempt).
+        self.diagnosis: Dict[str, object] = dict(diagnosis or {})
+
+
+class WorkerPoolBrokenError(JobFailedError):
+    """The pool-level circuit breaker opened during a respawn storm.
+
+    When workers die faster than a configured threshold the scheduler
+    stops feeding the storm: pending jobs are failed with this error and
+    the respawn history is reset so a later, healthy submission can still
+    be served.
+    """
+
+
+class StoreCorruptionError(ReproError):
+    """A result-store entry failed its integrity check.
+
+    Raised internally by the store's verified read path; the default
+    public readers catch it, quarantine the entry to a ``*.corrupt``
+    sibling, bump ``store.corruption.*`` counters, and report a cache
+    miss — corruption is always visible, never a silent ``None``.
+    """
+
+
+class NumericalDriftError(ReproError, ValueError):
+    """A trajectory's state norm drifted beyond the configured tolerance.
+
+    Decision-diagram trajectories renormalise after every stochastic
+    Kraus branch, so the squared norm of the state should stay within
+    floating-point distance of 1.  Drift beyond tolerance means the
+    numerics can no longer be trusted; depending on configuration the
+    runner raises this error or renormalises and counts the recovery.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        trajectory: Optional[int] = None,
+        norm_squared: Optional[float] = None,
+        tolerance: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.trajectory = trajectory
+        self.norm_squared = norm_squared
+        self.tolerance = tolerance
+
+
+def format_reasons(reasons: List[str], limit: int = 4) -> str:
+    """Join failure reasons for a diagnosis message, truncating long tails."""
+    unique: List[str] = []
+    for reason in reasons:
+        if reason not in unique:
+            unique.append(reason)
+    shown = "; ".join(unique[:limit])
+    extra = len(unique) - limit
+    return shown + (f" (+{extra} more)" if extra > 0 else "")

@@ -1,0 +1,331 @@
+"""Seeded end-to-end chaos suite (the engine behind ``repro chaos``).
+
+The suite runs one small GHZ job through the full service stack — sharded
+scheduler, persistent worker pool, checksummed on-disk store — while a
+seed-derived :class:`~repro.faults.plan.FaultPlan` strikes it, and then
+verifies the promises docs/ROBUSTNESS.md makes:
+
+* the job **completes** with every requested trajectory despite injected
+  crashes, hangs, dropped queue deliveries, and store corruption;
+* the estimates are **correct**: equal (to Monte-Carlo merge tolerance) to
+  a fault-free serial reference, with Hoeffding half-widths matching the
+  completed sample count;
+* the run is **deterministic**: the same seed derives an identical fault
+  schedule, and two chaos passes under that schedule produce bit-identical
+  estimates (chunk merges happen in chunk-index order no matter which
+  faults forced re-execution);
+* every recovery path actually fired: ``faults.injected.*`` and
+  ``faults.recovered.*`` counters are nonzero.
+
+Two passes run against the *same store directory* on purpose.  Pass 1's
+final result is written through the fault plan's store faults (bit-flip /
+torn-write), so pass 2 — a fresh :class:`ResultStore` instance with a cold
+memory cache — must detect the on-disk corruption by checksum, quarantine
+the entry, and transparently re-execute: the disk-corruption recovery path
+is exercised end to end, not just at unit level.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuits.library.ghz import ghz
+from ..noise.model import NoiseModel
+from ..stochastic.properties import IdealFidelity
+from ..stochastic.results import StochasticResult
+from ..stochastic.runner import simulate_stochastic
+from .inject import PLAN_ENV, reset_injector_cache
+from .plan import FaultPlan, canonical_kind
+
+__all__ = ["ChaosCheck", "ChaosReport", "DEFAULT_KINDS", "run_chaos"]
+
+#: Fault kinds exercised when ``repro chaos`` is run without ``--faults``.
+#: ``drift`` is excluded by default because renormalisation perturbs the
+#: affected trajectory's values (pass-vs-reference equality would need a
+#: looser tolerance); opt in with ``--faults ...,drift``.
+DEFAULT_KINDS: Tuple[str, ...] = (
+    "crash-before",
+    "crash-mid-chunk",
+    "hang",
+    "corrupt-outcome",
+    "queue-drop",
+    "bit-flip",
+    "enospc",
+)
+
+#: Merge tolerance between a chaos pass and the fault-free serial
+#: reference.  Per-trajectory values are identical (seeds derive from the
+#: absolute trajectory index); only the floating-point summation order
+#: differs between one serial span and per-chunk partial merges.
+_REFERENCE_TOLERANCE = 1e-12
+
+
+@dataclass
+class ChaosCheck:
+    """One verified invariant: what was asserted and whether it held."""
+
+    name: str
+    ok: bool
+    detail: str
+
+    def render(self) -> str:
+        return f"[{'ok' if self.ok else 'FAIL'}] {self.name}: {self.detail}"
+
+
+@dataclass
+class ChaosReport:
+    """Everything a chaos run observed, plus the verdict."""
+
+    seed: int
+    kinds: Tuple[str, ...]
+    trajectories: int
+    plan: Dict[str, object] = field(default_factory=dict)
+    reference_estimates: Dict[str, float] = field(default_factory=dict)
+    pass_estimates: List[Dict[str, float]] = field(default_factory=list)
+    injected: Dict[str, int] = field(default_factory=dict)
+    recovered: Dict[str, int] = field(default_factory=dict)
+    checks: List[ChaosCheck] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    def check(self, name: str, ok: bool, detail: str) -> None:
+        self.checks.append(ChaosCheck(name, ok, detail))
+
+    def render(self) -> str:
+        lines = [
+            f"chaos seed={self.seed} kinds={','.join(self.kinds)} "
+            f"M={self.trajectories}",
+            "injected: " + (
+                ", ".join(
+                    f"{key.split('.')[-1]}={value}"
+                    for key, value in sorted(self.injected.items())
+                ) or "none"
+            ),
+            "recovered: " + (
+                ", ".join(
+                    f"{key.split('.')[-1]}={value}"
+                    for key, value in sorted(self.recovered.items())
+                ) or "none"
+            ),
+        ]
+        lines.extend(check.render() for check in self.checks)
+        lines.append("RESULT: " + ("PASS" if self.ok else "FAIL"))
+        return "\n".join(lines)
+
+
+def _estimates_of(result: StochasticResult) -> Dict[str, float]:
+    return {name: est.mean for name, est in result.estimates.items()}
+
+
+def _counters_with_prefix(
+    snapshot: Dict[str, Dict[str, object]], prefix: str
+) -> Dict[str, int]:
+    counters = snapshot.get("counters", {})
+    return {
+        name: int(value)
+        for name, value in counters.items()
+        if name.startswith(prefix) and value
+    }
+
+
+def _merge_counts(*parts: Dict[str, int]) -> Dict[str, int]:
+    total: Dict[str, int] = {}
+    for part in parts:
+        for name, value in part.items():
+            total[name] = total.get(name, 0) + value
+    return total
+
+
+def run_chaos(
+    seed: int,
+    kinds: Sequence[str] = DEFAULT_KINDS,
+    trajectories: int = 80,
+    num_qubits: int = 4,
+    workers: int = 2,
+    chunk_size: int = 16,
+    chunk_timeout: float = 2.0,
+    store_dir: Optional[str] = None,
+    job_timeout: float = 180.0,
+) -> ChaosReport:
+    """Run the chaos suite; returns a :class:`ChaosReport` (see module doc).
+
+    The caller's ``REPRO_FAULT_PLAN`` environment is saved and restored —
+    the suite owns the variable for its duration (it is how the plan
+    reaches forked workers).
+    """
+    kinds = tuple(canonical_kind(name) for name in kinds)
+    report = ChaosReport(seed=seed, kinds=kinds, trajectories=trajectories)
+    num_chunks = -(-trajectories // chunk_size)
+
+    circuit = ghz(num_qubits)
+    noise_model = NoiseModel.paper_defaults()
+    properties = (IdealFidelity(),)
+
+    saved_env = os.environ.get(PLAN_ENV)
+    scratch = tempfile.mkdtemp(prefix="repro-chaos-")
+    own_store = store_dir is None
+    if own_store:
+        store_dir = os.path.join(scratch, "store")
+    try:
+        # Fault-free serial reference, computed before any plan is active.
+        os.environ.pop(PLAN_ENV, None)
+        reset_injector_cache()
+        reference = simulate_stochastic(
+            circuit,
+            noise_model=noise_model,
+            properties=properties,
+            trajectories=trajectories,
+            backend="dd",
+            workers=1,
+            seed=seed,
+            sample_shots=0,
+        )
+        report.reference_estimates = _estimates_of(reference)
+
+        # Same seed + kinds must derive the same schedule, byte for byte
+        # (state_dir is pass-local coordination, not part of the schedule).
+        schedule = FaultPlan.generate(
+            seed, kinds, num_chunks, trajectories=trajectories
+        ).to_dict()["faults"]
+        replay = FaultPlan.generate(
+            seed, kinds, num_chunks, trajectories=trajectories
+        ).to_dict()["faults"]
+        report.plan = {"seed": seed, "faults": schedule}
+        report.check(
+            "plan determinism",
+            schedule == replay,
+            f"{len(schedule)} faults derive identically from seed {seed}",
+        )
+
+        passes: List[StochasticResult] = []
+        for pass_index in (1, 2):
+            state_dir = os.path.join(scratch, f"pass-{pass_index}")
+            os.makedirs(state_dir, exist_ok=True)
+            plan = FaultPlan.generate(
+                seed, kinds, num_chunks,
+                trajectories=trajectories, state_dir=state_dir,
+            )
+            os.environ[PLAN_ENV] = plan.to_json()
+            reset_injector_cache()
+            result, snapshot = _run_pass(
+                circuit, noise_model, properties, trajectories, seed,
+                store_dir, workers, chunk_size, chunk_timeout, job_timeout,
+            )
+            passes.append(result)
+            report.pass_estimates.append(_estimates_of(result))
+            # Worker-side firings live in marker files (a crashed worker
+            # cannot report); parent-side firings are in the scheduler's
+            # merged snapshot.  Markers are authoritative for both here —
+            # every spec in a state_dir plan coordinates through them.
+            report.injected = _merge_counts(report.injected, plan.claimed_counts())
+            report.recovered = _merge_counts(
+                report.recovered,
+                _counters_with_prefix(snapshot, "faults.recovered."),
+            )
+
+        for index, result in enumerate(passes, start=1):
+            report.check(
+                f"pass {index} completion",
+                result.completed_trajectories == trajectories
+                and not result.timed_out,
+                f"{result.completed_trajectories}/{trajectories} trajectories",
+            )
+            for name, estimate in result.estimates.items():
+                expected = estimate.hoeffding_halfwidth()
+                derived = math.sqrt(
+                    math.log(2.0 / 0.05) / (2.0 * max(1, estimate.count))
+                )
+                report.check(
+                    f"pass {index} hoeffding {name}",
+                    estimate.count == trajectories
+                    and math.isclose(expected, derived, rel_tol=1e-12),
+                    f"count={estimate.count} halfwidth={expected:.6f}",
+                )
+
+        exact = report.pass_estimates[0] == report.pass_estimates[1]
+        report.check(
+            "pass determinism",
+            exact,
+            "bit-identical estimates across passes"
+            if exact
+            else f"{report.pass_estimates[0]} != {report.pass_estimates[1]}",
+        )
+        for name, value in report.reference_estimates.items():
+            drift_allowed = "drift" in kinds
+            deviation = max(
+                abs(estimates.get(name, float("nan")) - value)
+                for estimates in report.pass_estimates
+            )
+            tolerance = 1e-2 if drift_allowed else _REFERENCE_TOLERANCE
+            report.check(
+                f"reference agreement {name}",
+                deviation <= tolerance,
+                f"max |pass - serial reference| = {deviation:.3e}",
+            )
+
+        report.check(
+            "faults injected",
+            bool(report.injected),
+            ", ".join(sorted(report.injected)) or "no fault ever fired",
+        )
+        report.check(
+            "faults recovered",
+            bool(report.recovered),
+            ", ".join(sorted(report.recovered)) or "no recovery counter moved",
+        )
+    finally:
+        if saved_env is None:
+            os.environ.pop(PLAN_ENV, None)
+        else:
+            os.environ[PLAN_ENV] = saved_env
+        reset_injector_cache()
+        shutil.rmtree(scratch, ignore_errors=True)
+    return report
+
+
+def _run_pass(
+    circuit,
+    noise_model,
+    properties,
+    trajectories: int,
+    seed: int,
+    store_dir: str,
+    workers: int,
+    chunk_size: int,
+    chunk_timeout: float,
+    job_timeout: float,
+) -> Tuple[StochasticResult, Dict[str, Dict[str, object]]]:
+    """One scheduler pass under the active plan; returns (result, metrics)."""
+    from ..service.job import JobSpec
+    from ..service.scheduler import Scheduler
+    from ..service.store import ResultStore
+
+    spec = JobSpec(
+        circuit=circuit,
+        noise_model=noise_model,
+        properties=properties,
+        trajectories=trajectories,
+        seed=seed,
+        backend_kind="dd",
+        sample_shots=0,
+    )
+    # A fresh ResultStore per pass: pass 2 must reach the bytes pass 1 left
+    # on disk (possibly corrupted by store faults) through a cold cache.
+    store = ResultStore(directory=store_dir)
+    with Scheduler(
+        workers=workers,
+        store=store,
+        chunk_size=chunk_size,
+        max_retries=3,
+        chunk_timeout=chunk_timeout,
+    ) as scheduler:
+        result = scheduler.run(spec, timeout=job_timeout)
+        snapshot = scheduler.metrics_snapshot()
+    return result, snapshot

@@ -19,11 +19,13 @@ from .job import JobSpec, JobState, JobStatus, StreamingEstimate
 from .scheduler import (
     JobCancelledError,
     JobFailedError,
+    PoisonChunkError,
     Scheduler,
     SchedulerError,
+    WorkerPoolBrokenError,
 )
 from .serve import enqueue_job, list_queue, query_status, serve
-from .store import ResultStore, default_store_directory
+from .store import STORE_SCHEMA, ResultStore, default_store_directory
 
 __all__ = [
     "JobCancelledError",
@@ -31,10 +33,13 @@ __all__ = [
     "JobSpec",
     "JobState",
     "JobStatus",
+    "PoisonChunkError",
     "ResultStore",
+    "STORE_SCHEMA",
     "Scheduler",
     "SchedulerError",
     "StreamingEstimate",
+    "WorkerPoolBrokenError",
     "default_store_directory",
     "enqueue_job",
     "list_queue",

@@ -18,12 +18,29 @@ Key behaviours:
   instantly without dispatching a single chunk, and a job with an on-disk
   checkpoint resumes from its completed spans rather than trajectory 0.
 * **Fault tolerance** — a worker that dies (or errors) has its chunk
-  requeued with bounded retries and the worker respawned; exceeding the
-  retry budget fails the job without wedging the scheduler.
+  requeued with bounded retries and the worker respawned after an
+  exponential backoff; exceeding the retry budget fails the job without
+  wedging the scheduler.  Two self-protection layers sit on top
+  (docs/ROBUSTNESS.md):
+
+  - *poison-chunk quarantine* — a chunk whose execution reliably **kills**
+    its worker is quarantined after ``poison_retries`` fatal attempts and
+    the job fails fast with a structured
+    :class:`~repro.errors.PoisonChunkError` diagnosis instead of
+    respawn-retrying forever;
+  - *respawn circuit breaker* — a respawn storm (``breaker_threshold``
+    worker deaths inside ``breaker_window`` seconds) fails the pending
+    jobs with :class:`~repro.errors.WorkerPoolBrokenError` and resets,
+    so a wedged environment produces one clear error, not an unbounded
+    fork storm.
+
+* **Outcome validation** — chunk results are sanity-checked (trajectory
+  counts and estimate counts must be internally consistent) before they
+  merge; a corrupt outcome is rejected and the chunk re-executed.
 * **Determinism** — the final result is re-merged from chunk results in
   chunk-index order, so it is bit-identical for a given chunk plan no
-  matter how many workers raced, which worker ran what, or in which order
-  chunks finished.
+  matter how many workers raced, which worker ran what, in which order
+  chunks finished, or which faults forced re-execution.
 """
 
 from __future__ import annotations
@@ -33,8 +50,18 @@ import multiprocessing
 import threading
 import time
 from collections import deque
+from queue import Empty
 from typing import Deque, Dict, List, Optional, Set, Tuple
 
+from ..errors import (
+    JobCancelledError,
+    JobFailedError,
+    PoisonChunkError,
+    SchedulerError,
+    WorkerPoolBrokenError,
+    format_reasons,
+)
+from ..faults.inject import get_injector
 from ..obs.metrics import MetricsRegistry, merge_snapshots
 from ..obs.tracing import Tracer
 from ..stochastic.results import PropertyEstimate, StochasticResult
@@ -42,25 +69,20 @@ from .job import JobSpec, JobState, JobStatus, StreamingEstimate
 from .store import ResultStore, Span
 from .worker import ChunkOutcome, ChunkTask, worker_main
 
-__all__ = ["Scheduler", "SchedulerError", "JobFailedError", "JobCancelledError"]
+__all__ = [
+    "Scheduler",
+    "SchedulerError",
+    "JobFailedError",
+    "JobCancelledError",
+    "PoisonChunkError",
+    "WorkerPoolBrokenError",
+]
 
 #: Seconds a timed-out job waits for its in-flight chunks to report their
 #: partial trajectories before finalizing without them.  Chunks observe the
 #: same absolute deadline the scheduler does, so they normally drain within
 #: one trajectory's latency — the grace only bounds a wedged straggler.
 _TIMEOUT_DRAIN_GRACE = 1.0
-
-
-class SchedulerError(RuntimeError):
-    """Base class for scheduler failures."""
-
-
-class JobFailedError(SchedulerError):
-    """A job exhausted its chunk retry budget."""
-
-
-class JobCancelledError(SchedulerError):
-    """The job was cancelled before completion."""
 
 
 def _remaining_spans(total: int, done: List[Span]) -> List[Span]:
@@ -78,6 +100,33 @@ def _remaining_spans(total: int, done: List[Span]) -> List[Span]:
     return remaining
 
 
+def _outcome_anomaly(outcome: ChunkOutcome) -> Optional[str]:
+    """Internal-consistency check on a successful chunk result.
+
+    Returns a human-readable reason when the result cannot be trusted
+    (a worker bug, a torn queue write that still unpickled, or an
+    injected ``corrupt-outcome`` fault), else ``None``.
+    """
+    result = outcome.result
+    if result is None:
+        return None  # error outcomes are handled by the requeue path
+    completed = result.completed_trajectories
+    if completed < 0 or completed > outcome.num_trajectories:
+        return (
+            f"completed trajectories {completed} outside "
+            f"[0, {outcome.num_trajectories}]"
+        )
+    if not result.timed_out and completed != outcome.num_trajectories:
+        return (
+            f"short chunk ({completed}/{outcome.num_trajectories}) "
+            f"without a timeout flag"
+        )
+    for name, estimate in result.estimates.items():
+        if estimate.count > completed:
+            return f"estimate {name!r} counts {estimate.count} > {completed} trajectories"
+    return None
+
+
 class _WorkerHandle:
     """Book-keeping for one worker process and its private queues.
 
@@ -90,7 +139,7 @@ class _WorkerHandle:
 
     __slots__ = (
         "worker_id", "process", "task_queue", "result_queue", "busy",
-        "dispatched_at",
+        "dispatched_at", "dead", "respawn_due",
     )
 
     def __init__(self, worker_id: int, ctx) -> None:
@@ -105,6 +154,10 @@ class _WorkerHandle:
         )
         self.busy: Optional[ChunkTask] = None
         self.dispatched_at = 0.0
+        #: Set when the death has been processed; the slot respawns only
+        #: once ``respawn_due`` passes (exponential backoff).
+        self.dead = False
+        self.respawn_due = 0.0
         self.process.start()
 
 
@@ -120,6 +173,13 @@ class _Job:
         self.in_flight: Set[int] = set()
         self.completed: Dict[int, StochasticResult] = {}
         self.retries: Dict[int, int] = {}
+        #: Chunk index -> count of attempts that KILLED the worker (poison
+        #: detection counts fatalities, not mere errors).
+        self.worker_deaths: Dict[int, int] = {}
+        #: Chunk index -> observed failure reasons, for diagnoses.
+        self.failure_reasons: Dict[int, List[str]] = {}
+        #: Chunk index -> monotonic instant a queue-delay fault holds it to.
+        self.delayed: Dict[int, float] = {}
         self.base_spans: List[Span] = []  #: spans restored from a checkpoint
         self.base_partial: Optional[StochasticResult] = None
         self.aggregate = StochasticResult(
@@ -131,6 +191,10 @@ class _Job:
             self.aggregate.estimates[prop.name] = PropertyEstimate(prop.name)
         self.final: Optional[StochasticResult] = None
         self.error: Optional[str] = None
+        #: Failure classification for typed errors from :meth:`result`:
+        #: None | "retries" | "poison" | "breaker".
+        self.error_kind: Optional[str] = None
+        self.poison_diagnosis: Optional[Dict[str, object]] = None
         self.cached = False
         self.started_at = time.perf_counter()
         #: Absolute monotonic instant the whole job must respect — shipped
@@ -173,6 +237,18 @@ class Scheduler:
     chunk_timeout:
         Wall-clock seconds an in-flight chunk may take before its worker
         is presumed wedged, killed, and the chunk retried (None = never).
+    poison_retries:
+        Worker-fatal attempts a single chunk may accumulate before it is
+        quarantined and the job failed with
+        :class:`~repro.errors.PoisonChunkError` (default: ``max_retries``).
+    respawn_backoff / respawn_backoff_cap:
+        Base and cap (seconds) of the exponential delay before a dead
+        worker's slot is refilled; the exponent is the number of worker
+        deaths inside the breaker window.
+    breaker_threshold / breaker_window:
+        Open the pool circuit breaker — failing all pending jobs with
+        :class:`~repro.errors.WorkerPoolBrokenError` — when this many
+        worker deaths land within the window (seconds).
     """
 
     def __init__(
@@ -185,11 +261,18 @@ class Scheduler:
         chunk_timeout: Optional[float] = None,
         mp_context: str = "fork",
         poll_interval: float = 0.02,
+        poison_retries: Optional[int] = None,
+        respawn_backoff: float = 0.05,
+        respawn_backoff_cap: float = 2.0,
+        breaker_threshold: int = 12,
+        breaker_window: float = 10.0,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
+        if breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
         self.workers = workers
         self.store = store if store is not None else ResultStore(directory=None)
         self.chunk_size = chunk_size
@@ -197,6 +280,11 @@ class Scheduler:
         self.checkpoint_every = max(1, checkpoint_every)
         self.chunk_timeout = chunk_timeout
         self.poll_interval = poll_interval
+        self.poison_retries = max_retries if poison_retries is None else poison_retries
+        self.respawn_backoff = respawn_backoff
+        self.respawn_backoff_cap = respawn_backoff_cap
+        self.breaker_threshold = breaker_threshold
+        self.breaker_window = breaker_window
         #: Trajectories actually executed by this scheduler instance —
         #: cache hits and resumed checkpoints contribute nothing here.
         self.trajectories_executed = 0
@@ -210,11 +298,23 @@ class Scheduler:
             "scheduler.chunks_completed",
             "scheduler.checkpoint_writes",
             "scheduler.trajectories_executed",
+            "scheduler.drain.errors",
+            "scheduler.outcomes.rejected",
+            "scheduler.poison_quarantined",
+            "scheduler.breaker.trips",
+            "faults.recovered.requeue",
+            "faults.recovered.respawn",
+            "faults.recovered.outcome_rejected",
             "store.hits",
             "store.misses",
         ):
             self.metrics.counter(name)
         self.tracer = Tracer(max_events=2048)
+        #: Active fault injector (``REPRO_FAULT_PLAN``; None in production).
+        #: Scheduler-side sites: queue-drop / queue-delay at dispatch time.
+        self._injector = get_injector()
+        #: Monotonic stamps of recent worker deaths (breaker/backoff input).
+        self._death_stamps: Deque[float] = deque()
 
         self._ctx = multiprocessing.get_context(mp_context)
         self._lock = threading.RLock()
@@ -316,7 +416,14 @@ class Scheduler:
             )
 
     def result(self, key: str, timeout: Optional[float] = None) -> StochasticResult:
-        """Block until the job finishes; returns an independent result copy."""
+        """Block until the job finishes; returns an independent result copy.
+
+        Failures raise out of the shared taxonomy (:mod:`repro.errors`):
+        :class:`PoisonChunkError` for a quarantined chunk (with a
+        structured ``diagnosis``), :class:`WorkerPoolBrokenError` when the
+        respawn circuit breaker opened, :class:`JobFailedError` for an
+        exhausted retry budget, :class:`JobCancelledError` on cancellation.
+        """
         with self._lock:
             job = self._jobs.get(key)
         if job is None:
@@ -324,7 +431,12 @@ class Scheduler:
         if not job.done.wait(timeout):
             raise TimeoutError(f"job {key[:16]}… still running after {timeout} s")
         if job.state == JobState.FAILED:
-            raise JobFailedError(job.error or "job failed")
+            message = job.error or "job failed"
+            if job.error_kind == "poison":
+                raise PoisonChunkError(message, diagnosis=job.poison_diagnosis)
+            if job.error_kind == "breaker":
+                raise WorkerPoolBrokenError(message)
+            raise JobFailedError(message)
         if job.state == JobState.CANCELLED:
             raise JobCancelledError(f"job {key[:16]}… was cancelled")
         assert job.final is not None
@@ -338,12 +450,17 @@ class Scheduler:
         """Point-in-time snapshot of scheduler-side metrics.
 
         Covers retries, respawns, chunk completions, checkpoint writes,
-        store hits/misses, and peak queue depth.  Callers attributing
-        activity to one job should snapshot before and after and take
+        store traffic *and* the store's own corruption/write-failure
+        counters, plus any ``faults.injected.*`` counters from an active
+        fault injector.  Callers attributing activity to one job should
+        snapshot before and after and take
         :func:`repro.obs.delta_snapshots` (the pool is shared).
         """
         with self._lock:
-            return self.metrics.snapshot()
+            parts = [self.metrics.snapshot(), self.store.metrics.snapshot()]
+            if self._injector is not None:
+                parts.append(self._injector.snapshot())
+            return merge_snapshots(*parts)
 
     def trace_events(self) -> List[Dict[str, object]]:
         """Buffered scheduler trace events as JSON-able dictionaries."""
@@ -359,6 +476,7 @@ class Scheduler:
             if job.finished():
                 return False
             job.pending.clear()
+            job.delayed.clear()
             job.state = JobState.CANCELLED
             self._checkpoint(job, force=True)
             job.done.set()
@@ -436,6 +554,7 @@ class Scheduler:
         while not self._closed:
             with self._lock:
                 self._reap_dead_workers()
+                self._release_delayed_chunks()
                 self._check_deadlines()
                 self._assign_chunks()
                 drained = sum(
@@ -450,14 +569,38 @@ class Scheduler:
         while True:
             try:
                 outcome = handle.result_queue.get_nowait()
-            except Exception:
-                return count  # Empty, or a write torn by a mid-put kill
+            except Empty:
+                return count
+            except Exception as exc:
+                # A write torn by a mid-put kill, or a queue whose feeder
+                # died: visible in metrics/traces, never silently dropped.
+                self.metrics.counter("scheduler.drain.errors").inc()
+                self.tracer.event(
+                    "drain.error",
+                    worker=handle.worker_id,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                return count
             if isinstance(outcome, ChunkOutcome):
                 self._handle_outcome(outcome)
                 count += 1
 
     def _idle_workers(self) -> List[_WorkerHandle]:
-        return [h for h in self._workers if h.busy is None and h.process.is_alive()]
+        return [
+            h for h in self._workers
+            if h.busy is None and not h.dead and h.process.is_alive()
+        ]
+
+    def _release_delayed_chunks(self) -> None:
+        """Return chunks held by a queue-delay fault once their hold expires."""
+        now = time.perf_counter()
+        for job in self._jobs.values():
+            if job.finished() or not job.delayed:
+                continue
+            for index, due in list(job.delayed.items()):
+                if now >= due:
+                    del job.delayed[index]
+                    job.pending.append(index)
 
     def _assign_chunks(self) -> None:
         depth = sum(
@@ -472,9 +615,29 @@ class Scheduler:
             if job is None or job.finished() or not job.pending:
                 continue
             while idle and job.pending:
-                handle = idle.pop()
                 index = job.pending.popleft()
                 task = job.chunks[index]
+                if self._injector is not None:
+                    if self._injector.fire(
+                        "queue-drop", job_key=task.job_key, chunk_index=index
+                    ):
+                        self.tracer.event(
+                            "chunk.queue_drop", job=key[:16], chunk=index
+                        )
+                        self._requeue(task, "fault: queue delivery dropped")
+                        continue
+                    delay = self._injector.fire(
+                        "queue-delay", job_key=task.job_key, chunk_index=index
+                    )
+                    if delay is not None:
+                        hold = delay.seconds or 0.1
+                        job.delayed[index] = time.perf_counter() + hold
+                        self.tracer.event(
+                            "chunk.queue_delay", job=key[:16],
+                            chunk=index, seconds=hold,
+                        )
+                        continue
+                handle = idle.pop()
                 job.in_flight.add(index)
                 handle.busy = task
                 handle.dispatched_at = time.perf_counter()
@@ -482,13 +645,22 @@ class Scheduler:
             if not idle:
                 return
 
+    # ------------------------------------------------------------------
+    # Worker lifecycle: reaping, backoff, circuit breaker
+    # ------------------------------------------------------------------
+
     def _reap_dead_workers(self) -> None:
+        now = time.perf_counter()
         for position, handle in enumerate(self._workers):
+            if handle.dead:
+                if now >= handle.respawn_due:
+                    self._respawn(position, handle)
+                continue
             alive = handle.process.is_alive()
             stuck = (
                 self.chunk_timeout is not None
                 and handle.busy is not None
-                and time.perf_counter() - handle.dispatched_at > self.chunk_timeout
+                and now - handle.dispatched_at > self.chunk_timeout
             )
             if alive and not stuck:
                 continue
@@ -499,16 +671,76 @@ class Scheduler:
             # finished chunk is not needlessly re-executed.
             self._drain_results(handle)
             if handle.busy is not None:
-                self._requeue(handle.busy, "worker died" if not stuck else "chunk timed out")
-            replacement = _WorkerHandle(self._next_worker_id, self._ctx)
-            self._next_worker_id += 1
-            self._workers[position] = replacement
-            self.metrics.counter("scheduler.worker_respawns").inc()
+                self._requeue(
+                    handle.busy,
+                    "chunk timed out" if stuck else "worker died",
+                    worker_death=True,
+                )
+                handle.busy = None
+            handle.dead = True
+            delay = self._record_worker_death()
+            handle.respawn_due = now + delay
             self.tracer.event(
-                "worker.respawn",
-                died=handle.worker_id,
-                spawned=replacement.worker_id,
+                "worker.backoff", worker=handle.worker_id,
+                delay_seconds=round(delay, 3),
             )
+
+    def _respawn(self, position: int, handle: _WorkerHandle) -> None:
+        replacement = _WorkerHandle(self._next_worker_id, self._ctx)
+        self._next_worker_id += 1
+        self._workers[position] = replacement
+        self.metrics.counter("scheduler.worker_respawns").inc()
+        self.metrics.counter("faults.recovered.respawn").inc()
+        self.tracer.event(
+            "worker.respawn",
+            died=handle.worker_id,
+            spawned=replacement.worker_id,
+        )
+
+    def _record_worker_death(self) -> float:
+        """Track a death for breaker/backoff; returns the respawn delay."""
+        now = time.perf_counter()
+        self._death_stamps.append(now)
+        horizon = now - self.breaker_window
+        while self._death_stamps and self._death_stamps[0] < horizon:
+            self._death_stamps.popleft()
+        recent = len(self._death_stamps)
+        if recent >= self.breaker_threshold:
+            self._trip_breaker(recent)
+            self._death_stamps.clear()
+        if recent <= 1:
+            # An isolated death respawns immediately; backoff is storm
+            # protection, not a tax on every crash.
+            return 0.0
+        return min(
+            self.respawn_backoff_cap,
+            self.respawn_backoff * (2 ** min(recent - 2, 6)),
+        )
+
+    def _trip_breaker(self, recent: int) -> None:
+        """Respawn storm: fail everything pending with one clear error."""
+        message = (
+            f"worker pool circuit breaker open: {recent} worker deaths "
+            f"within {self.breaker_window:.1f} s — failing pending jobs "
+            f"(the pool keeps respawning with backoff; resubmit once the "
+            f"environment is healthy)"
+        )
+        self.metrics.counter("scheduler.breaker.trips").inc()
+        self.tracer.event("breaker.open", deaths=recent, window=self.breaker_window)
+        for job in self._jobs.values():
+            if job.finished():
+                continue
+            job.state = JobState.FAILED
+            job.error = message
+            job.error_kind = "breaker"
+            job.pending.clear()
+            job.delayed.clear()
+            self._checkpoint(job, force=True)
+            job.done.set()
+
+    # ------------------------------------------------------------------
+    # Outcome handling
+    # ------------------------------------------------------------------
 
     def _check_deadlines(self) -> None:
         now = time.monotonic()
@@ -529,7 +761,7 @@ class Scheduler:
             if not job.in_flight or now >= job.timeout_at + _TIMEOUT_DRAIN_GRACE:
                 self._finalize(job)
 
-    def _requeue(self, task: ChunkTask, reason: str) -> None:
+    def _requeue(self, task: ChunkTask, reason: str, worker_death: bool = False) -> None:
         job = self._jobs.get(task.job_key)
         if job is None or job.finished():
             return
@@ -538,20 +770,60 @@ class Scheduler:
             return  # result raced in before the death was noticed
         attempts = job.retries.get(task.chunk_index, 0) + 1
         job.retries[task.chunk_index] = attempts
+        job.failure_reasons.setdefault(task.chunk_index, []).append(reason)
         self.metrics.counter("scheduler.retries").inc()
         self.tracer.event(
             "chunk.requeue", job=task.job_key[:16],
             chunk=task.chunk_index, attempt=attempts, reason=reason,
         )
+        if worker_death:
+            deaths = job.worker_deaths.get(task.chunk_index, 0) + 1
+            job.worker_deaths[task.chunk_index] = deaths
+            if deaths > self.poison_retries:
+                self._quarantine_chunk(job, task, attempts, deaths)
+                return
         if attempts > self.max_retries:
             job.state = JobState.FAILED
+            job.error_kind = "retries"
             job.error = (
                 f"chunk {task.chunk_index} failed after {attempts} attempts ({reason})"
             )
             job.pending.clear()
             job.done.set()
         else:
+            self.metrics.counter("faults.recovered.requeue").inc()
             job.pending.appendleft(task.chunk_index)
+
+    def _quarantine_chunk(
+        self, job: _Job, task: ChunkTask, attempts: int, deaths: int
+    ) -> None:
+        """A chunk that reliably kills its worker must never requeue again."""
+        reasons = job.failure_reasons.get(task.chunk_index, [])
+        job.state = JobState.FAILED
+        job.error_kind = "poison"
+        job.poison_diagnosis = {
+            "job_key": job.key,
+            "chunk_index": task.chunk_index,
+            "first_trajectory": task.first_trajectory,
+            "num_trajectories": task.num_trajectories,
+            "attempts": attempts,
+            "worker_deaths": deaths,
+            "reasons": list(reasons),
+        }
+        job.error = (
+            f"chunk {task.chunk_index} quarantined after {deaths} worker-fatal "
+            f"attempts (trajectories {task.first_trajectory}.."
+            f"{task.first_trajectory + task.num_trajectories - 1}): "
+            f"{format_reasons(reasons)}"
+        )
+        job.pending.clear()
+        job.delayed.clear()
+        self.metrics.counter("scheduler.poison_quarantined").inc()
+        self.tracer.event(
+            "chunk.quarantine", job=job.key[:16],
+            chunk=task.chunk_index, deaths=deaths,
+        )
+        job.done.set()
 
     def _handle_outcome(self, outcome: ChunkOutcome) -> None:
         for handle in self._workers:
@@ -565,6 +837,18 @@ class Scheduler:
             return  # duplicate after a spurious requeue
         if outcome.error is not None:
             self._requeue(job.chunks[outcome.chunk_index], outcome.error)
+            return
+        anomaly = _outcome_anomaly(outcome)
+        if anomaly is not None:
+            self.metrics.counter("scheduler.outcomes.rejected").inc()
+            self.metrics.counter("faults.recovered.outcome_rejected").inc()
+            self.tracer.event(
+                "chunk.rejected", job=outcome.job_key[:16],
+                chunk=outcome.chunk_index, reason=anomaly,
+            )
+            self._requeue(
+                job.chunks[outcome.chunk_index], f"corrupt outcome: {anomaly}"
+            )
             return
 
         assert outcome.result is not None
@@ -609,30 +893,42 @@ class Scheduler:
         )
         return sorted(spans)
 
+    def _ordered_merge(self, job: _Job) -> StochasticResult:
+        """Checkpoint-base + completed chunks merged in chunk-index order.
+
+        Both checkpoints and final results go through this, so the merge
+        structure — and therefore every floating-point sum — is a function
+        of *which* chunks completed, never of the order workers happened
+        to finish them in.
+        """
+        merged = StochasticResult(
+            circuit_name=job.spec.circuit.name,
+            backend_kind=job.spec.backend_kind,
+            requested_trajectories=job.spec.trajectories,
+        )
+        for prop in job.spec.properties:
+            merged.estimates[prop.name] = PropertyEstimate(prop.name)
+        if job.base_partial is not None:
+            merged.merge(job.base_partial)
+        for index in sorted(job.completed):
+            merged.merge(job.completed[index])
+        return merged
+
     def _checkpoint(self, job: _Job, force: bool = False) -> None:
         if not force and job.chunks_since_checkpoint < self.checkpoint_every:
             return
         if job.base_partial is None and not job.completed:
             return  # nothing worth persisting yet
         job.chunks_since_checkpoint = 0
-        snapshot = job.aggregate.copy()
+        snapshot = self._ordered_merge(job)
+        snapshot.timed_out = job.aggregate.timed_out
         snapshot.elapsed_seconds = time.perf_counter() - job.started_at
         self.store.put_partial(job.key, self._completed_spans(job), snapshot)
         self.metrics.counter("scheduler.checkpoint_writes").inc()
 
     def _finalize(self, job: _Job) -> None:
         """Re-merge in chunk-index order for a deterministic final result."""
-        final = StochasticResult(
-            circuit_name=job.spec.circuit.name,
-            backend_kind=job.spec.backend_kind,
-            requested_trajectories=job.spec.trajectories,
-        )
-        for prop in job.spec.properties:
-            final.estimates[prop.name] = PropertyEstimate(prop.name)
-        if job.base_partial is not None:
-            final.merge(job.base_partial)
-        for index in sorted(job.completed):
-            final.merge(job.completed[index])
+        final = self._ordered_merge(job)
         final.timed_out = final.timed_out or job.aggregate.timed_out
         final.elapsed_seconds = time.perf_counter() - job.started_at
         final.workers = self.workers

@@ -11,7 +11,6 @@ processes) find them.  This decouples producers from the worker pool: many
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from typing import Callable, List, Optional, Tuple
@@ -34,11 +33,7 @@ def enqueue_job(store: ResultStore, spec: JobSpec) -> Tuple[str, bool]:
     key = spec.job_key()
     if store.get(key) is not None:
         return key, True
-    path = os.path.join(store.directory, "queue", f"{key}.json")
-    tmp = f"{path}.tmp.{os.getpid()}"
-    with open(tmp, "w", encoding="utf-8") as handle:
-        json.dump(spec.to_dict(), handle)
-    os.replace(tmp, path)
+    store.put_queued(key, spec.to_dict())
     return key, False
 
 
@@ -62,22 +57,13 @@ def list_queue(store: ResultStore) -> List[str]:
 
 
 def _dequeue(store: ResultStore, key: str) -> Optional[JobSpec]:
-    path = os.path.join(store.directory, "queue", f"{key}.json")
-    data = ResultStore._read_json(path)
+    data = store.get_queued(key)  # checksum-verified; corruption quarantined
     if data is None:
         return None
     try:
         return JobSpec.from_dict(data)
     except (KeyError, ValueError, TypeError):
         return None
-
-
-def _remove_queued(store: ResultStore, key: str) -> None:
-    path = os.path.join(store.directory, "queue", f"{key}.json")
-    try:
-        os.remove(path)
-    except OSError:
-        pass
 
 
 def query_status(store: ResultStore, key: str) -> JobStatus:
@@ -170,7 +156,7 @@ def serve(
                 spec = _dequeue(store, key)
                 if spec is None:
                     log(f"[serve] dropping unreadable queue entry {key[:16]}…")
-                    _remove_queued(store, key)
+                    store.delete_queued(key)
                     continue
                 log(
                     f"[serve] job {key[:16]}… ({spec.circuit.name}, "
@@ -186,7 +172,7 @@ def serve(
                 except SchedulerError as error:
                     log(f"[serve] job {key[:16]}… FAILED: {error}")
                 finally:
-                    _remove_queued(store, key)
+                    store.delete_queued(key)
                 processed += 1
                 if max_jobs is not None and processed >= max_jobs:
                     return processed

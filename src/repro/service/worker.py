@@ -9,32 +9,48 @@ context (the cached noiseless-reference snapshot) warm — the overhead the
 old per-call ``ProcessPoolExecutor`` paid on every invocation.
 
 Workers are crash-isolated: the scheduler detects a dead worker, respawns
-it with a fresh queue, and requeues the chunk it was holding.  For
-deterministic fault-injection tests, setting the ``REPRO_SERVICE_CRASH_ONCE``
-environment variable to a marker-file path makes the first worker that
-picks up a task after spawn die hard (``os._exit``) exactly once.
+it with a fresh queue, and requeues the chunk it was holding.
+
+Fault injection
+---------------
+Deterministic fault injection is driven by a :class:`~repro.faults.FaultPlan`
+shipped through the ``REPRO_FAULT_PLAN`` environment variable (see
+:mod:`repro.faults` and docs/ROBUSTNESS.md).  The worker consults the
+plan at five sites: ``crash-before`` (die hard before executing the
+chunk), ``crash-mid-chunk`` (execute part of the chunk, then die),
+``hang`` (sleep past the scheduler's chunk timeout so the reaper fires),
+``slow-chunk`` (added latency without death), and ``corrupt-outcome``
+(tamper with the reported result so the scheduler's outcome validation
+must catch it).  The pre-plan ``REPRO_SERVICE_CRASH_ONCE`` marker-file
+variable remains as a deprecated alias mapping to a crash-once plan.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from ..circuits.circuit import QuantumCircuit
+from ..faults.inject import LEGACY_CRASH_ONCE_ENV, FaultInjector, get_injector
 from ..noise.model import NoiseModel
 from ..stochastic.properties import PropertySpec
 from ..stochastic.results import StochasticResult
 from ..stochastic.runner import _EvaluationContext, _make_backend, run_trajectory_span
 
-__all__ = ["ChunkTask", "ChunkOutcome", "worker_main"]
+__all__ = ["ChunkTask", "ChunkOutcome", "worker_main", "CRASH_ONCE_ENV"]
 
-#: Env var for deterministic crash injection (see module docstring).
-CRASH_ONCE_ENV = "REPRO_SERVICE_CRASH_ONCE"
+#: Deprecated alias (see module docstring); prefer ``REPRO_FAULT_PLAN``.
+CRASH_ONCE_ENV = LEGACY_CRASH_ONCE_ENV
 
 #: Warm (backend, context) pairs kept per worker, LRU-evicted beyond this.
 _WARM_CACHE_LIMIT = 4
+
+#: Default sleep for a ``hang`` fault with no ``seconds`` — far beyond any
+#: sane chunk timeout, so the scheduler's reaper is what ends the hang.
+_DEFAULT_HANG_SECONDS = 3600.0
 
 
 @dataclass(frozen=True)
@@ -71,22 +87,69 @@ class ChunkOutcome:
     error: Optional[str]
 
 
-def _maybe_crash_for_test() -> None:
-    marker = os.environ.get(CRASH_ONCE_ENV)
-    if marker and not os.path.exists(marker):
-        with open(marker, "w", encoding="utf-8"):
-            pass
+def _site_attrs(worker_id: int, task: ChunkTask) -> dict:
+    return {
+        "job_key": task.job_key,
+        "worker_id": worker_id,
+        "chunk_index": task.chunk_index,
+    }
+
+
+def _pre_execution_faults(
+    injector: Optional[FaultInjector], worker_id: int, task: ChunkTask
+) -> bool:
+    """Apply faults that strike before the chunk runs.
+
+    Returns True when a ``crash-mid-chunk`` fault is armed for this task
+    (the caller executes part of the chunk, then dies).
+    """
+    if injector is None:
+        return False
+    attrs = _site_attrs(worker_id, task)
+    if injector.fire("crash-before", **attrs):
         os._exit(1)
+    slow = injector.fire("slow-chunk", **attrs)
+    if slow is not None:
+        time.sleep(slow.seconds or 0.05)
+    hang = injector.fire("hang", **attrs)
+    if hang is not None:
+        # Sleep in small slices so a terminate() lands promptly.
+        deadline = time.monotonic() + (hang.seconds or _DEFAULT_HANG_SECONDS)
+        while time.monotonic() < deadline:
+            time.sleep(0.05)
+    return injector.fire("crash-mid-chunk", **attrs) is not None
+
+
+def _corrupt_outcome_fault(
+    injector: Optional[FaultInjector],
+    worker_id: int,
+    task: ChunkTask,
+    result: StochasticResult,
+) -> StochasticResult:
+    """Tamper with a finished chunk's result if a corrupt-outcome fault fires.
+
+    The corruption (a completed-trajectory count exceeding the chunk's
+    budget) is exactly the class of inconsistency the scheduler's outcome
+    validation rejects, forcing a clean re-execution.
+    """
+    if injector is None:
+        return result
+    if injector.fire("corrupt-outcome", **_site_attrs(worker_id, task)):
+        corrupted = result.copy()
+        corrupted.completed_trajectories = task.num_trajectories + 1
+        return corrupted
+    return result
 
 
 def worker_main(worker_id: int, task_queue, result_queue) -> None:
     """Worker process entry point: loop on tasks until the None sentinel."""
+    injector = get_injector()
     warm: "OrderedDict[str, tuple]" = OrderedDict()
     while True:
         task = task_queue.get()
         if task is None:
             break
-        _maybe_crash_for_test()
+        crash_mid = _pre_execution_faults(injector, worker_id, task)
         try:
             entry = warm.get(task.job_key)
             if entry is None:
@@ -98,6 +161,26 @@ def worker_main(worker_id: int, task_queue, result_queue) -> None:
             else:
                 backend, context = entry
                 warm.move_to_end(task.job_key)
+            if crash_mid:
+                # Burn part of the chunk so the death is mid-execution,
+                # then die hard without reporting; the partial work is
+                # discarded and the scheduler re-executes the whole chunk
+                # (determinism: per-trajectory seeds make the retry
+                # reproduce identical values).
+                run_trajectory_span(
+                    task.circuit,
+                    task.noise_model,
+                    task.properties,
+                    task.backend_kind,
+                    task.first_trajectory,
+                    max(1, task.num_trajectories // 2),
+                    task.master_seed,
+                    sample_shots=task.sample_shots,
+                    deadline=task.deadline,
+                    backend=backend,
+                    context=context,
+                )
+                os._exit(1)
             result = run_trajectory_span(
                 task.circuit,
                 task.noise_model,
@@ -111,6 +194,7 @@ def worker_main(worker_id: int, task_queue, result_queue) -> None:
                 backend=backend,
                 context=context,
             )
+            result = _corrupt_outcome_fault(injector, worker_id, task, result)
             outcome = ChunkOutcome(
                 worker_id, task.job_key, task.chunk_index,
                 task.first_trajectory, task.num_trajectories, result, None,

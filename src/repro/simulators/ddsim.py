@@ -172,6 +172,23 @@ class DDBackend:
         return self.package.sample_counts(self._state, shots, rng)
 
     # ------------------------------------------------------------------
+    # Numerical health (see docs/ROBUSTNESS.md)
+    # ------------------------------------------------------------------
+
+    def squared_norm(self) -> float:
+        """Squared norm of the current state — O(1) on the root weight."""
+        return self.package.squared_norm(self._state)
+
+    def scale_state(self, factor: complex) -> None:
+        """Multiply the state by a scalar (breaks normalisation on purpose;
+        the drift-fault injection site and numerical-guard tests use this)."""
+        self._replace_state(self.package.scale(self._state, factor))
+
+    def renormalize(self) -> None:
+        """Rescale the root weight back to unit norm."""
+        self._replace_state(self.package.normalize(self._state))
+
+    # ------------------------------------------------------------------
     # Trajectory reuse and diagnostics
     # ------------------------------------------------------------------
 

@@ -20,6 +20,7 @@ trajectory ``i`` uses the same seed whether it runs serially or on worker 3.
 
 from __future__ import annotations
 
+import os
 import random
 import time
 from dataclasses import dataclass
@@ -29,6 +30,8 @@ import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.operations import MeasureOperation
+from ..errors import NumericalDriftError
+from ..faults.inject import get_injector
 from ..noise.model import NoiseModel
 from ..noise.stochastic import StochasticErrorApplier
 from ..obs.metrics import MetricsRegistry, TIME_BUCKETS, delta_snapshots, merge_snapshots
@@ -43,6 +46,7 @@ __all__ = [
     "simulate_stochastic",
     "run_trajectory_span",
     "BACKEND_KINDS",
+    "NORM_GUARD_ENV",
 ]
 
 BACKEND_KINDS = ("dd", "statevector")
@@ -50,6 +54,49 @@ BACKEND_KINDS = ("dd", "statevector")
 #: Stride between per-trajectory seeds; any constant works, a large odd
 #: value keeps derived seeds far apart in the Mersenne sequence space.
 _SEED_STRIDE = 0x9E3779B97F4A7C15
+
+#: Environment override for the numerical guard: ``raise`` (default),
+#: ``renorm`` (rescale and count ``faults.recovered.renorm``), or ``off``;
+#: an optional ``:<tolerance>`` suffix overrides the drift tolerance, e.g.
+#: ``REPRO_NORM_GUARD=renorm:1e-9``.  The environment is the only channel
+#: that reaches forked worker processes without touching the job spec (and
+#: thus the content-addressed job key).
+NORM_GUARD_ENV = "REPRO_NORM_GUARD"
+
+#: Allowed |norm² − 1| before the guard treats the state as drifted.  The
+#: DD package's sum-of-squares normalisation keeps healthy states at 1.0
+#: to within a few ulp, so anything past this is a real defect.
+_DEFAULT_NORM_TOLERANCE = 1e-8
+
+_NORM_GUARD_ACTIONS = ("raise", "renorm", "off")
+
+
+def _resolve_norm_guard(
+    on_drift: Optional[str], norm_tolerance: Optional[float]
+) -> Tuple[str, float]:
+    """Resolve guard (action, tolerance): explicit args beat the env beats
+    defaults."""
+    env_action: Optional[str] = None
+    env_tolerance: Optional[float] = None
+    raw = os.environ.get(NORM_GUARD_ENV, "").strip()
+    if raw:
+        head, _, tail = raw.partition(":")
+        if head in _NORM_GUARD_ACTIONS:
+            env_action = head
+        if tail:
+            try:
+                env_tolerance = float(tail)
+            except ValueError:
+                pass
+    action = on_drift if on_drift is not None else (env_action or "raise")
+    if action not in _NORM_GUARD_ACTIONS:
+        raise ValueError(
+            f"unknown on_drift action {action!r}; choose from {_NORM_GUARD_ACTIONS}"
+        )
+    tolerance = norm_tolerance
+    if tolerance is None:
+        tolerance = env_tolerance if env_tolerance is not None else _DEFAULT_NORM_TOLERANCE
+    return action, tolerance
 
 
 class _EvaluationContext:
@@ -135,6 +182,8 @@ def run_trajectory_span(
     backend=None,
     context: Optional[_EvaluationContext] = None,
     deadline: Optional[float] = None,
+    on_drift: Optional[str] = None,
+    norm_tolerance: Optional[float] = None,
 ) -> StochasticResult:
     """Execute trajectories ``first .. first + num - 1`` and aggregate them.
 
@@ -153,6 +202,14 @@ def run_trajectory_span(
     observability snapshot in ``result.metrics`` (trajectory latency and
     property-evaluation histograms, completion/timeout/error counters, and
     — on the DD backend — this span's unique/compute/complex-table deltas).
+
+    On the DD backend every trajectory's state is checked for norm drift
+    *before* any property is evaluated against it: ``on_drift="raise"``
+    (default) raises a typed :class:`~repro.errors.NumericalDriftError`,
+    ``"renorm"`` rescales the state back to unit norm and counts a
+    ``faults.recovered.renorm`` metric, ``"off"`` disables the guard.
+    ``on_drift`` / ``norm_tolerance`` default from the ``REPRO_NORM_GUARD``
+    environment variable (see :data:`NORM_GUARD_ENV`).
     """
     result = StochasticResult(
         circuit_name=circuit.name,
@@ -181,6 +238,8 @@ def run_trajectory_span(
     completed_counter = registry.counter("trajectory.completed")
     evaluation_counter = registry.counter("property.evaluations")
     dd_before = backend.package.metrics_snapshot() if backend_kind == "dd" else None
+    guard_action, guard_tolerance = _resolve_norm_guard(on_drift, norm_tolerance)
+    injector = get_injector() if backend_kind == "dd" else None
 
     started = time.perf_counter()
     if timeout is not None:
@@ -202,6 +261,26 @@ def run_trajectory_span(
                 backend = _make_backend(backend_kind, circuit.num_qubits)
         trajectory_started = time.perf_counter()
         run_result = execute_circuit(backend, circuit, rng, error_hook=applier)
+        if backend_kind == "dd":
+            if injector is not None:
+                drift = injector.fire("drift", trajectory=trajectory)
+                if drift is not None:
+                    backend.scale_state(drift.factor)
+            if guard_action != "off":
+                norm_squared = backend.squared_norm()
+                if abs(norm_squared - 1.0) > guard_tolerance:
+                    if guard_action == "renorm":
+                        backend.renormalize()
+                        registry.counter("faults.recovered.renorm").inc()
+                    else:
+                        raise NumericalDriftError(
+                            f"trajectory {trajectory}: squared norm "
+                            f"{norm_squared!r} drifted beyond tolerance "
+                            f"{guard_tolerance:g}",
+                            trajectory=trajectory,
+                            norm_squared=norm_squared,
+                            tolerance=guard_tolerance,
+                        )
         if properties:
             evaluation_started = time.perf_counter()
             for prop in properties:

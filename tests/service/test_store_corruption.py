@@ -1,0 +1,204 @@
+"""Integrity tests for the checksummed store: corruption is never silent.
+
+Every corrupted entry must (a) be reported as a cache miss, (b) be
+quarantined to a ``*.corrupt`` sibling that survives for post-mortem,
+and (c) move the ``store.corruption.*`` counters — no path may hand a
+caller ``None`` without leaving evidence.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.service import ResultStore, STORE_SCHEMA
+from repro.service.store import _payload_digest
+from repro.stochastic.results import PropertyEstimate, StochasticResult
+
+KEY = "a" * 64
+
+
+def make_result(n: int = 10) -> StochasticResult:
+    result = StochasticResult(
+        circuit_name="c", backend_kind="dd", requested_trajectories=n
+    )
+    result.completed_trajectories = n
+    estimate = PropertyEstimate("P(|0>)")
+    for index in range(n):
+        estimate.add((index % 2) * 1.0)
+    result.estimates["P(|0>)"] = estimate
+    return result
+
+
+def entry_path(tmp_path, kind="results", key=KEY) -> str:
+    return os.path.join(str(tmp_path), kind, f"{key}.json")
+
+
+def fresh(tmp_path) -> ResultStore:
+    """A cold store instance (empty memory cache) over the same directory."""
+    return ResultStore(directory=str(tmp_path))
+
+
+class TestChecksummedEnvelope:
+    def test_writes_are_v2_envelopes_with_matching_digest(self, tmp_path):
+        ResultStore(directory=str(tmp_path)).put(KEY, make_result())
+        with open(entry_path(tmp_path), encoding="utf-8") as handle:
+            envelope = json.load(handle)
+        assert envelope["schema"] == STORE_SCHEMA
+        assert envelope["sha256"] == _payload_digest(envelope["payload"])
+
+    def test_round_trip_through_disk(self, tmp_path):
+        ResultStore(directory=str(tmp_path)).put(KEY, make_result())
+        assert fresh(tmp_path).get(KEY).completed_trajectories == 10
+
+    def test_legacy_v1_bare_payload_still_readable(self, tmp_path):
+        store = fresh(tmp_path)
+        with open(entry_path(tmp_path), "w", encoding="utf-8") as handle:
+            json.dump({"result": make_result().to_dict()}, handle)
+        assert store.get(KEY).completed_trajectories == 10
+        assert store.stats()["quarantined"] == 0
+
+
+class TestCorruptionQuarantine:
+    def _corrupt_counters(self, store):
+        return store.metrics.snapshot()["counters"]
+
+    def assert_quarantined(self, store, tmp_path, kind="results", key=KEY):
+        path = entry_path(tmp_path, kind, key)
+        assert not os.path.exists(path)
+        assert os.path.exists(f"{path}.corrupt")
+        snap = self._corrupt_counters(store)
+        assert snap["store.corruption.quarantined"] == 1
+        assert snap["faults.recovered.store_quarantine"] == 1
+        assert store.last_corruption is not None
+
+    def test_flipped_bit_fails_the_checksum(self, tmp_path):
+        ResultStore(directory=str(tmp_path)).put(KEY, make_result())
+        path = entry_path(tmp_path)
+        with open(path, "r+b") as handle:
+            raw = handle.read()
+            # Flip the low bit of a digit: '1' <-> '0' keeps the JSON
+            # valid, so only the checksum can catch the corruption.
+            token = b'"completed_trajectories": '
+            position = raw.index(token) + len(token) + 1  # '10' -> '11'
+            handle.seek(position)
+            handle.write(bytes([raw[position] ^ 0x01]))
+        store = fresh(tmp_path)
+        assert store.get(KEY) is None
+        self.assert_quarantined(store, tmp_path)
+        assert "checksum mismatch" in store.last_corruption
+
+    def test_invalid_utf8_is_quarantined_not_raised(self, tmp_path):
+        ResultStore(directory=str(tmp_path)).put(KEY, make_result())
+        path = entry_path(tmp_path)
+        with open(path, "r+b") as handle:
+            size = len(handle.read())
+            handle.seek(size // 2)
+            handle.write(b"\x8c\xff")
+        store = fresh(tmp_path)
+        assert store.get(KEY) is None
+        self.assert_quarantined(store, tmp_path)
+        assert "undecodable bytes" in store.last_corruption
+
+    def test_torn_write_truncation_is_quarantined(self, tmp_path):
+        ResultStore(directory=str(tmp_path)).put(KEY, make_result())
+        path = entry_path(tmp_path)
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) // 2)
+        store = fresh(tmp_path)
+        assert store.get(KEY) is None
+        self.assert_quarantined(store, tmp_path)
+        assert "unparsable JSON" in store.last_corruption
+
+    def test_unknown_schema_is_quarantined(self, tmp_path):
+        store = fresh(tmp_path)  # constructor lays out the subdirectories
+        with open(entry_path(tmp_path), "w", encoding="utf-8") as handle:
+            json.dump({"schema": "repro.store/v99", "payload": {}}, handle)
+        assert store.get(KEY) is None
+        self.assert_quarantined(store, tmp_path)
+        assert "unknown store schema" in store.last_corruption
+
+    def test_structurally_broken_partial_is_quarantined(self, tmp_path):
+        # Valid envelope + checksum, but the payload lacks the fields a
+        # checkpoint needs (schema skew): resume must quarantine, not crash.
+        store = fresh(tmp_path)
+        payload = {"spans": "not-a-list-of-pairs"}
+        envelope = {
+            "schema": STORE_SCHEMA,
+            "sha256": _payload_digest(payload),
+            "payload": payload,
+        }
+        with open(entry_path(tmp_path, "partials"), "w", encoding="utf-8") as handle:
+            json.dump(envelope, handle)
+        assert store.get_partial(KEY) is None
+        self.assert_quarantined(store, tmp_path, kind="partials")
+
+    def test_quarantined_entries_listed_and_counted_in_stats(self, tmp_path):
+        ResultStore(directory=str(tmp_path)).put(KEY, make_result())
+        with open(entry_path(tmp_path), "r+b") as handle:
+            handle.truncate(3)
+        store = fresh(tmp_path)
+        store.get(KEY)
+        assert store.corrupt_entries() == [
+            os.path.join("results", f"{KEY}.json.corrupt")
+        ]
+        stats = store.stats()
+        assert stats["corrupt"] == 1
+        assert stats["quarantined"] == 1
+
+    def test_rerun_after_quarantine_repopulates_the_entry(self, tmp_path):
+        ResultStore(directory=str(tmp_path)).put(KEY, make_result())
+        with open(entry_path(tmp_path), "r+b") as handle:
+            handle.truncate(3)
+        store = fresh(tmp_path)
+        assert store.get(KEY) is None  # quarantines
+        store.put(KEY, make_result())  # recomputed result re-stored
+        assert fresh(tmp_path).get(KEY).completed_trajectories == 10
+        # the post-mortem file is untouched by the rewrite
+        assert len(store.corrupt_entries()) == 1
+
+    def test_clear_removes_corrupt_files_too(self, tmp_path):
+        ResultStore(directory=str(tmp_path)).put(KEY, make_result())
+        with open(entry_path(tmp_path), "r+b") as handle:
+            handle.truncate(3)
+        store = fresh(tmp_path)
+        store.get(KEY)
+        assert store.corrupt_entries()
+        store.clear()
+        assert store.corrupt_entries() == []
+
+
+class TestResolveKeyDiagnostics:
+    def test_ambiguous_prefix_lists_truncated_matches(self, tmp_path):
+        store = fresh(tmp_path)
+        keys = [f"ab{i}{'0' * 61}" for i in range(3)]
+        for key in keys:
+            store.put(key, make_result())
+        with pytest.raises(KeyError) as excinfo:
+            store.resolve_key("ab")
+        message = str(excinfo.value)
+        assert "ambiguous key prefix 'ab'" in message
+        assert "use a longer prefix" in message
+        for key in keys:
+            assert key[:12] in message  # truncated, not the full 64 chars
+            assert key not in message
+
+    def test_ambiguous_prefix_caps_the_listing(self, tmp_path):
+        store = fresh(tmp_path)
+        for i in range(12):
+            store.put(f"ab{i:02d}{'0' * 60}", make_result())
+        with pytest.raises(KeyError, match=r"\+4 more"):
+            store.resolve_key("ab")
+
+    def test_missing_prefix_raises(self, tmp_path):
+        with pytest.raises(KeyError, match="no job matching 'dead'"):
+            fresh(tmp_path).resolve_key("dead")
+
+    def test_unique_prefix_resolves_across_entry_kinds(self, tmp_path):
+        store = fresh(tmp_path)
+        store.put("aa" + "0" * 62, make_result())
+        store.put_partial("bb" + "0" * 62, [(0, 5)], make_result(5))
+        store.put_queued("cc" + "0" * 62, {"circuit_name": "x"})
+        assert store.resolve_key("aa") == "aa" + "0" * 62
+        assert store.resolve_key("bb") == "bb" + "0" * 62
+        assert store.resolve_key("cc") == "cc" + "0" * 62
