@@ -1,0 +1,178 @@
+"""PR 4 benchmark: trajectory prefix sharing vs the naive Monte-Carlo loop.
+
+Runs the paper's stochastic workload (GHZ and QFT under the default noise
+configuration) twice — ``REPRO_PREFIX_SHARING=off`` (naive: every
+trajectory re-executes the whole circuit) and ``on`` (clean trajectories
+served from the shared ideal DD, erring ones replayed from checkpoints) —
+asserts the two modes are **bit identical**, and writes a machine-readable
+report.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benches.py                 # full, writes BENCH_PR4.json
+    PYTHONPATH=src python benchmarks/run_benches.py --quick         # CI-sized
+    PYTHONPATH=src python benchmarks/run_benches.py --quick \
+        --check-against BENCH_PR4.json                              # perf-smoke gate
+
+``--check-against`` compares the measured shared-vs-naive speedup against
+the committed report and fails (exit 1) when any circuit regresses to
+below half its recorded speedup — a machine-independent ratio check, so CI
+hardware differences do not produce false alarms.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.circuits.library import ghz, qft  # noqa: E402
+from repro.noise import NoiseModel  # noqa: E402
+from repro.stochastic import IdealFidelity, simulate_stochastic  # noqa: E402
+from repro.stochastic.prefix import PREFIX_SHARING_ENV  # noqa: E402
+
+FULL_CASES = (
+    ("ghz-15", lambda: ghz(15), 2000),
+    ("qft-10", lambda: qft(10), 400),
+)
+QUICK_CASES = (
+    ("ghz-10", lambda: ghz(10), 300),
+    ("qft-6", lambda: qft(6), 120),
+)
+
+
+def run_mode(circuit, trajectories, mode, seed=7):
+    os.environ[PREFIX_SHARING_ENV] = mode
+    started = time.perf_counter()
+    result = simulate_stochastic(
+        circuit,
+        noise_model=NoiseModel.paper_defaults(),
+        properties=(IdealFidelity(),),
+        trajectories=trajectories,
+        backend="dd",
+        workers=1,
+        seed=seed,
+        sample_shots=1,
+    )
+    elapsed = time.perf_counter() - started
+    return result, elapsed
+
+
+def assert_bit_identical(name, shared, naive):
+    for prop, estimate in shared.estimates.items():
+        other = naive.estimates[prop]
+        if (estimate.total, estimate.count) != (other.total, other.count):
+            raise AssertionError(
+                f"{name}: estimate {prop} diverged — "
+                f"shared total {estimate.total!r} vs naive {other.total!r}"
+            )
+    if shared.errors_fired != naive.errors_fired:
+        raise AssertionError(f"{name}: errors_fired diverged")
+    if shared.outcome_counts != naive.outcome_counts:
+        raise AssertionError(f"{name}: outcome_counts diverged")
+
+
+def bench_case(name, factory, trajectories):
+    circuit = factory()
+    naive_result, naive_elapsed = run_mode(circuit, trajectories, "off")
+    shared_result, shared_elapsed = run_mode(circuit, trajectories, "on")
+    assert_bit_identical(name, shared_result, naive_result)
+    counters = shared_result.metrics.get("counters", {})
+    entry = {
+        "circuit": name,
+        "num_qubits": circuit.num_qubits,
+        "trajectories": trajectories,
+        "naive_seconds": round(naive_elapsed, 4),
+        "shared_seconds": round(shared_elapsed, 4),
+        "naive_traj_per_sec": round(trajectories / naive_elapsed, 1),
+        "shared_traj_per_sec": round(trajectories / shared_elapsed, 1),
+        "speedup": round(naive_elapsed / shared_elapsed, 2),
+        "bit_identical": True,
+        "estimates": {
+            prop: estimate.mean
+            for prop, estimate in shared_result.estimates.items()
+        },
+        "errors_fired": shared_result.errors_fired,
+        "prefix": {
+            key: counters.get(f"prefix.{key}", 0)
+            for key in ("hits", "replays", "replayed_gates", "materialized", "checkpoints")
+        },
+        "gateplan_compiled": counters.get("gateplan.compiled", 0),
+        "gc_skipped": counters.get("dd.gc.skipped", 0),
+    }
+    print(
+        f"{name}: naive {entry['naive_traj_per_sec']}/s, "
+        f"shared {entry['shared_traj_per_sec']}/s "
+        f"({entry['speedup']}x), "
+        f"{entry['prefix']['hits']} clean / {entry['prefix']['replays']} replayed"
+    )
+    return entry
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized workload")
+    parser.add_argument(
+        "-o", "--output", default=None,
+        help="report path (default: BENCH_PR4.json at the repo root; "
+        "quick runs default to not writing)",
+    )
+    parser.add_argument(
+        "--check-against", default=None, metavar="REPORT",
+        help="fail when any circuit's speedup falls below half the "
+        "committed report's (per-circuit-name match)",
+    )
+    args = parser.parse_args(argv)
+
+    # The full report also records the quick cases so the CI perf-smoke job
+    # (which only runs --quick) finds its per-circuit baselines in it.
+    cases = QUICK_CASES if args.quick else FULL_CASES + QUICK_CASES
+    report = {
+        "schema": "repro.bench-pr4/v1",
+        "mode": "quick" if args.quick else "full",
+        "noise": "paper_defaults",
+        "cases": [bench_case(*case) for case in cases],
+    }
+
+    output = args.output
+    if output is None and not args.quick:
+        output = os.path.join(os.path.dirname(__file__), "..", "BENCH_PR4.json")
+    if output:
+        with open(output, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {os.path.abspath(output)}")
+
+    if args.check_against:
+        with open(args.check_against) as handle:
+            committed = json.load(handle)
+        committed_speedups = {
+            case["circuit"]: case["speedup"] for case in committed["cases"]
+        }
+        failures = []
+        for case in report["cases"]:
+            baseline = committed_speedups.get(case["circuit"])
+            if baseline is None:
+                continue
+            floor = baseline / 2.0
+            if case["speedup"] < floor:
+                failures.append(
+                    f"{case['circuit']}: speedup {case['speedup']}x fell below "
+                    f"{floor:.2f}x (half the committed {baseline}x)"
+                )
+        if failures:
+            print("PERF REGRESSION:\n" + "\n".join(failures), file=sys.stderr)
+            return 1
+        print(
+            "perf check OK: "
+            + ", ".join(
+                f"{case['circuit']} {case['speedup']}x" for case in report["cases"]
+            )
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -438,7 +438,10 @@ def _render_stats(payload: dict) -> str:
     service_counters = {
         name: value
         for name, value in sorted(counters.items())
-        if name.startswith(("scheduler.", "store.", "errors.fired.", "dd.gc.", "faults."))
+        if name.startswith(
+            ("scheduler.", "store.", "errors.fired.", "dd.gc.", "faults.",
+             "prefix.", "gateplan.")
+        )
     }
     if service_counters:
         lines.append("counters:")

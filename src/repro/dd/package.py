@@ -93,6 +93,9 @@ class DDPackage:
         #: Table hit/miss counters live in the tables themselves and are
         #: folded in by :meth:`metrics_snapshot`.
         self.metrics = MetricsRegistry()
+        # Cached counter handle: garbage_collect() runs after every gate, so
+        # the skip tally must not pay a registry lookup each time.
+        self._gc_skipped = self.metrics.counter("dd.gc.skipped")
 
     # ------------------------------------------------------------------
     # Node construction and normalisation
@@ -347,6 +350,10 @@ class DDPackage:
         self.matrix_table.inc_ref(edge)
         self._gate_cache[key] = edge
         return edge
+
+    def gate_cache_size(self) -> int:
+        """Number of distinct gate DDs built so far (plan-compile bookkeeping)."""
+        return len(self._gate_cache)
 
     def from_operator_matrix(self, matrix: np.ndarray) -> Edge:
         """Build a matrix DD from a dense ``2**n x 2**n`` operator."""
@@ -626,8 +633,15 @@ class DDPackage:
                 continue
             factor = ea.weight.value.conjugate() * eb.weight.value
             total += factor * self._inner_nodes(ea.node, eb.node)
-        self._inner_table.insert(key, self.complex_table.lookup(total))
-        return total
+        # Return the *canonicalised* value, not the raw total: the memo stores
+        # the snapped representative, so returning ``total`` here would make
+        # the first (cold) computation differ from every later memo hit by up
+        # to the complex-table tolerance — a history-dependent wobble the
+        # prefix-sharing equivalence gate (and chunked-vs-serial estimate
+        # aggregation) cannot tolerate.
+        snapped = complex(self.complex_table.lookup(total))
+        self._inner_table.insert(key, snapped)
+        return snapped
 
     def squared_norm(self, edge: Edge) -> float:
         """Squared norm of the state an edge represents.
@@ -766,12 +780,48 @@ class DDPackage:
         return "".join(bits)
 
     def sample_counts(self, edge: Edge, shots: int, rng) -> Dict[str, int]:
-        """Sample ``shots`` measurement outcomes into a counts histogram."""
-        counts: Dict[str, int] = {}
-        for _ in range(shots):
+        """Sample ``shots`` measurement outcomes into a counts histogram.
+
+        ``shots == 1`` draws one root-to-terminal walk exactly as
+        :meth:`sample_basis_state` does — the documented per-trajectory rng
+        stream (one uniform per DD level) that the stochastic runner's
+        reproducibility guarantees depend on.  Larger budgets use a single
+        recursive *multinomial descent*: at each node one binomial draw
+        splits the remaining shots between the two children, so the cost is
+        O(support size) instead of O(shots x n) independent walks.
+        """
+        if shots <= 0:
+            return {}
+        if shots == 1:
             outcome = self.sample_basis_state(edge, rng)
-            counts[outcome] = counts.get(outcome, 0) + 1
+            return {outcome: 1}
+        counts: Dict[str, int] = {}
+        self._sample_multinomial(edge.node, shots, rng, [], counts)
         return counts
+
+    def _sample_multinomial(
+        self, node: Node, shots: int, rng, prefix: List[str], counts: Dict[str, int]
+    ) -> None:
+        """Split ``shots`` down the DD, 0-branch first (deterministic order)."""
+        base = len(prefix)
+        while not node.is_terminal:
+            p0 = node.edges[0].weight.magnitude_squared()
+            p1 = node.edges[1].weight.magnitude_squared()
+            taken0 = _binomial(rng, shots, p0 / (p0 + p1))
+            if taken0 == shots:
+                prefix.append("0")
+                node = node.edges[0].node
+                continue
+            if taken0:
+                prefix.append("0")
+                self._sample_multinomial(node.edges[0].node, taken0, rng, prefix, counts)
+                prefix.pop()
+            shots -= taken0
+            prefix.append("1")
+            node = node.edges[1].node
+        outcome = "".join(prefix)
+        del prefix[base:]
+        counts[outcome] = counts.get(outcome, 0) + shots
 
     # ------------------------------------------------------------------
     # Reference counting and garbage collection
@@ -796,10 +846,20 @@ class DDPackage:
         return self.vector_table if edge.node.is_vector_node else self.matrix_table
 
     def garbage_collect(self, force: bool = False) -> int:
-        """Collect unreferenced nodes; clears the compute tables if anything ran."""
+        """Collect unreferenced nodes; clears the compute tables if anything ran.
+
+        Without ``force`` this is a *paced* collection: it only sweeps when a
+        unique table's dead-node population exceeds its adaptive watermark
+        (see :meth:`UniqueTable.should_collect`), and otherwise counts a
+        ``dd.gc.skipped`` metric and returns immediately — the O(1) check the
+        per-gate call site in :meth:`DDBackend._replace_state` relies on.
+        Span boundaries still pass ``force=True`` to bound memory between
+        jobs regardless of the watermark.
+        """
         if not force and not (
             self.vector_table.should_collect() or self.matrix_table.should_collect()
         ):
+            self._gc_skipped.inc()
             return 0
         collected = self.vector_table.garbage_collect()
         collected += self.matrix_table.garbage_collect()
@@ -882,3 +942,67 @@ def _log2_size(size: int, what: str) -> int:
     if size <= 0 or 2**n != size:
         raise ValueError(f"{what} dimension must be a power of two, got {size}")
     return n
+
+
+#: Below this trial count a Bernoulli sum beats the lgamma machinery.
+_BINOMIAL_SMALL_N = 32
+
+
+def _binomial(rng, n: int, p: float) -> int:
+    """Draw Binomial(n, p) from ``rng``, deterministically for a given stream.
+
+    Small ``n`` sums Bernoulli trials directly.  Larger ``n`` consumes one
+    uniform and inverts the CDF starting at the distribution's mode and
+    expanding outward, so the expected number of pmf terms evaluated is
+    O(sqrt(n p (1-p))) rather than O(n).  Any fixed enumeration order of the
+    support yields an exact sampler, and mode-outward visits the bulk of the
+    mass first.
+    """
+    if p <= 0.0:
+        return 0
+    if p >= 1.0:
+        return n
+    if n < _BINOMIAL_SMALL_N:
+        hits = 0
+        for _ in range(n):
+            if rng.random() < p:
+                hits += 1
+        return hits
+    log_p = math.log(p)
+    log_q = math.log1p(-p)
+    log_n_fact = math.lgamma(n + 1)
+
+    def pmf(k: int) -> float:
+        return math.exp(
+            log_n_fact
+            - math.lgamma(k + 1)
+            - math.lgamma(n - k + 1)
+            + k * log_p
+            + (n - k) * log_q
+        )
+
+    u = rng.random()
+    mode = int((n + 1) * p)
+    if mode > n:
+        mode = n
+    cumulative = pmf(mode)
+    if u < cumulative:
+        return mode
+    low, high = mode - 1, mode + 1
+    last = mode
+    while low >= 0 or high <= n:
+        if high <= n:
+            cumulative += pmf(high)
+            last = high
+            if u < cumulative:
+                return high
+            high += 1
+        if low >= 0:
+            cumulative += pmf(low)
+            last = low
+            if u < cumulative:
+                return low
+            low -= 1
+    # Floating-point round-off can leave a sliver of mass unassigned; the
+    # outermost visited value absorbs it.
+    return last

@@ -13,6 +13,10 @@ The table also implements the reference-counting scheme of the JKU package:
 * :meth:`UniqueTable.garbage_collect` drops nodes whose count is zero.  The
   package clears its compute tables afterwards because memoised results may
   reference collected nodes.
+* The table tracks its *dead* population (nodes with a zero reference
+  count) incrementally, so :meth:`should_collect` is a watermark on actual
+  garbage rather than on raw table size — a table full of pinned gate DDs
+  and live checkpoints never triggers pointless sweeps.
 
 Garbage collection is optional for correctness in Python (the interpreter
 would reclaim unreachable nodes if the table did not hold strong references)
@@ -38,10 +42,14 @@ class UniqueTable:
         self.hits = 0
         self.misses = 0
         self.collections = 0
-        #: Node-count threshold that :meth:`maybe_garbage_collect` uses; it
-        #: doubles whenever a collection frees less than half the table, the
-        #: same adaptive policy the JKU package uses.
+        #: Dead-node watermark that :meth:`should_collect` compares against;
+        #: it doubles whenever a collection frees less than half the table,
+        #: the same adaptive policy the JKU package uses.
         self.gc_limit = gc_initial_limit
+        #: Number of table nodes with a non-zero reference count, maintained
+        #: incrementally by ``inc_ref``/``dec_ref`` so the dead population
+        #: (``len(table) - live``) is an O(1) read on the per-gate hot path.
+        self.live = 0
 
     def __len__(self) -> int:
         return len(self._table)
@@ -80,6 +88,7 @@ class UniqueTable:
             return edge
         node.ref += 1
         if node.ref == 1:
+            self.live += 1
             # First external reference: pin the children transitively.
             for child in node.edges:
                 self.inc_ref(child)
@@ -94,6 +103,7 @@ class UniqueTable:
             raise RuntimeError("reference count underflow in unique table")
         node.ref -= 1
         if node.ref == 0:
+            self.live -= 1
             for child in node.edges:
                 self.dec_ref(child)
 
@@ -119,9 +129,21 @@ class UniqueTable:
             self.gc_limit *= 2
         return collected
 
+    @property
+    def dead(self) -> int:
+        """Nodes currently unreferenced (collectable garbage), an O(1) read."""
+        return max(0, len(self._table) - self.live)
+
     def should_collect(self) -> bool:
-        """True when the table exceeds its adaptive size limit."""
-        return len(self._table) > self.gc_limit
+        """True when the *dead* population exceeds the adaptive watermark.
+
+        Sizing the trigger on garbage rather than on total occupancy keeps
+        per-gate collection checks from firing on tables that are large but
+        fully live (pinned gate DDs, prefix checkpoints, warm snapshots) —
+        sweeping those would reclaim nothing and throw away the compute
+        tables for free.
+        """
+        return self.dead > self.gc_limit
 
     def nodes(self) -> Iterable[Node]:
         """Iterate over all live nodes (diagnostics only)."""
@@ -131,6 +153,7 @@ class UniqueTable:
         """Occupancy and hit statistics."""
         return {
             "entries": len(self._table),
+            "dead": self.dead,
             "hits": self.hits,
             "misses": self.misses,
             "collections": self.collections,

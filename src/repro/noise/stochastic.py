@@ -43,10 +43,22 @@ from .channels import (
 )
 from .model import NoiseModel
 
-__all__ = ["StochasticErrorApplier", "exact_channel_factory"]
+__all__ = [
+    "StochasticErrorApplier",
+    "exact_channel_factory",
+    "NoiseSite",
+    "build_noise_site",
+    "dry_run_site",
+]
 
 _Z = np.array([[1, 0], [0, -1]], dtype=complex)
 _X = np.array([[0, 1], [1, 0]], dtype=complex)
+_DECAY = np.array([[0.0, 1.0], [0.0, 0.0]], dtype=complex)
+
+
+def _noise_ops(backend):
+    """The backend's cached noise-operator DDs, or ``None`` (dense paths)."""
+    return getattr(backend, "noise_ops", None)
 
 
 class StochasticErrorApplier:
@@ -93,7 +105,11 @@ class StochasticErrorApplier:
         if rates.readout <= 0.0 or self.rng.random() >= rates.readout:
             return
         self.fired["readout"] = self.fired.get("readout", 0) + 1
-        backend.apply_gate(_X, qubit, {})
+        ops = _noise_ops(backend)
+        if ops is not None:
+            backend.apply_gate_edge(ops.single_qubit("pauli1", _X, qubit))
+        else:
+            backend.apply_gate(_X, qubit, {})
 
     # ------------------------------------------------------------------
     # The three mechanisms
@@ -106,7 +122,17 @@ class StochasticErrorApplier:
         self.fired["depolarizing"] += 1
         if pauli_index == 0:
             return  # the I branch of Example 3 — physically a no-op
-        backend.apply_gate(DEPOLARIZING_PAULIS[pauli_index], qubit, {})
+        self._apply_pauli(backend, pauli_index, qubit)
+
+    def _apply_pauli(self, backend: StateBackend, pauli_index: int, qubit: int) -> None:
+        """Apply a Pauli through the backend's operator cache when it has one."""
+        ops = _noise_ops(backend)
+        if ops is not None:
+            backend.apply_gate_edge(
+                ops.single_qubit(f"pauli{pauli_index}", DEPOLARIZING_PAULIS[pauli_index], qubit)
+            )
+        else:
+            backend.apply_gate(DEPOLARIZING_PAULIS[pauli_index], qubit, {})
 
     def _apply_damping(self, backend: StateBackend, qubit: int, p: float) -> None:
         if p <= 0.0:
@@ -118,7 +144,12 @@ class StochasticErrorApplier:
         if kraus is None:
             kraus = amplitude_damping_kraus(p)
             self._damping_cache[p] = kraus
-        chosen = backend.apply_kraus_branch(kraus, qubit, self.rng)
+        ops = _noise_ops(backend)
+        if ops is not None:
+            edges = ops.kraus_pair(f"damping:{p!r}", kraus, qubit)
+            chosen = backend.apply_kraus_edges(edges, self.rng)
+        else:
+            chosen = backend.apply_kraus_branch(kraus, qubit, self.rng)
         if chosen == 1:  # the decay branch actually fired
             self.fired["amplitude_damping"] += 1
 
@@ -138,14 +169,17 @@ class StochasticErrorApplier:
         self.fired["amplitude_damping"] += 1
         # Apply the decay operator and renormalise: |1> -> |0> on this
         # qubit, with the register state conditioned accordingly.
-        decay = np.array([[0.0, 1.0], [0.0, 0.0]], dtype=complex)
-        backend.apply_kraus_branch([decay], qubit, self.rng)
+        ops = _noise_ops(backend)
+        if ops is not None:
+            backend.apply_kraus_edges(ops.kraus_pair("decay", (_DECAY,), qubit), self.rng)
+        else:
+            backend.apply_kraus_branch([_DECAY], qubit, self.rng)
 
     def _apply_phase_flip(self, backend: StateBackend, qubit: int, p: float) -> None:
         if p <= 0.0 or self.rng.random() >= p:
             return
         self.fired["phase_flip"] += 1
-        backend.apply_gate(_Z, qubit, {})
+        self._apply_pauli(backend, 3, qubit)
 
     def _apply_crosstalk(
         self, backend: StateBackend, pair: Tuple[int, int], gate_name: str
@@ -162,11 +196,107 @@ class StochasticErrorApplier:
             return
         self.fired["crosstalk"] = self.fired.get("crosstalk", 0) + 1
         index = self.rng.randrange(16)
-        first, second = DEPOLARIZING_PAULIS[index // 4], DEPOLARIZING_PAULIS[index % 4]
         if index // 4:
-            backend.apply_gate(first, pair[0], {})
+            self._apply_pauli(backend, index // 4, pair[0])
         if index % 4:
-            backend.apply_gate(second, pair[1], {})
+            self._apply_pauli(backend, index % 4, pair[1])
+
+
+# ----------------------------------------------------------------------
+# RNG dry-run (the prefix-sharing engine's first-error-site computation)
+# ----------------------------------------------------------------------
+#
+# ``dry_run_site`` MUST consume the trajectory rng *exactly* as
+# ``StochasticErrorApplier`` does along the ideal (error-free) prefix: same
+# draws, same order, same short-circuits, same ``fired`` tallies.  Any edit
+# to the applier's draw structure above must be mirrored here — the
+# equivalence gate in tests/stochastic/test_prefix_sharing.py pins the two
+# paths bit-identically and will catch a desync.
+
+
+class NoiseSite:
+    """Precomputed draw descriptor for one error-insertion slot.
+
+    ``qubit_draws`` holds ``(depolarizing_p, damping_p, ideal_p_one,
+    phase_flip_p)`` per touched qubit; ``ideal_p_one`` is the noiseless
+    state's P(qubit = 1) *at this slot* (captured during the instrumented
+    ideal execution), which is valid during a dry-run precisely because any
+    state-changing event ends the dry-run immediately.  ``crosstalk`` holds
+    one rate per adjacent qubit pair.
+    """
+
+    __slots__ = ("qubit_draws", "crosstalk")
+
+    def __init__(
+        self,
+        qubit_draws: Tuple[Tuple[float, float, float, float], ...],
+        crosstalk: Tuple[float, ...],
+    ) -> None:
+        self.qubit_draws = qubit_draws
+        self.crosstalk = crosstalk
+
+
+def build_noise_site(
+    model: NoiseModel, gate_name: str, qubits: Tuple[int, ...], ideal_p_one
+) -> NoiseSite:
+    """Capture one slot's rates (and ideal P(1) values) for later dry-runs.
+
+    ``ideal_p_one`` is a callable ``qubit -> float`` evaluated against the
+    ideal state directly after the slot's gate — only consulted for qubits
+    with a non-zero damping rate in ``"event"`` mode, matching the lazy
+    ``probability_of_one`` read in :meth:`StochasticErrorApplier._apply_damping_event`.
+    """
+    event_mode = model.damping_mode == "event"
+    draws = []
+    for qubit in qubits:
+        rates = model.rates_for(gate_name, qubit)
+        damping = rates.amplitude_damping
+        p_one = 0.0
+        if damping > 0.0 and event_mode:
+            p_one = ideal_p_one(qubit)
+        draws.append((rates.depolarizing, damping, p_one, rates.phase_flip))
+    crosstalk: Tuple[float, ...] = ()
+    if len(qubits) >= 2:
+        crosstalk = tuple(
+            model.rates_for(gate_name, pair[1]).crosstalk
+            for pair in zip(qubits, qubits[1:])
+        )
+    return NoiseSite(tuple(draws), crosstalk)
+
+
+def dry_run_site(rng: random.Random, fired: dict, site: NoiseSite, exact_damping: bool) -> bool:
+    """Consume one slot's draws; True when the state leaves the ideal prefix.
+
+    No-op events (the depolarizing/crosstalk identity branches, unfired
+    mechanisms) tally into ``fired`` and continue; the first state-changing
+    event returns immediately — before the extra draws its application
+    would consume — so the caller replays it from a checkpoint with the
+    real applier.  In ``exact`` damping mode any slot with a non-zero
+    damping rate diverges unconditionally: the no-decay Kraus branch tilts
+    the state, so even "no event" leaves the ideal prefix.
+    """
+    for dep_p, damp_p, p_one, phase_p in site.qubit_draws:
+        if dep_p > 0.0 and rng.random() < dep_p:
+            pauli_index = rng.randrange(4)
+            fired["depolarizing"] += 1
+            if pauli_index:
+                return True
+        if damp_p > 0.0:
+            if exact_damping:
+                return True
+            if p_one > 0.0 and rng.random() < damp_p * p_one:
+                fired["amplitude_damping"] += 1
+                return True
+        if phase_p > 0.0 and rng.random() < phase_p:
+            fired["phase_flip"] += 1
+            return True
+    for crosstalk_p in site.crosstalk:
+        if crosstalk_p > 0.0 and rng.random() < crosstalk_p:
+            fired["crosstalk"] = fired.get("crosstalk", 0) + 1
+            index = rng.randrange(16)
+            if index:
+                return True
+    return False
 
 
 def exact_channel_factory(model: NoiseModel):

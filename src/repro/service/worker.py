@@ -153,6 +153,10 @@ def worker_main(worker_id: int, task_queue, result_queue) -> None:
         try:
             entry = warm.get(task.job_key)
             if entry is None:
+                # The context carries the job's compiled gate plan and
+                # prefix-sharing plan (plus the ideal-state snapshot), so
+                # chunks after the first skip compilation entirely — the
+                # prefix engine rides the warm cache with no extra plumbing.
                 backend = _make_backend(task.backend_kind, task.circuit.num_qubits)
                 context = _EvaluationContext(task.circuit, task.backend_kind)
                 warm[task.job_key] = (backend, context)

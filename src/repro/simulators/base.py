@@ -24,7 +24,7 @@ from ..circuits.operations import (
     ResetOperation,
 )
 
-__all__ = ["StateBackend", "RunResult", "ErrorHook", "execute_circuit"]
+__all__ = ["StateBackend", "RunResult", "ErrorHook", "execute_circuit", "execute_plan"]
 
 
 class StateBackend(Protocol):
@@ -143,4 +143,59 @@ def execute_circuit(
         result.applied_gates += 1
         if error_hook is not None:
             error_hook(backend, operation.qubits, operation.name)
+    return result
+
+
+def execute_plan(
+    backend: StateBackend,
+    plan,
+    rng: random.Random,
+    error_hook: Optional[ErrorHook] = None,
+    start_step: int = 0,
+) -> RunResult:
+    """Run a compiled :class:`~repro.simulators.gateplan.GatePlan`.
+
+    Semantically identical to :func:`execute_circuit` on the source circuit
+    (same hook call sequence, same rng consumption, same classical-bit
+    handling) but with all matrix derivation hoisted to compile time; on a
+    backend sharing the plan's DD package each gate is one pre-resolved
+    operator-DD multiply.  ``start_step`` resumes mid-schedule from a
+    prefix checkpoint — the caller is responsible for the backend holding
+    the state *after* ``plan.steps[:start_step]`` and for the rng/hook
+    having consumed that prefix's draws (see :mod:`repro.stochastic.prefix`).
+    """
+    if plan.num_qubits != backend.num_qubits:
+        raise ValueError(
+            f"plan has {plan.num_qubits} qubits but backend has {backend.num_qubits}"
+        )
+    use_edges = plan.package is not None and plan.package is getattr(
+        backend, "package", None
+    )
+    classical_bits = [0] * plan.num_clbits
+    result = RunResult(classical_bits)
+    for step in plan.steps[start_step:]:
+        if step.kind == "measure":
+            before_measure = getattr(error_hook, "before_measure", None)
+            if before_measure is not None:
+                before_measure(backend, step.target)
+            outcome = backend.measure(step.target, rng)
+            classical_bits[step.clbit] = outcome
+            result.measured_qubits[step.target] = outcome
+            if error_hook is not None:
+                error_hook(backend, step.qubits, "measure")
+            continue
+        if step.kind == "reset":
+            backend.reset(step.target, rng)
+            if error_hook is not None:
+                error_hook(backend, step.qubits, "reset")
+            continue
+        if step.condition is not None and not step.condition.is_satisfied(classical_bits):
+            continue
+        if use_edges:
+            backend.apply_gate_edge(step.gate_edge)
+        else:
+            backend.apply_gate(step.matrix, step.target, step.controls)
+        result.applied_gates += 1
+        if error_hook is not None:
+            error_hook(backend, step.qubits, step.name)
     return result

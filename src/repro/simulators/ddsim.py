@@ -23,6 +23,7 @@ import numpy as np
 from ..dd.edge import Edge
 from ..dd.package import DDPackage
 from ..obs.metrics import NODE_BUCKETS
+from .gateplan import NoiseOperatorCache
 
 __all__ = ["DDBackend"]
 
@@ -64,6 +65,10 @@ class DDBackend:
         self._state = self.package.inc_ref(state)
         self.peak_nodes = self.package.node_count(state)
         self._nodes_hist = self.package.metrics.histogram("dd.state_nodes", NODE_BUCKETS)
+        #: Cached noise-operator DDs (Paulis, damping Kraus branches); the
+        #: stochastic error applier routes firings through this so an error
+        #: costs one multiply instead of a matrix-keyed gate rebuild.
+        self.noise_ops = NoiseOperatorCache(self.package, num_qubits)
 
     @property
     def state(self) -> Edge:
@@ -87,6 +92,11 @@ class DDBackend:
 
     def apply_gate(self, matrix: np.ndarray, target: int, controls: Dict[int, int]) -> None:
         gate_dd = self.package.gate(matrix, target, controls, self.num_qubits)
+        self._replace_state(self.package.multiply(gate_dd, self._state))
+
+    def apply_gate_edge(self, gate_dd: Edge) -> None:
+        """Apply a pre-resolved operator DD (compiled gate plans, cached
+        noise operators) — the hot path with all cache keying hoisted out."""
         self._replace_state(self.package.multiply(gate_dd, self._state))
 
     # ------------------------------------------------------------------
@@ -116,10 +126,19 @@ class DDBackend:
         is just ``|root weight|^2`` — an O(1) read after the multiply.
         """
         package = self.package
+        kraus_edges = [
+            package.gate(np.asarray(kraus, dtype=complex), qubit, None, self.num_qubits)
+            for kraus in kraus_operators
+        ]
+        return self.apply_kraus_edges(kraus_edges, rng)
+
+    def apply_kraus_edges(self, kraus_edges: Sequence[Edge], rng: random.Random) -> int:
+        """:meth:`apply_kraus_branch` with the operator DDs pre-resolved
+        (same branch-selection rng draw, no per-firing gate construction)."""
+        package = self.package
         candidates = []
         probabilities = []
-        for kraus in kraus_operators:
-            gate_dd = package.gate(np.asarray(kraus, dtype=complex), qubit, None, self.num_qubits)
+        for gate_dd in kraus_edges:
             candidate = package.multiply(gate_dd, self._state)
             candidates.append(candidate)
             probabilities.append(package.squared_norm(candidate))
@@ -195,6 +214,16 @@ class DDBackend:
     def reset_all(self) -> None:
         """Reset to |0...0> for the next trajectory (package state shared)."""
         self._replace_state(self.package.zero_state(self.num_qubits))
+
+    def load_state(self, edge: Edge) -> None:
+        """Jump the backend to a pinned state edge (same package).
+
+        The prefix-sharing engine uses this to resume an erring trajectory
+        from a refcounted ideal-prefix checkpoint, or to materialise the
+        shared ideal state for property evaluation — O(1) versus replaying
+        the gate prefix.
+        """
+        self._replace_state(edge)
 
     def reset_peak_nodes(self) -> None:
         """Restart peak tracking from the current state.

@@ -24,6 +24,7 @@ from ..circuits.circuit import QuantumCircuit
 from ..circuits.operations import BarrierOperation, GateOperation
 from ..dd.edge import Edge
 from ..dd.package import DDPackage
+from .gateplan import compile_plan
 
 __all__ = [
     "circuit_unitary_dd",
@@ -52,24 +53,21 @@ def circuit_unitary_dd(
 
     Returns the package used (created on demand) and the root edge.  The
     circuit must be purely unitary (no measurements, resets, or classical
-    conditions).
+    conditions).  Compiles through a fused
+    :func:`~repro.simulators.gateplan.compile_plan` schedule: maximal runs
+    of uncontrolled single-qubit gates collapse into one operator each
+    before any matrix-matrix multiply, shrinking the product chain.  (The
+    stochastic runner never fuses — see the gateplan module docs — but a
+    whole-circuit unitary has no per-gate error-insertion slots to keep.)
     """
     _require_unitary(circuit)
     if package is None:
         package = DDPackage(circuit.num_qubits)
+    plan = compile_plan(circuit, package=package, fuse=True)
     unitary = package.identity(circuit.num_qubits)
     package.inc_ref(unitary)
-    for operation in circuit:
-        if isinstance(operation, BarrierOperation):
-            continue
-        assert isinstance(operation, GateOperation)
-        gate_dd = package.gate(
-            operation.matrix(),
-            operation.target,
-            operation.control_dict(),
-            circuit.num_qubits,
-        )
-        product = package.multiply_matrices(gate_dd, unitary)
+    for step in plan.steps:
+        product = package.multiply_matrices(step.gate_edge, unitary)
         package.inc_ref(product)
         package.dec_ref(unitary)
         unitary = product

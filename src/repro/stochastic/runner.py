@@ -35,9 +35,11 @@ from ..faults.inject import get_injector
 from ..noise.model import NoiseModel
 from ..noise.stochastic import StochasticErrorApplier
 from ..obs.metrics import MetricsRegistry, TIME_BUCKETS, delta_snapshots, merge_snapshots
-from ..simulators.base import execute_circuit
+from ..simulators.base import execute_circuit, execute_plan
 from ..simulators.ddsim import DDBackend
+from ..simulators.gateplan import compile_plan
 from ..simulators.statevector import StatevectorBackend
+from .prefix import compile_prefix_plan, prefix_sharing_enabled
 from .properties import IdealFidelity, PropertySpec, StateFidelity
 from .results import PropertyEstimate, StochasticResult
 
@@ -107,6 +109,33 @@ class _EvaluationContext:
         self.backend_kind = backend_kind
         self._ideal = None
         self._targets: Dict[str, object] = {}
+        self._gate_plan = None
+        self._prefix_plan = None
+        self._prefix_model: Optional[NoiseModel] = None
+
+    def gate_plan(self, backend):
+        """The circuit compiled into a :class:`~repro.simulators.gateplan.GatePlan`
+        (once per worker; gate DDs resolved against the warm package)."""
+        if self._gate_plan is None:
+            self._gate_plan = compile_plan(
+                self.circuit, package=getattr(backend, "package", None)
+            )
+        return self._gate_plan
+
+    def prefix_plan(self, backend, noise_model: NoiseModel):
+        """The prefix-sharing plan for (circuit, noise model), compiled once
+        per worker via one instrumented ideal execution."""
+        if self._prefix_plan is None or self._prefix_model != noise_model:
+            self._prefix_plan = compile_prefix_plan(
+                backend, self.gate_plan(backend), noise_model
+            )
+            self._prefix_model = noise_model
+            if self._ideal is None and self._prefix_plan.ideal_final is not None:
+                # The plan's pinned ideal edge *is* the reference state the
+                # IdealFidelity property wants — identical hash-consed edge,
+                # so reusing it is bit-identical to a separate execution.
+                self._ideal = backend.package.inc_ref(self._prefix_plan.ideal_final)
+        return self._prefix_plan
 
     def ideal_handle(self, backend):
         """Noiseless output state of the circuit (computed once per worker)."""
@@ -241,36 +270,41 @@ def run_trajectory_span(
     guard_action, guard_tolerance = _resolve_norm_guard(on_drift, norm_tolerance)
     injector = get_injector() if backend_kind == "dd" else None
 
-    started = time.perf_counter()
-    if timeout is not None:
-        relative_deadline = time.monotonic() + timeout
-        deadline = relative_deadline if deadline is None else min(deadline, relative_deadline)
+    # Compile-once work hoisted out of the Monte-Carlo loop: the gate plan
+    # (per-operation matrices / operator DDs) and — on the DD backend, unless
+    # REPRO_PREFIX_SHARING=off — the prefix-sharing plan (one instrumented
+    # ideal execution yielding error sites, checkpoints, the shared ideal
+    # state).  Both are cached on the context, so warm workers compile once
+    # per job, not once per chunk.
+    plan_was_cached = context._gate_plan is not None
+    gate_plan = context.gate_plan(backend)
+    if not plan_was_cached:
+        registry.counter("gateplan.compiled").inc(gate_plan.compiled_gates)
+    prefix_plan = None
+    if backend_kind == "dd" and prefix_sharing_enabled():
+        prefix_was_cached = (
+            context._prefix_plan is not None and context._prefix_model == noise_model
+        )
+        prefix_plan = context.prefix_plan(backend, noise_model)
+        if not prefix_was_cached:
+            registry.counter("prefix.checkpoints").inc(len(prefix_plan.checkpoints))
+    prefix_hits = registry.counter("prefix.hits")
+    prefix_replays = registry.counter("prefix.replays")
+    prefix_replayed_gates = registry.counter("prefix.replayed_gates")
+    prefix_materialized = registry.counter("prefix.materialized")
 
-    for index in range(num_trajectories):
-        if deadline is not None and time.monotonic() >= deadline:
-            result.timed_out = True
-            registry.counter("trajectory.timeouts").inc()
-            break
-        trajectory = first_trajectory + index
-        rng = random.Random((master_seed + trajectory * _SEED_STRIDE) & (2**63 - 1))
-        applier = StochasticErrorApplier(noise_model, rng)
-        if index > 0:
-            if backend_kind == "dd":
-                backend.reset_all()
-            else:
-                backend = _make_backend(backend_kind, circuit.num_qubits)
-        trajectory_started = time.perf_counter()
-        run_result = execute_circuit(backend, circuit, rng, error_hook=applier)
+    def finish_trajectory(current_backend, trajectory, rng, applier, run_result, drift):
+        """Post-circuit block shared by the naive, replay, and materialise
+        paths — kept as ONE function so the guard/eval/sampling sequence (and
+        therefore the rng stream and float order) cannot diverge between them."""
         if backend_kind == "dd":
-            if injector is not None:
-                drift = injector.fire("drift", trajectory=trajectory)
-                if drift is not None:
-                    backend.scale_state(drift.factor)
+            if drift is not None:
+                current_backend.scale_state(drift.factor)
             if guard_action != "off":
-                norm_squared = backend.squared_norm()
+                norm_squared = current_backend.squared_norm()
                 if abs(norm_squared - 1.0) > guard_tolerance:
                     if guard_action == "renorm":
-                        backend.renormalize()
+                        current_backend.renormalize()
                         registry.counter("faults.recovered.renorm").inc()
                     else:
                         raise NumericalDriftError(
@@ -284,21 +318,116 @@ def run_trajectory_span(
         if properties:
             evaluation_started = time.perf_counter()
             for prop in properties:
-                result.estimates[prop.name].add(prop.evaluate(backend, run_result, context))
+                result.estimates[prop.name].add(prop.evaluate(current_backend, run_result, context))
                 evaluation_counter.inc()
             property_hist.observe(time.perf_counter() - evaluation_started)
         if sample_shots > 0:
-            for outcome, count in backend.sample_counts(sample_shots, rng).items():
+            for outcome, count in current_backend.sample_counts(sample_shots, rng).items():
                 result.outcome_counts[outcome] = result.outcome_counts.get(outcome, 0) + count
         for kind, count in applier.fired.items():
             result.errors_fired[kind] = result.errors_fired.get(kind, 0) + count
             if count:
                 registry.counter(f"errors.fired.{kind}").inc(count)
+
+    started = time.perf_counter()
+    if timeout is not None:
+        relative_deadline = time.monotonic() + timeout
+        deadline = relative_deadline if deadline is None else min(deadline, relative_deadline)
+
+    for index in range(num_trajectories):
+        if deadline is not None and time.monotonic() >= deadline:
+            result.timed_out = True
+            registry.counter("trajectory.timeouts").inc()
+            break
+        trajectory = first_trajectory + index
+        seed = (master_seed + trajectory * _SEED_STRIDE) & (2**63 - 1)
+        rng = random.Random(seed)
+        applier = StochasticErrorApplier(noise_model, rng)
+        trajectory_started = time.perf_counter()
+        if prefix_plan is not None:
+            divergence = prefix_plan.first_divergence(rng, applier.fired)
+            if divergence is None:
+                # Clean trajectory: its final state IS the shared ideal DD.
+                prefix_hits.inc()
+                drift = (
+                    injector.fire("drift", trajectory=trajectory)
+                    if injector is not None
+                    else None
+                )
+                ideal_drifted = (
+                    abs(prefix_plan.ideal_norm_squared - 1.0) > guard_tolerance
+                )
+                if drift is not None or (guard_action != "off" and ideal_drifted):
+                    # Rare slow path: something (an injected drift fault, a
+                    # numerically drifted ideal state under an active guard)
+                    # makes this trajectory's state differ from the cached
+                    # evaluation — materialise it and run the normal block.
+                    prefix_materialized.inc()
+                    backend.load_state(prefix_plan.ideal_final)
+                    finish_trajectory(
+                        backend, trajectory, rng, applier,
+                        prefix_plan.ideal_run_result, drift,
+                    )
+                else:
+                    if properties:
+                        evaluation_started = time.perf_counter()
+                        values = prefix_plan.property_values(backend, properties, context)
+                        for prop in properties:
+                            result.estimates[prop.name].add(values[prop.name])
+                            evaluation_counter.inc()
+                        property_hist.observe(time.perf_counter() - evaluation_started)
+                    if sample_shots > 0:
+                        counts = backend.package.sample_counts(
+                            prefix_plan.ideal_final, sample_shots, rng
+                        )
+                        for outcome, count in counts.items():
+                            result.outcome_counts[outcome] = (
+                                result.outcome_counts.get(outcome, 0) + count
+                            )
+                    for kind, count in applier.fired.items():
+                        result.errors_fired[kind] = result.errors_fired.get(kind, 0) + count
+                        if count:
+                            registry.counter(f"errors.fired.{kind}").inc(count)
+            else:
+                # Erring trajectory: rewind the rng to the nearest ideal
+                # checkpoint and replay only the suffix with the real applier.
+                prefix_replays.inc()
+                checkpoint_step, checkpoint_state = prefix_plan.checkpoint_for(divergence)
+                prefix_replayed_gates.inc(len(gate_plan.steps) - checkpoint_step)
+                rng = random.Random(seed)
+                applier = StochasticErrorApplier(noise_model, rng)
+                prefix_plan.consume_prefix(rng, applier.fired, checkpoint_step)
+                backend.load_state(checkpoint_state)
+                run_result = execute_plan(
+                    backend, gate_plan, rng, error_hook=applier, start_step=checkpoint_step
+                )
+                run_result.applied_gates += prefix_plan.executed_before(checkpoint_step)
+                drift = (
+                    injector.fire("drift", trajectory=trajectory)
+                    if injector is not None
+                    else None
+                )
+                finish_trajectory(backend, trajectory, rng, applier, run_result, drift)
+        else:
+            if index > 0:
+                if backend_kind == "dd":
+                    backend.reset_all()
+                else:
+                    backend = _make_backend(backend_kind, circuit.num_qubits)
+            run_result = execute_plan(backend, gate_plan, rng, error_hook=applier)
+            drift = None
+            if injector is not None:
+                drift = injector.fire("drift", trajectory=trajectory)
+            finish_trajectory(backend, trajectory, rng, applier, run_result, drift)
         trajectory_hist.observe(time.perf_counter() - trajectory_started)
         result.completed_trajectories += 1
         completed_counter.inc()
 
     if backend_kind == "dd":
+        # Span boundary: force one full sweep regardless of the dead-node
+        # watermark so a span never hands accumulated garbage to its
+        # successor (the per-gate calls inside the loop are paced).
+        backend.package.garbage_collect(force=True)
         result.peak_nodes = backend.peak_nodes
         dd_delta = delta_snapshots(backend.package.metrics_snapshot(), dd_before)
         result.metrics = merge_snapshots(registry.snapshot(), dd_delta)

@@ -1,0 +1,120 @@
+"""Tests for the multinomial ``sample_counts`` (one binomial split per node).
+
+Sampling ``shots`` outcomes used to cost ``shots`` root-to-terminal walks;
+the multinomial descent visits each reachable node once and splits the
+remaining shots binomially between its children.  The tests pin the
+``shots == 1`` legacy rng stream (the stochastic runner's per-trajectory
+draw), exactness on deterministic states, and distributional sanity.
+"""
+
+import random
+
+import pytest
+
+from repro.dd import DDPackage
+from repro.dd.package import _binomial
+
+from ..conftest import random_state
+
+
+def ghz_edge(package, num_qubits):
+    import numpy as np
+
+    vector = np.zeros(2**num_qubits, dtype=complex)
+    vector[0] = vector[-1] = 1 / np.sqrt(2)
+    return package.from_state_vector(vector)
+
+
+class TestSingleShot:
+    def test_matches_legacy_per_shot_stream(self):
+        package = DDPackage(4)
+        edge = ghz_edge(package, 4)
+        counts = package.sample_counts(edge, 1, random.Random(5))
+        outcome = package.sample_basis_state(edge, random.Random(5))
+        assert counts == {outcome: 1}
+
+    def test_zero_shots(self):
+        package = DDPackage(2)
+        edge = package.zero_state(2)
+        assert package.sample_counts(edge, 0, random.Random(0)) == {}
+
+
+class TestMultinomial:
+    def test_total_conserved(self, np_rng):
+        package = DDPackage(4)
+        edge = package.from_state_vector(random_state(np_rng, 4))
+        counts = package.sample_counts(edge, 1000, random.Random(1))
+        assert sum(counts.values()) == 1000
+        assert all(len(key) == 4 and set(key) <= {"0", "1"} for key in counts)
+
+    def test_deterministic_state_consumes_no_randomness(self):
+        package = DDPackage(3)
+        edge = package.zero_state(3)
+        rng = random.Random(7)
+        state_before = rng.getstate()
+        counts = package.sample_counts(edge, 500, rng)
+        assert counts == {"000": 500}
+        # All probability flows down one branch: no binomial draw happens.
+        assert rng.getstate() == state_before
+
+    def test_ghz_distribution(self):
+        package = DDPackage(5)
+        edge = ghz_edge(package, 5)
+        shots = 20000
+        counts = package.sample_counts(edge, shots, random.Random(3))
+        assert set(counts) <= {"00000", "11111"}
+        assert sum(counts.values()) == shots
+        # Binomial(20000, 0.5): five sigma is ~354.
+        assert abs(counts["00000"] - shots / 2) < 5 * (shots * 0.25) ** 0.5
+
+    def test_reproducible(self, np_rng):
+        package = DDPackage(3)
+        edge = package.from_state_vector(random_state(np_rng, 3))
+        first = package.sample_counts(edge, 200, random.Random(9))
+        second = package.sample_counts(edge, 200, random.Random(9))
+        assert first == second
+
+    def test_matches_per_shot_marginals(self, np_rng):
+        # The multinomial and the legacy per-shot walk target the same
+        # distribution; compare empirical frequencies loosely.
+        package = DDPackage(2)
+        edge = package.from_state_vector(random_state(np_rng, 2))
+        shots = 20000
+        multi = package.sample_counts(edge, shots, random.Random(2))
+        rng = random.Random(4)
+        legacy = {}
+        for _ in range(shots):
+            outcome = package.sample_basis_state(edge, rng)
+            legacy[outcome] = legacy.get(outcome, 0) + 1
+        for key in set(multi) | set(legacy):
+            assert abs(multi.get(key, 0) - legacy.get(key, 0)) < 6 * (shots * 0.25) ** 0.5
+
+
+class TestBinomialHelper:
+    def test_degenerate_probabilities(self):
+        rng = random.Random(0)
+        assert _binomial(rng, 100, 0.0) == 0
+        assert _binomial(rng, 100, 1.0) == 100
+        assert _binomial(rng, 0, 0.5) == 0
+
+    def test_range(self):
+        rng = random.Random(1)
+        for n in (1, 31, 32, 1000):
+            for p in (0.01, 0.3, 0.5, 0.9):
+                value = _binomial(rng, n, p)
+                assert 0 <= value <= n
+
+    def test_mean_large_n(self):
+        rng = random.Random(6)
+        n, p, reps = 5000, 0.3, 200
+        mean = sum(_binomial(rng, n, p) for _ in range(reps)) / reps
+        sigma = (n * p * (1 - p)) ** 0.5
+        assert abs(mean - n * p) < 5 * sigma / reps**0.5
+
+    def test_mean_small_n(self):
+        # n < 32 takes the Bernoulli-sum path.
+        rng = random.Random(8)
+        n, p, reps = 20, 0.4, 2000
+        mean = sum(_binomial(rng, n, p) for _ in range(reps)) / reps
+        sigma = (n * p * (1 - p)) ** 0.5
+        assert abs(mean - n * p) < 5 * sigma / reps**0.5

@@ -132,4 +132,6 @@ class TestGarbageCollection:
     def test_stats_shape(self, setup):
         _, unique, _, _, _ = setup
         stats = unique.stats()
-        assert set(stats) == {"entries", "hits", "misses", "collections", "gc_limit"}
+        assert set(stats) == {
+            "entries", "hits", "misses", "collections", "gc_limit", "dead"
+        }

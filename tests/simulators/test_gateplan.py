@@ -1,0 +1,184 @@
+"""Tests for compiled gate plans, single-qubit fusion, and the noise-operator
+cache (``repro.simulators.gateplan``)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.circuits.library import ghz, qft
+from repro.simulators.base import execute_circuit, execute_plan
+from repro.simulators.ddsim import DDBackend
+from repro.simulators.gateplan import NoiseOperatorCache, compile_plan
+from repro.simulators.statevector import StatevectorBackend
+from repro.simulators.unitary import circuit_unitary_matrix, circuits_equivalent
+
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+
+
+def single_qubit_run_circuit():
+    circuit = QuantumCircuit(2, name="runs")
+    circuit.h(0)
+    circuit.rz(0.3, 0)
+    circuit.x(1)
+    circuit.cx(0, 1)
+    circuit.h(1)
+    circuit.h(1)
+    return circuit
+
+
+class TestCompile:
+    def test_plan_mirrors_circuit(self):
+        circuit = ghz(4, measure=True)
+        plan = compile_plan(circuit)
+        assert plan.num_qubits == 4
+        assert plan.gate_step_count() == 4
+        kinds = [step.kind for step in plan.steps]
+        assert kinds.count("measure") == 4
+        assert plan.package is None
+
+    def test_package_resolves_edges_once(self):
+        backend = DDBackend(4)
+        plan = compile_plan(ghz(4), package=backend.package)
+        assert all(
+            step.gate_edge is not None for step in plan.steps if step.kind == "gate"
+        )
+        # GHZ-4 = one H + three structurally distinct CX gate DDs.
+        assert plan.compiled_gates == 4
+        # Recompiling the same circuit hits the package's gate cache.
+        again = compile_plan(ghz(4), package=backend.package)
+        assert again.compiled_gates == 0
+
+    def test_execute_plan_matches_execute_circuit_dd(self):
+        circuit = qft(4)
+        direct = DDBackend(4)
+        execute_circuit(direct, circuit, random.Random(0))
+        planned = DDBackend(4)
+        plan = compile_plan(circuit, package=planned.package)
+        result = execute_plan(planned, plan, random.Random(0))
+        assert result.applied_gates == plan.gate_step_count()
+        assert np.array_equal(direct.statevector(), planned.statevector())
+
+    def test_execute_plan_matches_execute_circuit_statevector(self):
+        circuit = qft(3)
+        direct = StatevectorBackend(3)
+        execute_circuit(direct, circuit, random.Random(0))
+        planned = StatevectorBackend(3)
+        result = execute_plan(planned, compile_plan(circuit), random.Random(0))
+        assert result.applied_gates > 0
+        assert np.array_equal(direct.statevector(), planned.statevector())
+
+    def test_measured_circuit_identical_outcomes(self):
+        circuit = ghz(3, measure=True)
+        direct = DDBackend(3)
+        a = execute_circuit(direct, circuit, random.Random(42))
+        planned = DDBackend(3)
+        plan = compile_plan(circuit, package=planned.package)
+        b = execute_plan(planned, plan, random.Random(42))
+        assert a.classical_bits == b.classical_bits
+        assert a.measured_qubits == b.measured_qubits
+
+    def test_qubit_mismatch_rejected(self):
+        backend = DDBackend(3)
+        plan = compile_plan(ghz(4))
+        with pytest.raises(ValueError, match="qubits"):
+            execute_plan(backend, plan, random.Random(0))
+
+
+class TestFusion:
+    def test_adjacent_single_qubit_gates_fuse(self):
+        plan = compile_plan(single_qubit_run_circuit(), fuse=True)
+        # h+rz on wire 0 fuse, the trailing h+h on wire 1 fuse.
+        assert plan.fused_gates == 2
+        names = [step.name for step in plan.steps]
+        assert any(name.startswith("fused[") for name in names)
+
+    def test_fusion_preserves_unitary(self):
+        circuit = single_qubit_run_circuit()
+        fused = compile_plan(circuit, fuse=True)
+        unfused = compile_plan(circuit, fuse=False)
+        assert fused.gate_step_count() < unfused.gate_step_count()
+        sv_a = StatevectorBackend(2)
+        execute_plan(sv_a, fused, random.Random(0))
+        sv_b = StatevectorBackend(2)
+        execute_plan(sv_b, unfused, random.Random(0))
+        assert np.allclose(sv_a.statevector(), sv_b.statevector())
+
+    def test_barrier_fences_fusion(self):
+        circuit = QuantumCircuit(1, name="fenced")
+        circuit.h(0)
+        circuit.barrier()
+        circuit.h(0)
+        plan = compile_plan(circuit, fuse=True)
+        assert plan.fused_gates == 0
+        assert plan.gate_step_count() == 2
+
+    def test_unitary_path_uses_fusion(self):
+        # circuit_unitary_matrix now compiles fused; equivalence and the
+        # dense unitary must be unaffected.
+        circuit = single_qubit_run_circuit()
+        matrix = circuit_unitary_matrix(circuit)
+        reference = np.eye(4, dtype=complex)
+        sv = StatevectorBackend(2)
+        execute_circuit(sv, circuit, random.Random(0))
+        assert np.allclose(matrix @ np.array([1, 0, 0, 0]), sv.statevector())
+        assert circuits_equivalent(circuit, circuit)
+        assert np.allclose(matrix.conj().T @ matrix, reference)
+
+
+class TestNoiseOperatorCache:
+    def test_caches_by_key(self):
+        backend = DDBackend(2)
+        cache = NoiseOperatorCache(backend.package, 2)
+        first = cache.single_qubit("pauli1", _X, 0)
+        second = cache.single_qubit("pauli1", _X, 0)
+        assert first is second
+        other_qubit = cache.single_qubit("pauli1", _X, 1)
+        assert other_qubit is not first
+
+    def test_counts_compiles_and_hits(self):
+        backend = DDBackend(2)
+        cache = NoiseOperatorCache(backend.package, 2)
+        cache.single_qubit("pauli1", _X, 0)
+        cache.single_qubit("pauli1", _X, 0)
+        counters = backend.package.metrics.snapshot()["counters"]
+        assert counters["gateplan.noise_compiled"] == 1
+        assert counters["gateplan.noise_hits"] == 1
+
+    def test_kraus_pair_keys_per_branch(self):
+        backend = DDBackend(1)
+        cache = NoiseOperatorCache(backend.package, 1)
+        decay = np.array([[0, 1], [0, 0]], dtype=complex)
+        keep = np.array([[1, 0], [0, 0.9]], dtype=complex)
+        edges = cache.kraus_pair("damping", (keep, decay), 0)
+        assert len(edges) == 2
+        again = cache.kraus_pair("damping", (keep, decay), 0)
+        assert all(a is b for a, b in zip(edges, again))
+
+    def test_cached_edge_applies_identically(self):
+        direct = DDBackend(2)
+        direct.apply_gate(_X, 1, {})
+        cached = DDBackend(2)
+        edge = cached.noise_ops.single_qubit("pauli1", _X, 1)
+        cached.apply_gate_edge(edge)
+        assert np.array_equal(direct.statevector(), cached.statevector())
+
+
+class TestGcPacing:
+    def test_skipped_counter_increments(self):
+        backend = DDBackend(3)
+        plan = compile_plan(ghz(3), package=backend.package)
+        execute_plan(backend, plan, random.Random(0))
+        counters = backend.package.metrics.snapshot()["counters"]
+        # Small states stay far below the dead-node watermark: every
+        # per-gate collection attempt is skipped (and counted).
+        assert counters.get("dd.gc.skipped", 0) > 0
+
+    def test_forced_sweep_still_collects(self):
+        backend = DDBackend(3)
+        plan = compile_plan(ghz(3), package=backend.package)
+        execute_plan(backend, plan, random.Random(0))
+        backend.package.garbage_collect(force=True)
+        counters = backend.package.metrics.snapshot()["counters"]
+        assert counters.get("dd.gc.sweeps", 0) >= 1
