@@ -1,0 +1,115 @@
+"""Throughput trend gate across the committed ``BENCH_*.json`` series.
+
+Each performance PR commits a ``BENCH_<tag>.json`` report (written by
+``run_benches.py``); this script walks that series in order and compares
+per-circuit ``shared_traj_per_sec`` between consecutive reports.  A drop
+larger than ``--threshold`` (default 20%) on any circuit fails the run —
+the guard that keeps a later PR from quietly eating an earlier PR's
+speedup.
+
+Usage::
+
+    python benchmarks/trend.py                          # all BENCH_*.json, repo root
+    python benchmarks/trend.py BENCH_PR4.json new.json  # explicit series, in order
+    python benchmarks/trend.py --threshold 0.1          # stricter gate
+
+Reports are matched per circuit name; circuits present in only one report
+are skipped (new benchmarks enter the series without tripping the gate).
+Absolute trajectories/second are machine-dependent, so comparing two
+reports only makes sense when they were measured on comparable hardware —
+CI regenerates the newest report on the same runner class that produced
+the committed baseline.
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+
+def _series_key(path):
+    """Sort BENCH_PR4.json before BENCH_PR10.json (numeric PR order)."""
+    name = os.path.basename(path)
+    match = re.search(r"(\d+)", name)
+    return (int(match.group(1)) if match else 0, name)
+
+
+def load_report(path):
+    with open(path) as handle:
+        report = json.load(handle)
+    return {
+        case["circuit"]: float(case["shared_traj_per_sec"])
+        for case in report.get("cases", [])
+        if case.get("shared_traj_per_sec")
+    }
+
+
+def diff_series(paths, threshold):
+    """(lines, failures) comparing each report with its predecessor."""
+    lines = []
+    failures = []
+    previous_path = None
+    previous = {}
+    for path in paths:
+        current = load_report(path)
+        if previous_path is not None:
+            for circuit in sorted(set(previous) & set(current)):
+                before, after = previous[circuit], current[circuit]
+                change = (after - before) / before
+                marker = ""
+                if change < -threshold:
+                    marker = "  << REGRESSION"
+                    failures.append(
+                        f"{circuit}: {before:.1f} -> {after:.1f} traj/s "
+                        f"({change:+.1%}) from {os.path.basename(previous_path)} "
+                        f"to {os.path.basename(path)} exceeds the "
+                        f"{threshold:.0%} budget"
+                    )
+                lines.append(
+                    f"{circuit}: {before:9.1f} -> {after:9.1f} traj/s "
+                    f"({change:+6.1%})  "
+                    f"[{os.path.basename(previous_path)} -> "
+                    f"{os.path.basename(path)}]{marker}"
+                )
+        previous_path, previous = path, current
+    return lines, failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "reports", nargs="*",
+        help="BENCH_*.json files in series order (default: repo root glob)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.2, metavar="FRACTION",
+        help="maximum tolerated per-circuit throughput drop (default 0.2)",
+    )
+    args = parser.parse_args(argv)
+
+    paths = args.reports
+    if not paths:
+        root = os.path.join(os.path.dirname(__file__), "..")
+        paths = sorted(glob.glob(os.path.join(root, "BENCH_*.json")), key=_series_key)
+    if not paths:
+        print("no BENCH_*.json reports found")
+        return 0
+    if len(paths) < 2:
+        print(f"only one report ({os.path.basename(paths[0])}) — nothing to diff")
+        return 0
+
+    lines, failures = diff_series(paths, args.threshold)
+    print("\n".join(lines) if lines else "no overlapping circuits to compare")
+    if failures:
+        print(
+            "THROUGHPUT REGRESSION:\n" + "\n".join(failures), file=sys.stderr
+        )
+        return 1
+    print(f"trend OK across {len(paths)} report(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,13 +5,19 @@ Subcommands:
 * ``run`` — stochastically simulate an OpenQASM 2.0 file or a library
   circuit under a noise model and print property estimates and the sampled
   outcome histogram;
-* ``submit`` / ``status`` / ``result`` / ``serve`` — the job-service mode:
-  spool content-addressed jobs into a store, drain them with a persistent
-  worker pool, and poll streaming estimates while they run (docs/SERVICE.md);
+* ``submit`` / ``status`` / ``result`` / ``serve`` / ``monitor`` — the
+  job-service mode: spool content-addressed jobs into a store, drain them
+  with a persistent worker pool, and poll streaming estimates while they
+  run — live, with ``monitor`` and the ``serve --metrics-port`` OpenMetrics
+  endpoint (docs/SERVICE.md, docs/OBSERVABILITY.md);
 * ``cache`` — inspect or clear the content-addressed result store;
 * ``stats`` — run a circuit and report engine observability: table hit
   rates, per-trajectory latency histograms, scheduler counters
-  (docs/OBSERVABILITY.md);
+  (docs/OBSERVABILITY.md); ``--format=openmetrics`` shares the serve
+  endpoint's exposition formatter;
+* ``profile`` — run with the deterministic DD hot-loop profiler enabled
+  and report per-gate / per-DD-op self time plus node-growth attribution;
+  ``--flame`` writes folded stacks for flamegraph tooling;
 * ``table`` — regenerate one of the paper's tables (Ia/Ib/Ic) at a chosen
   scale, optionally with a ``--metrics`` JSON sidecar;
 * ``circuits`` — list the built-in benchmark circuit generators;
@@ -193,7 +199,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--poll-interval", type=float, default=0.5)
     serve.add_argument("--max-jobs", type=int, default=None)
+    serve.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve OpenMetrics text on http://127.0.0.1:PORT/metrics "
+        "(0 binds an ephemeral port; the chosen one is logged)",
+    )
+    serve.add_argument(
+        "--events-log", default=None, metavar="PATH",
+        help="append JSONL telemetry events (heartbeats, job transitions)",
+    )
+    serve.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="write a Chrome trace_event JSON per completed job",
+    )
+    serve.add_argument(
+        "--heartbeat-interval", type=float, default=1.0, metavar="SECONDS",
+        help="period of the events-log heartbeat (with --events-log)",
+    )
     _add_store_argument(serve)
+
+    monitor = subparsers.add_parser(
+        "monitor", help="live terminal view of a queued or running job"
+    )
+    monitor.add_argument("key", help="job key (or unique prefix) from `submit`")
+    monitor.add_argument(
+        "--interval", type=float, default=0.5, metavar="SECONDS",
+        help="refresh period",
+    )
+    monitor.add_argument(
+        "--once", action="store_true", help="print one snapshot and exit"
+    )
+    monitor.add_argument(
+        "--max-seconds", type=float, default=None, metavar="SECONDS",
+        help="give up after this long even if the job is still running",
+    )
+    _add_store_argument(monitor)
 
     cache = subparsers.add_parser(
         "cache", help="inspect or clear the content-addressed result store"
@@ -214,6 +254,11 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON instead of text"
     )
+    stats.add_argument(
+        "--format", choices=("text", "json", "openmetrics"), default=None,
+        help="output format (openmetrics shares the `serve --metrics-port` "
+        "endpoint formatter; --json is shorthand for --format=json)",
+    )
     stats.add_argument("-o", "--output", default=None, help="output path (default stdout)")
     stats.add_argument(
         "--trace", action="store_true",
@@ -221,6 +266,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_property_arguments(stats)
     _add_noise_arguments(stats)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="run with the DD hot-loop profiler on and report per-gate/per-op time",
+    )
+    profile.add_argument("circuit", help=".qasm file, ghz:<n>, qft:<n>, or a QASMBench name")
+    profile.add_argument("-M", "--trajectories", type=int, default=100)
+    profile.add_argument("-b", "--backend", choices=("dd", "statevector"), default="dd")
+    profile.add_argument("-w", "--workers", type=int, default=1)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--shots", type=int, default=1, help="histogram samples per trajectory")
+    profile.add_argument("--timeout", type=float, default=None)
+    profile.add_argument(
+        "--flame", default=None, metavar="PATH",
+        help="write folded-stack output (flamegraph.pl / speedscope compatible)",
+    )
+    profile.add_argument(
+        "--top", type=int, default=15, metavar="N",
+        help="number of hottest frames to print",
+    )
+    _add_property_arguments(profile)
+    _add_noise_arguments(profile)
 
     chaos = subparsers.add_parser(
         "chaos",
@@ -386,9 +453,44 @@ def _command_serve(args: argparse.Namespace) -> int:
         chunk_size=args.chunk_size,
         max_retries=args.max_retries,
         max_jobs=args.max_jobs,
+        metrics_port=args.metrics_port,
+        events_log=args.events_log,
+        trace_dir=args.trace_dir,
+        heartbeat_interval=args.heartbeat_interval,
     )
     print(f"processed {processed} job(s)")
     return 0
+
+
+def _command_monitor(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .service import JobState, query_status
+
+    store = _open_store(args)
+    deadline = (
+        None if args.max_seconds is None else _time.monotonic() + args.max_seconds
+    )
+    clear = "\x1b[2J\x1b[H" if sys.stdout.isatty() else ""
+    while True:
+        try:
+            status = query_status(store, store.resolve_key(args.key))
+        except KeyError as error:
+            if args.once:
+                raise SystemExit(str(error))
+            status = None
+            print(f"waiting for job {args.key!r} to appear in the store…")
+        if status is not None:
+            print(f"{clear}{status.render()}", flush=True)
+            if status.state in (JobState.COMPLETED, JobState.FAILED,
+                                JobState.CANCELLED):
+                return 0 if status.state == JobState.COMPLETED else 1
+        if args.once:
+            return 0
+        if deadline is not None and _time.monotonic() >= deadline:
+            print("monitor timed out with the job still running")
+            return 1
+        _time.sleep(max(0.05, args.interval))
 
 
 def _command_cache(args: argparse.Namespace) -> int:
@@ -508,17 +610,116 @@ def _command_stats(args: argparse.Namespace) -> int:
     if trace is not None:
         payload["trace"] = trace
 
-    text = (
-        _json.dumps(payload, indent=2, sort_keys=True)
-        if args.json
-        else _render_stats(payload)
-    )
+    fmt = args.format or ("json" if args.json else "text")
+    if fmt == "openmetrics":
+        text = _stats_openmetrics(circuit.name, result, payload).rstrip("\n")
+    elif fmt == "json":
+        text = _json.dumps(payload, indent=2, sort_keys=True)
+    else:
+        text = _render_stats(payload)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")
         print(f"wrote {args.output}")
     else:
         print(text)
+    return 0
+
+
+def _stats_openmetrics(circuit_name: str, result, payload: dict) -> str:
+    """Render a stats run through the serve endpoint's formatter.
+
+    One formatter backs both surfaces, so a one-shot ``repro stats
+    --format=openmetrics`` run and a live scrape of ``serve
+    --metrics-port`` emit byte-compatible exposition text.
+    """
+    from .obs import merge_snapshots, to_openmetrics
+
+    snapshot = merge_snapshots(payload["metrics"])  # deep copy
+    gauges = snapshot.setdefault("gauges", {})
+    gauges["run.elapsed_seconds"] = float(payload["elapsed_seconds"])
+    gauges["run.completed_trajectories"] = float(payload["completed_trajectories"])
+    if payload["peak_nodes"]:
+        gauges["run.peak_nodes"] = float(payload["peak_nodes"])
+    gauges.update(payload["rates"])
+    labeled = []
+    for name, estimate in sorted(result.estimates.items()):
+        if estimate.count <= 0:
+            continue
+        labels = {"property": name, "circuit": circuit_name}
+        labeled.append(("run.estimate.mean", labels, estimate.mean))
+        labeled.append(
+            ("run.estimate.halfwidth", labels, estimate.hoeffding_halfwidth())
+        )
+    return to_openmetrics(snapshot, labeled)
+
+
+def _command_profile(args: argparse.Namespace) -> int:
+    from .obs import attributed_seconds, folded_lines
+    from .obs.profile import PROFILE_ENV
+
+    circuit = _load_circuit(args.circuit)
+    properties = _properties_from_args(args)
+    previous = os.environ.get(PROFILE_ENV)
+    os.environ[PROFILE_ENV] = "on"
+    try:
+        result = simulate_stochastic(
+            circuit,
+            noise_model=_noise_from_args(args),
+            properties=properties,
+            trajectories=args.trajectories,
+            backend=args.backend,
+            workers=args.workers,
+            seed=args.seed,
+            sample_shots=args.shots,
+            timeout=args.timeout,
+        )
+    finally:
+        if previous is None:
+            os.environ.pop(PROFILE_ENV, None)
+        else:
+            os.environ[PROFILE_ENV] = previous
+    profile = result.profile
+    if not profile or not profile.get("frames"):
+        raise SystemExit(
+            "no profile collected (workers inherited REPRO_PROFILE=off?)"
+        )
+    wall = float(profile.get("wall_seconds", 0.0))
+    attributed = attributed_seconds(profile)
+    print(
+        f"{circuit.name} — {result.completed_trajectories} trajectories, "
+        f"{wall:.3f} s profiled span wall time "
+        f"({attributed:.3f} s attributed to frames)"
+    )
+    frames = sorted(
+        profile["frames"].items(),
+        key=lambda item: item[1]["seconds"],
+        reverse=True,
+    )
+    print(f"hottest frames (self time, top {args.top}):")
+    for path, data in frames[: max(1, args.top)]:
+        share = data["seconds"] / wall if wall > 0 else 0.0
+        print(
+            f"  {data['seconds'] * 1000.0:9.2f} ms  {share:6.1%}  "
+            f"x{data['count']}  {path}"
+        )
+    growth = sorted(
+        profile.get("nodes", {}).items(),
+        key=lambda item: item[1]["growth"],
+        reverse=True,
+    )
+    hot_growth = [(path, data) for path, data in growth if data["growth"] > 0]
+    if hot_growth:
+        print("DD node growth by frame:")
+        for path, data in hot_growth[: max(1, args.top)]:
+            print(
+                f"  +{data['growth']:8d} nodes (peak {data['peak']})  {path}"
+            )
+    if args.flame:
+        lines = folded_lines(profile)
+        with open(args.flame, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        print(f"wrote {args.flame} ({len(lines)} folded stacks)")
     return 0
 
 
@@ -710,10 +911,14 @@ def _dispatch(args) -> int:
         return _command_result(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "monitor":
+        return _command_monitor(args)
     if args.command == "cache":
         return _command_cache(args)
     if args.command == "stats":
         return _command_stats(args)
+    if args.command == "profile":
+        return _command_profile(args)
     if args.command == "chaos":
         return _command_chaos(args)
     if args.command == "table":

@@ -41,6 +41,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import profile as _profile
 from ..obs.metrics import MetricsRegistry
 from .complex_table import ComplexTable, ComplexValue, DEFAULT_TOLERANCE
 from .compute_table import ComputeTable
@@ -434,7 +435,23 @@ class DDPackage:
         Memoised on ``(node1, node2, w2/w1)`` — the common factor ``w1`` is
         stripped so scalar multiples of previously summed operands hit the
         cache.
+
+        This (like every public arithmetic entry point) is a thin shim over
+        the recursive body so the hot-loop profiler can time whole top-level
+        operations: recursion goes through the private ``_add`` directly and
+        stays uninstrumented, and when profiling is off the shim costs one
+        ``is None`` test.
         """
+        prof = _profile.ACTIVE
+        if prof is None:
+            return self._add(e1, e2)
+        token = prof.op_begin("add")
+        try:
+            return self._add(e1, e2)
+        finally:
+            prof.op_end(token, "add")
+
+    def _add(self, e1: Edge, e2: Edge) -> Edge:
         if e1.is_zero:
             return e2
         if e2.is_zero:
@@ -454,7 +471,7 @@ class DDPackage:
         if cached is None:
             node1, node2 = e1.node, e2.node
             children = tuple(
-                self.add(node1.edges[i], node2.edges[i].weighted(ct, ratio))
+                self._add(node1.edges[i], node2.edges[i].weighted(ct, ratio))
                 for i in range(len(node1.edges))
             )
             if len(children) == 2:
@@ -466,6 +483,16 @@ class DDPackage:
 
     def multiply(self, operator: Edge, state: Edge) -> Edge:
         """Matrix-vector product: apply an operator DD to a state DD."""
+        prof = _profile.ACTIVE
+        if prof is None:
+            return self._multiply(operator, state)
+        token = prof.op_begin("multiply")
+        try:
+            return self._multiply(operator, state)
+        finally:
+            prof.op_end(token, "multiply")
+
+    def _multiply(self, operator: Edge, state: Edge) -> Edge:
         if operator.is_zero or state.is_zero:
             return self.zero_edge
         ct = self.complex_table
@@ -483,13 +510,13 @@ class DDPackage:
         if cached is None:
             m, v = operator.node, state.node
             var = m.var
-            r0 = self.add(
-                self.multiply(m.edges[0], v.edges[0]),
-                self.multiply(m.edges[1], v.edges[1]),
+            r0 = self._add(
+                self._multiply(m.edges[0], v.edges[0]),
+                self._multiply(m.edges[1], v.edges[1]),
             )
-            r1 = self.add(
-                self.multiply(m.edges[2], v.edges[0]),
-                self.multiply(m.edges[3], v.edges[1]),
+            r1 = self._add(
+                self._multiply(m.edges[2], v.edges[0]),
+                self._multiply(m.edges[3], v.edges[1]),
             )
             cached = self.make_vector_node(var, r0, r1)
             self._mat_vec_table.insert(key, cached)
@@ -497,6 +524,16 @@ class DDPackage:
 
     def multiply_matrices(self, left: Edge, right: Edge) -> Edge:
         """Matrix-matrix product ``left @ right`` of two operator DDs."""
+        prof = _profile.ACTIVE
+        if prof is None:
+            return self._multiply_matrices(left, right)
+        token = prof.op_begin("multiply_matrices")
+        try:
+            return self._multiply_matrices(left, right)
+        finally:
+            prof.op_end(token, "multiply_matrices")
+
+    def _multiply_matrices(self, left: Edge, right: Edge) -> Edge:
         if left.is_zero or right.is_zero:
             return self.zero_edge
         ct = self.complex_table
@@ -516,9 +553,9 @@ class DDPackage:
             for row in range(2):
                 for col in range(2):
                     children.append(
-                        self.add(
-                            self.multiply_matrices(a.edges[2 * row], b.edges[col]),
-                            self.multiply_matrices(a.edges[2 * row + 1], b.edges[2 + col]),
+                        self._add(
+                            self._multiply_matrices(a.edges[2 * row], b.edges[col]),
+                            self._multiply_matrices(a.edges[2 * row + 1], b.edges[2 + col]),
                         )
                     )
             cached = self.make_matrix_node(var, tuple(children))
@@ -532,9 +569,15 @@ class DDPackage:
         level 0; its levels are shifted down below ``top``.  Works for both
         vector and matrix DDs (operands must be of the same kind).
         """
-        top_qubits = self._depth(top)
-        shifted = self._shift_levels(bottom, top_qubits, {})
-        return self._attach_below(top, shifted, {})
+        prof = _profile.ACTIVE
+        token = prof.op_begin("kron") if prof is not None else None
+        try:
+            top_qubits = self._depth(top)
+            shifted = self._shift_levels(bottom, top_qubits, {})
+            return self._attach_below(top, shifted, {})
+        finally:
+            if prof is not None:
+                prof.op_end(token, "kron")
 
     def _depth(self, edge: Edge) -> int:
         depth = 0
@@ -612,11 +655,17 @@ class DDPackage:
 
     def inner_product(self, bra: Edge, ket: Edge) -> complex:
         """Sesquilinear inner product ``<bra|ket>`` of two vector DDs."""
-        ct = self.complex_table
         if bra.is_zero or ket.is_zero:
             return 0.0 + 0.0j
+        ct = self.complex_table
         factor = ct.conjugate(bra.weight).value * ket.weight.value
-        return factor * self._inner_nodes(bra.node, ket.node)
+        prof = _profile.ACTIVE
+        token = prof.op_begin("inner_product") if prof is not None else None
+        try:
+            return factor * self._inner_nodes(bra.node, ket.node)
+        finally:
+            if prof is not None:
+                prof.op_end(token, "inner_product")
 
     def _inner_nodes(self, a: Node, b: Node) -> complex:
         if a.is_terminal and b.is_terminal:
@@ -658,10 +707,16 @@ class DDPackage:
 
     def normalize(self, edge: Edge) -> Edge:
         """Rescale the root weight so the state has unit norm."""
-        norm = math.sqrt(self.squared_norm(edge))
-        if norm == 0.0:
-            raise ValueError("cannot normalise the zero vector")
-        return self.scale(edge, 1.0 / norm)
+        prof = _profile.ACTIVE
+        token = prof.op_begin("normalize") if prof is not None else None
+        try:
+            norm = math.sqrt(self.squared_norm(edge))
+            if norm == 0.0:
+                raise ValueError("cannot normalise the zero vector")
+            return self.scale(edge, 1.0 / norm)
+        finally:
+            if prof is not None:
+                prof.op_end(token, "normalize")
 
     def norm_drift(self, edge: Edge) -> float:
         """Absolute deviation of the squared norm from unity.
@@ -861,13 +916,19 @@ class DDPackage:
         ):
             self._gc_skipped.inc()
             return 0
-        collected = self.vector_table.garbage_collect()
-        collected += self.matrix_table.garbage_collect()
-        for table in (self._add_table, self._mat_vec_table, self._mat_mat_table, self._inner_table):
-            table.clear()
-        self.metrics.counter("dd.gc.sweeps").inc()
-        self.metrics.counter("dd.gc.reclaimed_nodes").inc(collected)
-        return collected
+        prof = _profile.ACTIVE
+        token = prof.op_begin("gc") if prof is not None else None
+        try:
+            collected = self.vector_table.garbage_collect()
+            collected += self.matrix_table.garbage_collect()
+            for table in (self._add_table, self._mat_vec_table, self._mat_mat_table, self._inner_table):
+                table.clear()
+            self.metrics.counter("dd.gc.sweeps").inc()
+            self.metrics.counter("dd.gc.reclaimed_nodes").inc(collected)
+            return collected
+        finally:
+            if prof is not None:
+                prof.op_end(token, "gc")
 
     # ------------------------------------------------------------------
     # Diagnostics

@@ -1,4 +1,4 @@
-"""repro.obs — dependency-free observability: metrics and tracing.
+"""repro.obs — dependency-free observability: metrics, tracing, export.
 
 The cross-cutting layer every subsystem reports into:
 
@@ -13,9 +13,37 @@ Snapshots are plain dictionaries that travel inside
 :class:`~repro.stochastic.results.StochasticResult` from worker processes
 back to the scheduler, merge associatively (:func:`merge_snapshots`), and
 surface through ``repro-sim stats`` and the table harness's ``--metrics``
-sidecar.  See docs/OBSERVABILITY.md for the metric catalogue.
+sidecar.
+
+On top of the recording primitives sit three exit ramps:
+
+* :mod:`repro.obs.export` — OpenMetrics text exposition (served live by
+  ``repro serve --metrics-port`` and emitted one-shot by
+  ``repro stats --format=openmetrics``) plus a JSONL event stream;
+* :mod:`repro.obs.context` — deterministic cross-process trace contexts
+  that stitch scheduler and worker spans into one per-job tree,
+  exportable as Chrome ``trace_event`` JSON;
+* :mod:`repro.obs.profile` — the ``REPRO_PROFILE``-gated DD hot-loop
+  profiler behind ``repro profile --flame``.
+
+See docs/OBSERVABILITY.md for the metric catalogue.
 """
 
+from .context import (
+    TraceContext,
+    derive_span_id,
+    job_trace_context,
+    stitch_trace,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from .export import (
+    CONTENT_TYPE,
+    EventLogWriter,
+    MetricsExporter,
+    escape_label_value,
+    to_openmetrics,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -28,20 +56,45 @@ from .metrics import (
     format_histogram,
     merge_snapshots,
 )
+from .profile import (
+    HotLoopProfiler,
+    PROFILE_ENV,
+    attributed_seconds,
+    folded_lines,
+    merge_profiles,
+    profiling_enabled,
+)
 from .tracing import NULL_TRACER, TraceEvent, Tracer
 
 __all__ = [
+    "CONTENT_TYPE",
     "Counter",
+    "EventLogWriter",
     "Gauge",
     "Histogram",
+    "HotLoopProfiler",
+    "MetricsExporter",
     "MetricsRegistry",
     "NODE_BUCKETS",
     "NULL_TRACER",
+    "PROFILE_ENV",
     "TIME_BUCKETS",
+    "TraceContext",
     "TraceEvent",
     "Tracer",
+    "attributed_seconds",
     "delta_snapshots",
     "derive_rates",
+    "derive_span_id",
+    "escape_label_value",
+    "folded_lines",
     "format_histogram",
+    "job_trace_context",
+    "merge_profiles",
     "merge_snapshots",
+    "profiling_enabled",
+    "stitch_trace",
+    "to_chrome_trace",
+    "to_openmetrics",
+    "write_chrome_trace",
 ]

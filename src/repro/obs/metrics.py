@@ -181,11 +181,29 @@ class MetricsRegistry:
 
 def _histogram_copy(data: Dict[str, object]) -> Dict[str, object]:
     return {
-        "bounds": list(data["bounds"]),
+        "bounds": [float(b) for b in data["bounds"]],
         "counts": list(data["counts"]),
         "sum": float(data["sum"]),
         "count": int(data["count"]),
     }
+
+
+def _remap_counts(
+    bounds: Sequence[float], counts: Sequence[int], union: Sequence[float]
+) -> List[int]:
+    """Remap bucket counts onto a superset bounds list.
+
+    Each original bucket keeps its upper bound, so its count lands in the
+    union bucket sharing that bound; the overflow bucket stays overflow.
+    The placement depends only on the original bound — never on which other
+    snapshots participated — which keeps the padded merge associative.
+    """
+    index = {bound: i for i, bound in enumerate(union)}
+    remapped = [0] * (len(union) + 1)
+    for bound, bucket in zip(bounds, counts):
+        remapped[index[float(bound)]] += bucket
+    remapped[-1] += counts[len(bounds)]
+    return remapped
 
 
 def merge_snapshots(*snapshots: Optional[Dict[str, object]]) -> Dict[str, object]:
@@ -194,6 +212,13 @@ def merge_snapshots(*snapshots: Optional[Dict[str, object]]) -> Dict[str, object
     Counters and histograms add; gauges keep the maximum (so merged gauges
     read as "peak level seen by any contributor").  With a single argument
     this is a deep copy; with none, an empty snapshot.
+
+    Histograms whose bucket sets differ — an old checkpoint written before
+    a bucket-layout change, mixed software versions in one pool — are
+    *padded* onto the union of their bounds rather than dropped or
+    rejected: every observation is preserved (a bucket's count follows its
+    upper bound into the union layout), and the padding is associative, so
+    merge order still cannot change the aggregate.
     """
     counters: Dict[str, float] = {}
     gauges: Dict[str, float] = {}
@@ -210,11 +235,21 @@ def merge_snapshots(*snapshots: Optional[Dict[str, object]]) -> Dict[str, object
             if merged is None:
                 histograms[name] = _histogram_copy(data)
                 continue
-            if list(merged["bounds"]) != list(data["bounds"]):
-                raise ValueError(f"cannot merge histogram {name!r}: bounds differ")
-            merged["counts"] = [
-                a + b for a, b in zip(merged["counts"], data["counts"])
-            ]
+            data_bounds = [float(b) for b in data["bounds"]]
+            if merged["bounds"] != data_bounds:
+                union = sorted(set(merged["bounds"]) | set(data_bounds))
+                merged["counts"] = [
+                    a + b
+                    for a, b in zip(
+                        _remap_counts(merged["bounds"], merged["counts"], union),
+                        _remap_counts(data_bounds, data["counts"], union),
+                    )
+                ]
+                merged["bounds"] = union
+            else:
+                merged["counts"] = [
+                    a + b for a, b in zip(merged["counts"], data["counts"])
+                ]
             merged["sum"] = float(merged["sum"]) + float(data["sum"])
             merged["count"] = int(merged["count"]) + int(data["count"])
     return {"counters": counters, "gauges": gauges, "histograms": histograms}
@@ -247,7 +282,9 @@ def delta_snapshots(after: Dict[str, object], before: Optional[Dict[str, object]
     return result
 
 
-def derive_rates(snapshot: Optional[Dict[str, object]]) -> Dict[str, float]:
+def derive_rates(
+    snapshot: Optional[Dict[str, object]], duration: Optional[float] = None
+) -> Dict[str, float]:
     """Hit rates in [0, 1] for every ``<base>.hits``/``<base>.misses`` pair.
 
     Produces ``<base>.hit_rate`` entries — the numbers that explain whether
@@ -255,6 +292,12 @@ def derive_rates(snapshot: Optional[Dict[str, object]]) -> Dict[str, float]:
     shows compute-table hit rates well above 0.5; a rate near 0 on a slow
     run means the diagrams are not re-visiting structure and memoisation
     is buying nothing).
+
+    With ``duration`` (seconds) every counter additionally yields a
+    ``<counter>.per_second`` throughput entry.  A zero or negative duration
+    — the zero-duration delta a live exporter can take between two
+    back-to-back snapshots — yields 0.0 for every per-second rate, never a
+    division error or an infinity.
     """
     if not snapshot:
         return {}
@@ -269,6 +312,11 @@ def derive_rates(snapshot: Optional[Dict[str, object]]) -> Dict[str, float]:
             continue
         total = hits + misses
         rates[base + ".hit_rate"] = (hits / total) if total else 0.0
+    if duration is not None:
+        seconds = float(duration)
+        safe = seconds > 0.0
+        for name, value in counters.items():
+            rates[name + ".per_second"] = (value / seconds) if safe else 0.0
     return rates
 
 

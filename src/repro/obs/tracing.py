@@ -25,27 +25,42 @@ import time
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Iterator, List
+from typing import Deque, Dict, Iterator, List, Optional
 
 __all__ = ["TraceEvent", "Tracer", "NULL_TRACER"]
 
 
 @dataclass
 class TraceEvent:
-    """One recorded span or instantaneous event."""
+    """One recorded span or instantaneous event.
+
+    ``trace_id``/``span_id``/``parent_id`` are optional correlation fields
+    (see :mod:`repro.obs.context`): events carrying them stitch into one
+    per-job tree even when recorded in different processes.  They are
+    omitted from :meth:`to_dict` when unset, so uncorrelated events keep
+    their historical exported shape.
+    """
 
     name: str
     start: float  #: monotonic-clock start time (seconds)
     duration: float = 0.0  #: zero for instantaneous events
     attrs: Dict[str, object] = field(default_factory=dict)
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
+    parent_id: Optional[str] = None
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "name": self.name,
             "start": self.start,
             "duration": self.duration,
             "attrs": dict(self.attrs),
         }
+        if self.span_id is not None:
+            data["trace_id"] = self.trace_id
+            data["span_id"] = self.span_id
+            data["parent_id"] = self.parent_id
+        return data
 
 
 class Tracer:

@@ -50,6 +50,7 @@ import multiprocessing
 import threading
 import time
 from collections import deque
+from dataclasses import replace
 from queue import Empty
 from typing import Deque, Dict, List, Optional, Set, Tuple
 
@@ -62,6 +63,7 @@ from ..errors import (
     format_reasons,
 )
 from ..faults.inject import get_injector
+from ..obs.context import job_trace_context
 from ..obs.metrics import MetricsRegistry, merge_snapshots
 from ..obs.tracing import Tracer
 from ..stochastic.results import PropertyEstimate, StochasticResult
@@ -197,6 +199,12 @@ class _Job:
         self.poison_diagnosis: Optional[Dict[str, object]] = None
         self.cached = False
         self.started_at = time.perf_counter()
+        #: Root trace context — deterministic (derived from the job key), so
+        #: reruns of the same spec stitch into structurally identical trees.
+        self.trace_root = job_trace_context(key)
+        #: Monotonic birth instant for the root trace span (worker-side
+        #: chunk spans are stamped on the same system-wide clock).
+        self.started_monotonic = time.monotonic()
         #: Absolute monotonic instant the whole job must respect — shipped
         #: to every chunk so N workers share ONE wall-clock budget instead
         #: of each chunk getting the full relative timeout.
@@ -639,6 +647,15 @@ class Scheduler:
                         continue
                 handle = idle.pop()
                 job.in_flight.add(index)
+                # Stamp the span context at dispatch time (not planning
+                # time) so each retry gets a distinct, deterministic span —
+                # the attempt number is the disambiguator.
+                task = replace(
+                    task,
+                    trace=job.trace_root.child(
+                        "chunk", index, job.retries.get(index, 0)
+                    ),
+                )
                 handle.busy = task
                 handle.dispatched_at = time.perf_counter()
                 handle.task_queue.put(task)
@@ -932,6 +949,23 @@ class Scheduler:
         final.timed_out = final.timed_out or job.aggregate.timed_out
         final.elapsed_seconds = time.perf_counter() - job.started_at
         final.workers = self.workers
+        # Close the job's root span: the chunk spans merged in from worker
+        # results all parent to this id, completing the stitched tree.
+        final.trace_events.append(
+            {
+                "name": "job",
+                "start": job.started_monotonic,
+                "duration": time.monotonic() - job.started_monotonic,
+                "attrs": {
+                    "job": job.key[:16],
+                    "workers": self.workers,
+                    "completed": final.completed_trajectories,
+                },
+                "trace_id": job.trace_root.trace_id,
+                "span_id": job.trace_root.span_id,
+                "parent_id": job.trace_root.parent_id,
+            }
+        )
         job.final = final
         job.state = JobState.COMPLETED
         self.tracer.event(

@@ -12,9 +12,13 @@ processes) find them.  This decouples producers from the worker pool: many
 from __future__ import annotations
 
 import os
+import threading
 import time
 from typing import Callable, List, Optional, Tuple
 
+from ..obs.context import write_chrome_trace
+from ..obs.export import EventLogWriter, MetricsExporter, to_openmetrics
+from ..obs.metrics import MetricsRegistry, derive_rates, merge_snapshots
 from .job import JobSpec, JobState, JobStatus, StreamingEstimate
 from .scheduler import Scheduler, SchedulerError
 from .store import ResultStore
@@ -122,6 +126,199 @@ def query_status(store: ResultStore, key: str) -> JobStatus:
     raise KeyError(f"unknown job {key!r}")
 
 
+class _Telemetry:
+    """Live telemetry surface for one :func:`serve` process.
+
+    Owns the OpenMetrics endpoint, the JSONL event stream, the heartbeat
+    thread, and the per-job Chrome-trace writer.  Every piece is optional
+    and best-effort — telemetry must never take the serve loop down — and
+    the whole object is a no-op context manager when nothing is enabled.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        scheduler: Scheduler,
+        metrics_port: Optional[int],
+        events_log: Optional[str],
+        trace_dir: Optional[str],
+        heartbeat_interval: float,
+        log: Callable[[str], None],
+    ) -> None:
+        self._store = store
+        self._scheduler = scheduler
+        self._trace_dir = trace_dir
+        self._log = log
+        self.registry = MetricsRegistry()
+        self._lock = threading.Lock()
+        self._current_key: Optional[str] = None
+        #: Last observed status — retained after a job completes so a
+        #: scrape arriving just after the final chunk still sees the
+        #: job's estimates and Hoeffding half-widths.
+        self._last_status: Optional[JobStatus] = None
+        self._stop = threading.Event()
+        self._heartbeat: Optional[threading.Thread] = None
+        self.exporter: Optional[MetricsExporter] = None
+        self.events: Optional[EventLogWriter] = None
+        if metrics_port is not None:
+            self.exporter = MetricsExporter(
+                self.render_openmetrics, port=metrics_port, registry=self.registry
+            )
+            log(f"[serve] metrics endpoint at {self.exporter.url}")
+        if events_log is not None:
+            self.events = EventLogWriter(events_log, registry=self.registry)
+            self._heartbeat = threading.Thread(
+                target=self._heartbeat_loop,
+                args=(max(0.05, heartbeat_interval),),
+                name="repro-serve-heartbeat",
+                daemon=True,
+            )
+            self._heartbeat.start()
+
+    # -- job lifecycle hooks (called from the serve loop) ---------------
+
+    def job_started(self, key: str, spec: JobSpec) -> None:
+        with self._lock:
+            self._current_key = key
+        self.emit(
+            "job.start",
+            job=key,
+            circuit=spec.circuit.name,
+            trajectories=spec.trajectories,
+            backend=spec.backend_kind,
+        )
+
+    def job_finished(self, key: str, result=None, error: Optional[str] = None) -> None:
+        status = self._refresh_status()
+        with self._lock:
+            self._current_key = None
+            if status is not None:
+                self._last_status = status
+        if error is not None:
+            self.emit("job.failed", job=key, error=error)
+        else:
+            self.emit(
+                "job.done",
+                job=key,
+                completed=result.completed_trajectories,
+                elapsed_seconds=result.elapsed_seconds,
+            )
+            self._write_trace(key, result)
+
+    def _write_trace(self, key: str, result) -> None:
+        if self._trace_dir is None or not result.trace_events:
+            return
+        try:
+            os.makedirs(self._trace_dir, exist_ok=True)
+            path = os.path.join(self._trace_dir, f"{key[:16]}.trace.json")
+            write_chrome_trace(path, result.trace_events)
+            self.registry.counter("export.traces.written").inc()
+            self._log(f"[serve] wrote Chrome trace {path}")
+        except OSError as error:  # telemetry is best-effort
+            self._log(f"[serve] trace write failed: {error}")
+
+    # -- collection -----------------------------------------------------
+
+    def _refresh_status(self) -> Optional[JobStatus]:
+        with self._lock:
+            key = self._current_key
+            cached = self._last_status
+        if key is None:
+            return cached
+        try:
+            status = self._scheduler.status(key)
+        except KeyError:
+            return cached
+        with self._lock:
+            self._last_status = status
+        return status
+
+    def snapshot(self) -> dict:
+        """Merged scheduler + store + export metrics with live gauges."""
+        snapshot = merge_snapshots(
+            self._scheduler.metrics_snapshot(), self.registry.snapshot()
+        )
+        snapshot.setdefault("gauges", {})["service.queue.depth"] = float(
+            len(list_queue(self._store))
+        )
+        return snapshot
+
+    def render_openmetrics(self) -> str:
+        """Collect callback for :class:`MetricsExporter` (scrape thread)."""
+        labeled = []
+        status = self._refresh_status()
+        if status is not None:
+            job = status.key[:16]
+            for name, estimate in sorted(status.estimates.items()):
+                labels = {"property": name, "job": job}
+                labeled.append(("job.estimate.mean", labels, estimate.mean))
+                labeled.append(
+                    ("job.estimate.halfwidth", labels, estimate.halfwidth)
+                )
+                labeled.append(
+                    ("job.estimate.count", labels, float(estimate.count))
+                )
+            labeled.append(
+                (
+                    "job.progress.trajectories",
+                    {"job": job, "state": status.state.value},
+                    float(status.completed_trajectories),
+                )
+            )
+        return to_openmetrics(self.snapshot(), labeled)
+
+    # -- event stream ---------------------------------------------------
+
+    def emit(self, event: str, **fields: object) -> None:
+        if self.events is None:
+            return
+        record = {"event": event, "ts": time.time()}
+        record.update(fields)
+        try:
+            self.events.write(record)
+        except OSError as error:
+            self._log(f"[serve] event write failed: {error}")
+
+    def _heartbeat_loop(self, interval: float) -> None:
+        while not self._stop.wait(interval):
+            try:
+                snapshot = self.snapshot()
+                fields = {
+                    "queue_depth": snapshot["gauges"]["service.queue.depth"],
+                    "counters": snapshot.get("counters", {}),
+                    "rates": derive_rates(snapshot),
+                }
+                status = self._refresh_status()
+                if status is not None:
+                    fields["job"] = status.key[:16]
+                    fields["state"] = status.state.value
+                    fields["completed"] = status.completed_trajectories
+                    fields["estimates"] = {
+                        name: {"mean": est.mean, "halfwidth": est.halfwidth}
+                        for name, est in sorted(status.estimates.items())
+                    }
+                self.emit("heartbeat", **fields)
+            except Exception as error:  # never kill telemetry
+                self._log(f"[serve] heartbeat failed: {error}")
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._heartbeat is not None:
+            self._heartbeat.join(timeout=5.0)
+        if self.exporter is not None:
+            self.exporter.close()
+        if self.events is not None:
+            self.events.close()
+
+    def __enter__(self) -> "_Telemetry":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
 def serve(
     store: ResultStore,
     workers: int = 2,
@@ -131,12 +328,26 @@ def serve(
     max_retries: int = 2,
     max_jobs: Optional[int] = None,
     log: Callable[[str], None] = print,
+    metrics_port: Optional[int] = None,
+    events_log: Optional[str] = None,
+    trace_dir: Optional[str] = None,
+    heartbeat_interval: float = 1.0,
 ) -> int:
     """Process queued jobs until the queue stays empty (``once``) or forever.
 
     Returns the number of jobs executed.  Jobs that fail (retry budget
     exhausted) are logged and dequeued so one poisoned spec cannot wedge
     the queue; their partial checkpoints remain for post-mortem or resume.
+
+    Telemetry (all optional, see docs/OBSERVABILITY.md):
+
+    * ``metrics_port`` — serve OpenMetrics text on ``GET /metrics`` at
+      that port (0 binds an ephemeral one), including live per-property
+      estimate means and Hoeffding half-widths while a job runs.
+    * ``events_log`` — append JSONL telemetry events (job transitions
+      plus a periodic heartbeat every ``heartbeat_interval`` seconds).
+    * ``trace_dir`` — write a Chrome ``trace_event`` JSON file per
+      completed job, stitched from the job's cross-process spans.
     """
     processed = 0
     with Scheduler(
@@ -144,7 +355,10 @@ def serve(
         store=store,
         chunk_size=chunk_size,
         max_retries=max_retries,
-    ) as scheduler:
+    ) as scheduler, _Telemetry(
+        store, scheduler, metrics_port, events_log, trace_dir,
+        heartbeat_interval, log,
+    ) as telemetry:
         while True:
             keys = list_queue(store)
             if not keys:
@@ -162,6 +376,7 @@ def serve(
                     f"[serve] job {key[:16]}… ({spec.circuit.name}, "
                     f"M={spec.trajectories}, backend={spec.backend_kind})"
                 )
+                telemetry.job_started(key, spec)
                 try:
                     result = scheduler.run(spec)
                     log(
@@ -169,8 +384,10 @@ def serve(
                         f"{result.completed_trajectories}/{spec.trajectories} "
                         f"trajectories in {result.elapsed_seconds:.3f} s"
                     )
+                    telemetry.job_finished(key, result=result)
                 except SchedulerError as error:
                     log(f"[serve] job {key[:16]}… FAILED: {error}")
+                    telemetry.job_finished(key, error=str(error))
                 finally:
                     store.delete_queued(key)
                 processed += 1

@@ -36,6 +36,7 @@ from typing import Optional, Tuple
 from ..circuits.circuit import QuantumCircuit
 from ..faults.inject import LEGACY_CRASH_ONCE_ENV, FaultInjector, get_injector
 from ..noise.model import NoiseModel
+from ..obs.context import TraceContext
 from ..stochastic.properties import PropertySpec
 from ..stochastic.results import StochasticResult
 from ..stochastic.runner import _EvaluationContext, _make_backend, run_trajectory_span
@@ -72,6 +73,10 @@ class ChunkTask:
     #: monotonic clock is system-wide on Linux, so the instant the
     #: scheduler stamps is meaningful inside forked workers.
     deadline: Optional[float]
+    #: Span context stamped per dispatch by the scheduler (retries get a
+    #: fresh one carrying the attempt number); observational only — it
+    #: never participates in the content-addressed job key.
+    trace: Optional[TraceContext] = None
 
 
 @dataclass(frozen=True)
@@ -197,6 +202,7 @@ def worker_main(worker_id: int, task_queue, result_queue) -> None:
                 deadline=task.deadline,
                 backend=backend,
                 context=context,
+                trace=task.trace,
             )
             result = _corrupt_outcome_fault(injector, worker_id, task, result)
             outcome = ChunkOutcome(

@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
+from ..obs import profile as _profile
 from ..circuits.operations import (
     BarrierOperation,
     GateOperation,
@@ -173,29 +174,40 @@ def execute_plan(
     )
     classical_bits = [0] * plan.num_clbits
     result = RunResult(classical_bits)
-    for step in plan.steps[start_step:]:
-        if step.kind == "measure":
-            before_measure = getattr(error_hook, "before_measure", None)
-            if before_measure is not None:
-                before_measure(backend, step.target)
-            outcome = backend.measure(step.target, rng)
-            classical_bits[step.clbit] = outcome
-            result.measured_qubits[step.target] = outcome
+    # Per-gate profiler frames (g<step>:<name>): when profiling is off this
+    # is one module-attribute read per plan, plus one None test per step.
+    prof = _profile.ACTIVE
+    for index, step in enumerate(plan.steps[start_step:], start=start_step):
+        if prof is not None:
+            prof.push(f"g{index}:{step.name or step.kind}")
+        try:
+            if step.kind == "measure":
+                before_measure = getattr(error_hook, "before_measure", None)
+                if before_measure is not None:
+                    before_measure(backend, step.target)
+                outcome = backend.measure(step.target, rng)
+                classical_bits[step.clbit] = outcome
+                result.measured_qubits[step.target] = outcome
+                if error_hook is not None:
+                    error_hook(backend, step.qubits, "measure")
+                continue
+            if step.kind == "reset":
+                backend.reset(step.target, rng)
+                if error_hook is not None:
+                    error_hook(backend, step.qubits, "reset")
+                continue
+            if step.condition is not None and not step.condition.is_satisfied(
+                classical_bits
+            ):
+                continue
+            if use_edges:
+                backend.apply_gate_edge(step.gate_edge)
+            else:
+                backend.apply_gate(step.matrix, step.target, step.controls)
+            result.applied_gates += 1
             if error_hook is not None:
-                error_hook(backend, step.qubits, "measure")
-            continue
-        if step.kind == "reset":
-            backend.reset(step.target, rng)
-            if error_hook is not None:
-                error_hook(backend, step.qubits, "reset")
-            continue
-        if step.condition is not None and not step.condition.is_satisfied(classical_bits):
-            continue
-        if use_edges:
-            backend.apply_gate_edge(step.gate_edge)
-        else:
-            backend.apply_gate(step.matrix, step.target, step.controls)
-        result.applied_gates += 1
-        if error_hook is not None:
-            error_hook(backend, step.qubits, step.name)
+                error_hook(backend, step.qubits, step.name)
+        finally:
+            if prof is not None:
+                prof.pop()
     return result

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..dd.edge import Edge
 from ..dd.package import DDPackage
+from ..obs import profile as _profile
 from ..obs.metrics import NODE_BUCKETS
 from .gateplan import NoiseOperatorCache
 
@@ -85,6 +86,9 @@ class DDBackend:
         self._nodes_hist.observe(float(nodes))
         if nodes > self.peak_nodes:
             self.peak_nodes = nodes
+        prof = _profile.ACTIVE
+        if prof is not None:
+            prof.record_nodes(nodes)
 
     # ------------------------------------------------------------------
     # Gate application

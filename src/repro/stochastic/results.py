@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..obs.metrics import merge_snapshots
+from ..obs.profile import merge_profiles
 
 __all__ = ["PropertyEstimate", "StochasticResult"]
 
@@ -124,6 +125,13 @@ class StochasticResult:
     timed_out: bool = False
     #: Observability snapshot (see :mod:`repro.obs`); merges associatively.
     metrics: Dict[str, object] = field(default_factory=dict)
+    #: Correlated trace events recorded while producing this result (see
+    #: :mod:`repro.obs.context`); concatenated on merge, stitched by the
+    #: consumer — chunk-index-ordered merging keeps the order deterministic.
+    trace_events: List[Dict[str, object]] = field(default_factory=list)
+    #: Hot-loop profile (see :mod:`repro.obs.profile`); empty unless the
+    #: run executed with ``REPRO_PROFILE`` enabled; adds on merge.
+    profile: Dict[str, object] = field(default_factory=dict)
 
     def merge(self, other: "StochasticResult") -> None:
         """Fold a worker's partial result into this aggregate."""
@@ -142,6 +150,10 @@ class StochasticResult:
         self.timed_out = self.timed_out or other.timed_out
         if other.metrics:
             self.metrics = merge_snapshots(self.metrics, other.metrics)
+        if other.trace_events:
+            self.trace_events.extend(dict(event) for event in other.trace_events)
+        if other.profile:
+            self.profile = merge_profiles(self.profile or None, other.profile)
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-JSON form (used by the service result store)."""
@@ -161,6 +173,8 @@ class StochasticResult:
             "workers": self.workers,
             "timed_out": self.timed_out,
             "metrics": self.metrics,
+            "trace_events": [dict(event) for event in self.trace_events],
+            "profile": dict(self.profile),
         }
 
     @classmethod
@@ -184,6 +198,8 @@ class StochasticResult:
             workers=int(data["workers"]),
             timed_out=bool(data["timed_out"]),
             metrics=merge_snapshots(data.get("metrics")) if data.get("metrics") else {},
+            trace_events=[dict(event) for event in data.get("trace_events", [])],
+            profile=merge_profiles(data.get("profile")) if data.get("profile") else {},
         )
 
     def copy(self) -> "StochasticResult":

@@ -34,6 +34,8 @@ from ..errors import NumericalDriftError
 from ..faults.inject import get_injector
 from ..noise.model import NoiseModel
 from ..noise.stochastic import StochasticErrorApplier
+from ..obs import profile as _profile
+from ..obs.context import TraceContext, job_trace_context
 from ..obs.metrics import MetricsRegistry, TIME_BUCKETS, delta_snapshots, merge_snapshots
 from ..simulators.base import execute_circuit, execute_plan
 from ..simulators.ddsim import DDBackend
@@ -196,6 +198,9 @@ class _ChunkSpec:
     #: Relative budget for a *single-chunk* (serial) run; parallel chunks
     #: instead share one absolute monotonic deadline (see ``run_trajectory_span``).
     timeout: Optional[float]
+    #: Span context for cross-process trace correlation (never part of any
+    #: job key — purely observational; see :mod:`repro.obs.context`).
+    trace: Optional[TraceContext] = None
 
 
 def run_trajectory_span(
@@ -213,6 +218,7 @@ def run_trajectory_span(
     deadline: Optional[float] = None,
     on_drift: Optional[str] = None,
     norm_tolerance: Optional[float] = None,
+    trace: Optional[TraceContext] = None,
 ) -> StochasticResult:
     """Execute trajectories ``first .. first + num - 1`` and aggregate them.
 
@@ -239,7 +245,69 @@ def run_trajectory_span(
     ``faults.recovered.renorm`` metric, ``"off"`` disables the guard.
     ``on_drift`` / ``norm_tolerance`` default from the ``REPRO_NORM_GUARD``
     environment variable (see :data:`NORM_GUARD_ENV`).
+
+    ``trace`` is an optional :class:`~repro.obs.context.TraceContext` naming
+    this span inside a job's trace: when given, one ``chunk.execute`` trace
+    event carrying the context's ids is appended to ``result.trace_events``,
+    which is how worker-side spans stitch into the per-job tree
+    (:func:`repro.obs.context.stitch_trace`).  When the ``REPRO_PROFILE``
+    environment variable enables profiling, a hot-loop profiler is installed
+    for the duration of the span and its payload rides in ``result.profile``.
     """
+    profiler = None
+    if _profile.ACTIVE is None and _profile.profiling_enabled():
+        profiler = _profile.HotLoopProfiler()
+        _profile.ACTIVE = profiler
+        profiler.push("span")
+    span_started = time.monotonic()
+    try:
+        result = _run_span_body(
+            circuit, noise_model, properties, backend_kind, first_trajectory,
+            num_trajectories, master_seed, sample_shots, timeout, backend,
+            context, deadline, on_drift, norm_tolerance,
+        )
+    finally:
+        if profiler is not None:
+            profiler.pop()
+            _profile.ACTIVE = None
+    if profiler is not None:
+        result.profile = profiler.snapshot()
+    if trace is not None:
+        result.trace_events.append(
+            {
+                "name": "chunk.execute",
+                "start": span_started,
+                "duration": time.monotonic() - span_started,
+                "attrs": {
+                    "pid": os.getpid(),
+                    "first_trajectory": first_trajectory,
+                    "num_trajectories": num_trajectories,
+                    "completed": result.completed_trajectories,
+                },
+                "trace_id": trace.trace_id,
+                "span_id": trace.span_id,
+                "parent_id": trace.parent_id,
+            }
+        )
+    return result
+
+
+def _run_span_body(
+    circuit: QuantumCircuit,
+    noise_model: NoiseModel,
+    properties: Sequence[PropertySpec],
+    backend_kind: str,
+    first_trajectory: int,
+    num_trajectories: int,
+    master_seed: int,
+    sample_shots: int,
+    timeout: Optional[float],
+    backend,
+    context: Optional[_EvaluationContext],
+    deadline: Optional[float],
+    on_drift: Optional[str],
+    norm_tolerance: Optional[float],
+) -> StochasticResult:
     result = StochasticResult(
         circuit_name=circuit.name,
         backend_kind=backend_kind,
@@ -269,6 +337,7 @@ def run_trajectory_span(
     dd_before = backend.package.metrics_snapshot() if backend_kind == "dd" else None
     guard_action, guard_tolerance = _resolve_norm_guard(on_drift, norm_tolerance)
     injector = get_injector() if backend_kind == "dd" else None
+    prof = _profile.ACTIVE
 
     # Compile-once work hoisted out of the Monte-Carlo loop: the gate plan
     # (per-operation matrices / operator DDs) and — on the DD backend, unless
@@ -276,6 +345,8 @@ def run_trajectory_span(
     # ideal execution yielding error sites, checkpoints, the shared ideal
     # state).  Both are cached on the context, so warm workers compile once
     # per job, not once per chunk.
+    if prof is not None:
+        prof.push("<compile>")
     plan_was_cached = context._gate_plan is not None
     gate_plan = context.gate_plan(backend)
     if not plan_was_cached:
@@ -288,6 +359,8 @@ def run_trajectory_span(
         prefix_plan = context.prefix_plan(backend, noise_model)
         if not prefix_was_cached:
             registry.counter("prefix.checkpoints").inc(len(prefix_plan.checkpoints))
+    if prof is not None:
+        prof.pop()
     prefix_hits = registry.counter("prefix.hits")
     prefix_replays = registry.counter("prefix.replays")
     prefix_replayed_gates = registry.counter("prefix.replayed_gates")
@@ -316,14 +389,22 @@ def run_trajectory_span(
                             tolerance=guard_tolerance,
                         )
         if properties:
+            if prof is not None:
+                prof.push("<properties>")
             evaluation_started = time.perf_counter()
             for prop in properties:
                 result.estimates[prop.name].add(prop.evaluate(current_backend, run_result, context))
                 evaluation_counter.inc()
             property_hist.observe(time.perf_counter() - evaluation_started)
+            if prof is not None:
+                prof.pop()
         if sample_shots > 0:
+            if prof is not None:
+                prof.push("<sampling>")
             for outcome, count in current_backend.sample_counts(sample_shots, rng).items():
                 result.outcome_counts[outcome] = result.outcome_counts.get(outcome, 0) + count
+            if prof is not None:
+                prof.pop()
         for kind, count in applier.fired.items():
             result.errors_fired[kind] = result.errors_fired.get(kind, 0) + count
             if count:
@@ -344,6 +425,8 @@ def run_trajectory_span(
         rng = random.Random(seed)
         applier = StochasticErrorApplier(noise_model, rng)
         trajectory_started = time.perf_counter()
+        if prof is not None:
+            prof.push("trajectory")
         if prefix_plan is not None:
             divergence = prefix_plan.first_divergence(rng, applier.fired)
             if divergence is None:
@@ -419,6 +502,8 @@ def run_trajectory_span(
             if injector is not None:
                 drift = injector.fire("drift", trajectory=trajectory)
             finish_trajectory(backend, trajectory, rng, applier, run_result, drift)
+        if prof is not None:
+            prof.pop()
         trajectory_hist.observe(time.perf_counter() - trajectory_started)
         result.completed_trajectories += 1
         completed_counter.inc()
@@ -450,6 +535,7 @@ def _run_chunk(spec: _ChunkSpec) -> StochasticResult:
         spec.master_seed,
         sample_shots=spec.sample_shots,
         timeout=spec.timeout,
+        trace=spec.trace,
     )
 
 
@@ -554,12 +640,29 @@ class StochasticSimulator:
         properties = tuple(properties)
 
         started = time.perf_counter()
+        span_started = time.monotonic()
         if self.workers == 1:
+            # Serial runs still get a stitched trace: a deterministic root
+            # context derived from the run parameters, with the single chunk
+            # as its only child (mirroring the scheduler's per-job tree).
+            root = job_trace_context(f"{circuit.name}:{seed}:{trajectories}")
             aggregate = _run_chunk(
                 _ChunkSpec(
                     circuit, noise_model, properties, self.backend_kind,
                     0, trajectories, seed, sample_shots, timeout,
+                    trace=root.child("chunk", 0, 0),
                 )
+            )
+            aggregate.trace_events.append(
+                {
+                    "name": "job.run",
+                    "start": span_started,
+                    "duration": time.monotonic() - span_started,
+                    "attrs": {"circuit": circuit.name, "workers": 1},
+                    "trace_id": root.trace_id,
+                    "span_id": root.span_id,
+                    "parent_id": root.parent_id,
+                }
             )
         else:
             aggregate = self._run_parallel(

@@ -1,0 +1,137 @@
+"""Unit tests for repro.obs.context: deterministic span ids, stitching,
+and Chrome trace_event conversion."""
+
+import json
+
+from repro.obs import (
+    TraceContext,
+    derive_span_id,
+    job_trace_context,
+    stitch_trace,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+
+
+class TestSpanIds:
+    def test_derivation_is_deterministic(self):
+        first = derive_span_id("abcd", "chunk", 3, 0)
+        second = derive_span_id("abcd", "chunk", 3, 0)
+        assert first == second
+        assert len(first) == 16
+        assert int(first, 16) >= 0  # hex
+
+    def test_disambiguators_separate_siblings(self):
+        base = derive_span_id("abcd", "chunk", 0, 0)
+        assert derive_span_id("abcd", "chunk", 1, 0) != base
+        assert derive_span_id("abcd", "chunk", 0, 1) != base  # retry attempt
+
+    def test_job_root_context(self):
+        key = "f" * 64
+        root = job_trace_context(key)
+        assert root.trace_id == key[:16]
+        assert root.parent_id is None
+        assert root == job_trace_context(key)  # content-addressed
+
+    def test_child_links_to_parent(self):
+        root = job_trace_context("a" * 64)
+        child = root.child("chunk", 2, 0)
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert child.span_id != root.span_id
+        # Same derivation on a rerun — the propagation determinism tests
+        # in tests/service lean on exactly this.
+        assert child == root.child("chunk", 2, 0)
+
+    def test_to_dict_round_trip(self):
+        context = TraceContext("t", "s", "p")
+        assert context.to_dict() == {
+            "trace_id": "t", "span_id": "s", "parent_id": "p",
+        }
+
+
+def _span(name, span_id, parent_id=None, start=0.0, duration=1.0, **attrs):
+    return {
+        "name": name,
+        "start": start,
+        "duration": duration,
+        "attrs": attrs,
+        "trace_id": "t",
+        "span_id": span_id,
+        "parent_id": parent_id,
+    }
+
+
+class TestStitch:
+    def test_builds_single_tree(self):
+        events = [
+            _span("chunk", "c2", "root", start=2.0),
+            _span("job", "root", None, start=0.0, duration=5.0),
+            _span("chunk", "c1", "root", start=1.0),
+            _span("traj", "g1", "c1", start=1.5),
+        ]
+        tree = stitch_trace(events)
+        assert tree["spans"] == 4
+        assert tree["orphans"] == []
+        (root,) = tree["roots"]
+        assert root["name"] == "job"
+        assert [c["span_id"] for c in root["children"]] == ["c1", "c2"]
+        assert root["children"][0]["children"][0]["span_id"] == "g1"
+
+    def test_orphans_are_reported(self):
+        tree = stitch_trace([_span("chunk", "c1", "missing-parent")])
+        assert tree["roots"] == []
+        assert [o["span_id"] for o in tree["orphans"]] == ["c1"]
+
+    def test_duplicate_span_ids_keep_first(self):
+        events = [
+            _span("job", "root", None),
+            _span("chunk", "c1", "root", start=1.0),
+            _span("chunk", "c1", "root", start=9.0),  # checkpoint replay
+        ]
+        tree = stitch_trace(events)
+        assert tree["spans"] == 2
+        (root,) = tree["roots"]
+        assert len(root["children"]) == 1
+        assert root["children"][0]["start"] == 1.0
+
+    def test_events_without_span_id_are_ignored(self):
+        tree = stitch_trace([{"name": "housekeeping", "attrs": {}}])
+        assert tree == {"roots": [], "orphans": [], "spans": 0}
+
+
+class TestChromeTrace:
+    def test_slices_and_instants(self):
+        doc = to_chrome_trace([
+            _span("chunk", "c1", "root", start=1.0, duration=0.5, worker=3),
+            _span("mark", "m1", "root", start=2.0, duration=0.0),
+        ])
+        assert doc["displayTimeUnit"] == "ms"
+        slice_event, instant = doc["traceEvents"]
+        assert slice_event["ph"] == "X"
+        assert slice_event["ts"] == 1.0e6
+        assert slice_event["dur"] == 0.5e6
+        assert slice_event["tid"] == 3  # worker attr selects the track
+        assert slice_event["args"]["span_id"] == "c1"
+        assert instant["ph"] == "i"
+        assert instant["s"] == "t"
+        assert "dur" not in instant
+
+    def test_events_sorted_by_timestamp(self):
+        doc = to_chrome_trace([
+            _span("b", "s2", start=5.0),
+            _span("a", "s1", start=1.0),
+        ])
+        assert [e["name"] for e in doc["traceEvents"]] == ["a", "b"]
+
+    def test_non_numeric_tid_falls_back_to_zero(self):
+        doc = to_chrome_trace([_span("x", "s1", worker="dispatcher")])
+        assert doc["traceEvents"][0]["tid"] == 0
+
+    def test_write_round_trips_as_json(self, tmp_path):
+        path = str(tmp_path / "job.trace.json")
+        write_chrome_trace(path, [_span("job", "root", duration=2.0)])
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+        assert data["traceEvents"][0]["name"] == "job"
+        assert data["traceEvents"][0]["dur"] == 2.0e6

@@ -118,11 +118,35 @@ class TestMergeAlgebra:
         assert merged["histograms"]["h"]["sum"] == pytest.approx(10.0)
         assert merged["histograms"]["h"]["count"] == 8
 
-    def test_bounds_mismatch_raises(self):
-        other = {"bounds": [9.0], "counts": [0, 0], "sum": 0.0, "count": 0}
-        with pytest.raises(ValueError):
-            merge_snapshots(_snap(hist=_hist([1, 0, 0], 0.5)),
-                            {"counters": {}, "gauges": {}, "histograms": {"h": other}})
+    def test_bounds_mismatch_pads_to_union(self):
+        """Histograms with different bucket sets merge onto the sorted
+        union of bounds — counts follow their upper bound, overflow stays
+        overflow, and no observations are dropped."""
+        other = {"bounds": [9.0], "counts": [2, 1], "sum": 12.0, "count": 3}
+        merged = merge_snapshots(
+            _snap(hist=_hist([1, 0, 4], 0.5)),
+            {"counters": {}, "gauges": {}, "histograms": {"h": other}},
+        )
+        hist = merged["histograms"]["h"]
+        assert hist["bounds"] == [1.0, 2.0, 9.0]
+        # [1,0,4] on (1,2,+inf) lands at (<=1, <=2, overflow); [2,1] on
+        # (9,+inf) lands at (<=9, overflow).
+        assert hist["counts"] == [1, 0, 2, 5]
+        assert hist["count"] == 8
+        assert hist["sum"] == pytest.approx(12.5)
+
+    def test_bounds_mismatch_merge_is_associative(self):
+        a = _snap(hist=_hist([1, 2, 0], 3.0))
+        b = {"counters": {}, "gauges": {},
+             "histograms": {"h": {"bounds": [0.5], "counts": [4, 1],
+                                  "sum": 2.0, "count": 5}}}
+        c = {"counters": {}, "gauges": {},
+             "histograms": {"h": {"bounds": [2.0, 9.0], "counts": [0, 3, 1],
+                                  "sum": 30.0, "count": 4}}}
+        left = merge_snapshots(merge_snapshots(a, b), c)
+        right = merge_snapshots(a, merge_snapshots(b, c))
+        assert left["histograms"]["h"] == right["histograms"]["h"]
+        assert left["histograms"]["h"]["count"] == 12
 
     def test_merge_is_associative_and_commutative(self):
         a = _snap({"c": 1, "x": 7}, {"g": 2.0}, _hist([1, 0, 0], 0.5))
@@ -203,6 +227,21 @@ class TestDeriveRates:
         )
         for value in rates.values():
             assert 0.0 <= value <= 1.0
+
+    def test_duration_adds_per_second_rates(self):
+        rates = derive_rates(_snap({"work.done": 10}), duration=4.0)
+        assert rates["work.done.per_second"] == pytest.approx(2.5)
+
+    def test_zero_duration_yields_zero_not_inf(self):
+        """Zero-length delta windows must not divide by zero; rates clamp
+        to 0.0 rather than raising or returning inf."""
+        for duration in (0.0, -1.0):
+            rates = derive_rates(_snap({"work.done": 10}), duration=duration)
+            assert rates["work.done.per_second"] == 0.0
+
+    def test_no_duration_means_no_per_second_keys(self):
+        rates = derive_rates(_snap({"work.done": 10}))
+        assert not any(key.endswith(".per_second") for key in rates)
 
 
 class TestFormatHistogram:

@@ -1,0 +1,159 @@
+"""Unit and acceptance tests for the DD hot-loop profiler.
+
+The acceptance property (ISSUE/PR 5): with profiling on, the folded-stack
+exclusive times must sum to within 10% of the measured span wall time, and
+profiling must not change any simulation result.
+"""
+
+import time
+
+import pytest
+
+from repro.circuits.library import ghz
+from repro.noise import NoiseModel
+from repro.obs import (
+    HotLoopProfiler,
+    attributed_seconds,
+    folded_lines,
+    merge_profiles,
+    profiling_enabled,
+)
+from repro.obs.profile import PROFILE_ENV
+from repro.stochastic import BasisProbability, simulate_stochastic
+
+
+class TestEnvGate:
+    @pytest.mark.parametrize("value", ["off", "0", "false", "no", ""])
+    def test_disabled_values(self, monkeypatch, value):
+        monkeypatch.setenv(PROFILE_ENV, value)
+        assert not profiling_enabled()
+
+    @pytest.mark.parametrize("value", ["on", "1", "true", "yes"])
+    def test_enabled_values(self, monkeypatch, value):
+        monkeypatch.setenv(PROFILE_ENV, value)
+        assert profiling_enabled()
+
+    def test_default_is_off(self, monkeypatch):
+        monkeypatch.delenv(PROFILE_ENV, raising=False)
+        assert not profiling_enabled()
+
+
+class TestFrames:
+    def test_exclusive_time_excludes_children(self):
+        profiler = HotLoopProfiler()
+        profiler.push("outer")
+        time.sleep(0.01)
+        profiler.push("inner")
+        time.sleep(0.02)
+        profiler.pop()
+        profiler.pop()
+        frames = profiler.snapshot()["frames"]
+        assert set(frames) == {"outer", "outer;inner"}
+        assert frames["outer;inner"]["seconds"] >= 0.015
+        # The outer frame keeps only its own ~10ms, not the child's 20ms.
+        assert frames["outer"]["seconds"] < frames["outer;inner"]["seconds"]
+
+    def test_ops_are_leaf_frames_and_non_reentrant(self):
+        profiler = HotLoopProfiler()
+        profiler.push("gate")
+        token = profiler.op_begin("multiply")
+        assert token is not None
+        # A nested public DD call must not double count.
+        assert profiler.op_begin("add") is None
+        profiler.op_end(None, "add")  # no-op token
+        profiler.op_end(token, "multiply")
+        profiler.pop()
+        frames = profiler.snapshot()["frames"]
+        assert "gate;dd.multiply" in frames
+        assert "gate;dd.add" not in frames
+        # Another op may start once the first finished.
+        assert profiler.op_begin("add") is not None
+
+    def test_record_nodes_growth_and_peak(self):
+        profiler = HotLoopProfiler()
+        profiler.push("g0")
+        profiler.record_nodes(5)
+        profiler.record_nodes(9)   # +4
+        profiler.record_nodes(3)   # shrink: no growth, peak stays
+        profiler.pop()
+        nodes = profiler.snapshot()["nodes"]
+        assert nodes["g0"] == {"growth": 9, "peak": 9}
+
+    def test_folded_lines_sum_to_attributed_time(self):
+        profiler = HotLoopProfiler()
+        profiler.push("span")
+        profiler.push("trajectory")
+        time.sleep(0.005)
+        profiler.pop()
+        profiler.pop()
+        profile = profiler.snapshot()
+        lines = folded_lines(profile)
+        assert all(" " in line for line in lines)
+        total_us = sum(int(line.rsplit(" ", 1)[1]) for line in lines)
+        assert total_us == pytest.approx(attributed_seconds(profile) * 1e6, abs=len(lines))
+
+
+class TestMerge:
+    def test_counts_and_seconds_add_peaks_max(self):
+        first = {
+            "version": 1, "wall_seconds": 1.0,
+            "frames": {"span": {"count": 2, "seconds": 0.5}},
+            "nodes": {"span": {"growth": 3, "peak": 10}},
+        }
+        second = {
+            "version": 1, "wall_seconds": 2.0,
+            "frames": {"span": {"count": 1, "seconds": 0.25},
+                       "span;g1": {"count": 4, "seconds": 0.1}},
+            "nodes": {"span": {"growth": 1, "peak": 7}},
+        }
+        merged = merge_profiles(first, None, {}, second)
+        assert merged["wall_seconds"] == pytest.approx(3.0)
+        assert merged["frames"]["span"] == {"count": 3, "seconds": 0.75}
+        assert merged["frames"]["span;g1"]["count"] == 4
+        assert merged["nodes"]["span"] == {"growth": 4, "peak": 10}
+
+
+class TestEndToEnd:
+    NOISE = NoiseModel.paper_defaults().scaled(10)
+
+    def _run(self, trajectories=60):
+        return simulate_stochastic(
+            ghz(6),
+            self.NOISE,
+            [BasisProbability("0" * 6)],
+            trajectories=trajectories,
+            seed=11,
+            sample_shots=0,
+        )
+
+    def test_profile_off_by_default(self, monkeypatch):
+        monkeypatch.delenv(PROFILE_ENV, raising=False)
+        assert self._run().profile == {}
+
+    def test_profile_attribution_within_ten_percent_of_wall(self, monkeypatch):
+        monkeypatch.setenv(PROFILE_ENV, "on")
+        profile = self._run().profile
+        assert profile["frames"], "profiling enabled but no frames collected"
+        wall = profile["wall_seconds"]
+        assert wall > 0
+        # The PR's acceptance gate: folded exclusive times explain the
+        # whole span wall time (no unattributed or double-counted time).
+        assert attributed_seconds(profile) == pytest.approx(wall, rel=0.10)
+
+    def test_per_gate_frames_present(self, monkeypatch):
+        monkeypatch.setenv(PROFILE_ENV, "on")
+        profile = self._run().profile
+        gate_frames = [p for p in profile["frames"] if ";trajectory;g" in p]
+        assert gate_frames, sorted(profile["frames"])
+        dd_ops = {p.rsplit(";", 1)[-1] for p in profile["frames"]
+                  if p.rsplit(";", 1)[-1].startswith("dd.")}
+        assert "dd.multiply" in dd_ops
+
+    def test_profiling_does_not_change_results(self, monkeypatch):
+        monkeypatch.delenv(PROFILE_ENV, raising=False)
+        plain = self._run()
+        monkeypatch.setenv(PROFILE_ENV, "on")
+        profiled = self._run()
+        for name, estimate in plain.estimates.items():
+            assert profiled.estimates[name].mean == estimate.mean  # bit-identical
+        assert profiled.completed_trajectories == plain.completed_trajectories

@@ -1,0 +1,118 @@
+"""Cross-process trace correlation tests.
+
+A job's spans are recorded in three places — the scheduler (root), the
+dispatch stamping, and the forked workers (chunk spans) — and must stitch
+into ONE tree with no orphans.  Span ids are content-derived, so reruns of
+the same job must produce the identical tree shape, including under
+deterministic worker-crash injection (the retry dispatch carries the
+attempt number as a disambiguator).
+"""
+
+import os
+
+import pytest
+
+from repro.circuits.library import ghz
+from repro.faults import FaultPlan, FaultSpec, PLAN_ENV, reset_injector_cache
+from repro.noise import NoiseModel
+from repro.obs import stitch_trace, to_chrome_trace
+from repro.service import JobSpec, Scheduler
+from repro.stochastic import BasisProbability, simulate_stochastic
+
+NOISE = NoiseModel.paper_defaults().scaled(10)
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector(monkeypatch):
+    monkeypatch.delenv(PLAN_ENV, raising=False)
+    reset_injector_cache()
+    yield
+    reset_injector_cache()
+
+
+def ghz_spec(trajectories=24, seed=5) -> JobSpec:
+    return JobSpec.build(
+        ghz(4),
+        NOISE,
+        [BasisProbability("0000")],
+        trajectories=trajectories,
+        seed=seed,
+        sample_shots=0,
+    )
+
+
+def tree_shape(events):
+    """(name, span_id, parent_id) triples — the rerun-stable signature."""
+    return sorted(
+        (e["name"], e["span_id"], e.get("parent_id"))
+        for e in events
+        if e.get("span_id")
+    )
+
+
+class TestSerialPath:
+    def test_serial_run_emits_stitched_tree(self):
+        result = simulate_stochastic(
+            ghz(4), NOISE, [BasisProbability("0000")],
+            trajectories=10, seed=3, sample_shots=0,
+        )
+        tree = stitch_trace(result.trace_events)
+        assert tree["orphans"] == []
+        (root,) = tree["roots"]
+        assert root["name"] == "job.run"
+        assert [c["name"] for c in root["children"]] == ["chunk.execute"]
+
+
+class TestParallelPath:
+    def test_two_worker_job_is_one_tree_no_orphans(self):
+        spec = ghz_spec()
+        with Scheduler(workers=2, chunk_size=6) as scheduler:
+            result = scheduler.run(spec, timeout=60)
+        tree = stitch_trace(result.trace_events)
+        assert tree["orphans"] == []
+        (root,) = tree["roots"]
+        assert root["name"] == "job"
+        chunks = root["children"]
+        assert len(chunks) == 4  # 24 trajectories / chunk_size 6
+        assert {c["name"] for c in chunks} == {"chunk.execute"}
+        assert {c["trace_id"] for c in chunks} == {root["trace_id"]}
+        # Worker pids exercise the Chrome conversion's track selection.
+        doc = to_chrome_trace(result.trace_events)
+        assert len(doc["traceEvents"]) == len(result.trace_events)
+
+    def test_tree_shape_is_deterministic_across_reruns(self):
+        shapes = []
+        for _ in range(2):
+            with Scheduler(workers=2, chunk_size=6) as scheduler:
+                result = scheduler.run(ghz_spec(), timeout=60)
+            shapes.append(tree_shape(result.trace_events))
+        assert shapes[0] == shapes[1]
+
+    def test_deterministic_under_worker_crash_injection(self, monkeypatch, tmp_path):
+        shapes = []
+        for attempt in range(2):
+            state_dir = str(tmp_path / f"fault-state-{attempt}")
+            os.makedirs(state_dir, exist_ok=True)
+            plan = FaultPlan(
+                faults=(FaultSpec(kind="crash-before", chunk_index=0),),
+                state_dir=state_dir,
+            )
+            monkeypatch.setenv(PLAN_ENV, plan.to_json())
+            reset_injector_cache()
+            with Scheduler(workers=2, chunk_size=6) as scheduler:
+                result = scheduler.run(ghz_spec(), timeout=60)
+            tree = stitch_trace(result.trace_events)
+            assert tree["orphans"] == []
+            (root,) = tree["roots"]
+            # The crashed dispatch never reports; the retry's span (fresh
+            # attempt disambiguator) covers chunk 0 — still 4 chunk spans.
+            assert len(root["children"]) == 4
+            shapes.append(tree_shape(result.trace_events))
+        assert shapes[0] == shapes[1]
+        # The retried chunk's span id differs from the no-fault run's
+        # chunk-0 span id (attempt 1 vs 0) — crashes stay distinguishable.
+        monkeypatch.delenv(PLAN_ENV)
+        reset_injector_cache()
+        with Scheduler(workers=2, chunk_size=6) as scheduler:
+            clean = scheduler.run(ghz_spec(), timeout=60)
+        assert tree_shape(clean.trace_events) != shapes[0]
