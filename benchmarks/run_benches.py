@@ -1,11 +1,16 @@
-"""PR 4 benchmark: trajectory prefix sharing vs the naive Monte-Carlo loop.
+"""Benchmark harness: stochastic prefix sharing and the exact DD backend.
 
-Runs the paper's stochastic workload (GHZ and QFT under the default noise
-configuration) twice — ``REPRO_PREFIX_SHARING=off`` (naive: every
-trajectory re-executes the whole circuit) and ``on`` (clean trajectories
-served from the shared ideal DD, erring ones replayed from checkpoints) —
-asserts the two modes are **bit identical**, and writes a machine-readable
-report.
+Two series share this entry point:
+
+* ``prefix`` (PR 4) — the paper's stochastic workload (GHZ and QFT under
+  the default noise configuration) run twice, ``REPRO_PREFIX_SHARING=off``
+  (naive: every trajectory re-executes the whole circuit) and ``on``
+  (clean trajectories served from the shared ideal DD, erring ones
+  replayed from checkpoints); asserts the two modes are **bit identical**.
+* ``exact`` (PR 6) — the exact density-matrix DD backend
+  (:mod:`repro.exact`) over GHZ/QFT at growing qubit counts with paper
+  noise, recording peak rho-DD nodes (machine-independent, gated by
+  ``trend.py``) and wall time per one-pass evaluation.
 
 Usage::
 
@@ -13,6 +18,8 @@ Usage::
     PYTHONPATH=src python benchmarks/run_benches.py --quick         # CI-sized
     PYTHONPATH=src python benchmarks/run_benches.py --quick \
         --check-against BENCH_PR4.json                              # perf-smoke gate
+    PYTHONPATH=src python benchmarks/run_benches.py --series exact \
+        -o BENCH_PR6.json                                           # exact series only
 
 ``--check-against`` compares the measured shared-vs-naive speedup against
 the committed report and fails (exit 1) when any circuit regresses to
@@ -40,6 +47,24 @@ FULL_CASES = (
 QUICK_CASES = (
     ("ghz-10", lambda: ghz(10), 300),
     ("qft-6", lambda: qft(6), 120),
+)
+
+#: Exact-series workload: one-pass density-matrix evaluations vs qubit
+#: count.  GHZ's rho stays near-pure (few noise sites), QFT's saturates
+#: toward the 4^n/3 dense bound — the two ends of the DD trade-off.
+EXACT_FULL_CASES = (
+    ("ghz-4", lambda: ghz(4)),
+    ("ghz-6", lambda: ghz(6)),
+    ("ghz-8", lambda: ghz(8)),
+    ("ghz-10", lambda: ghz(10)),
+    ("qft-4", lambda: qft(4)),
+    ("qft-5", lambda: qft(5)),
+    ("qft-6", lambda: qft(6)),
+)
+EXACT_QUICK_CASES = (
+    ("ghz-4", lambda: ghz(4)),
+    ("ghz-6", lambda: ghz(6)),
+    ("qft-4", lambda: qft(4)),
 )
 
 
@@ -111,9 +136,48 @@ def bench_case(name, factory, trajectories):
     return entry
 
 
+def bench_exact_case(name, factory):
+    """One exact density-matrix DD evaluation: nodes + wall time."""
+    from repro.exact import simulate_exact
+    from repro.stochastic import BasisProbability
+
+    circuit = factory()
+    n = circuit.num_qubits
+    properties = (BasisProbability("0" * n), IdealFidelity())
+    started = time.perf_counter()
+    result = simulate_exact(
+        circuit, NoiseModel.paper_defaults(), properties
+    )
+    elapsed = time.perf_counter() - started
+    counters = result.metrics.get("counters", {})
+    entry = {
+        "circuit": name,
+        "num_qubits": n,
+        "method": "exact",
+        "seconds": round(elapsed, 4),
+        "peak_rho_nodes": result.peak_nodes,
+        "superop_applications": counters.get("exact.superop_applications", 0),
+        "kraus_terms_folded": counters.get("exact.kraus_applications", 0),
+        "estimates": {
+            prop: estimate.mean for prop, estimate in result.estimates.items()
+        },
+    }
+    print(
+        f"{name}: exact pass {entry['seconds']} s, "
+        f"peak rho nodes {entry['peak_rho_nodes']} "
+        f"(dense bound {4**n // 3}), F = "
+        f"{entry['estimates']['F(ideal)']:.6f}"
+    )
+    return entry
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI-sized workload")
+    parser.add_argument(
+        "--series", choices=("all", "prefix", "exact"), default="all",
+        help="which benchmark series to run (default: all)",
+    )
     parser.add_argument(
         "-o", "--output", default=None,
         help="report path (default: BENCH_PR4.json at the repo root; "
@@ -129,12 +193,16 @@ def main(argv=None):
     # The full report also records the quick cases so the CI perf-smoke job
     # (which only runs --quick) finds its per-circuit baselines in it.
     cases = QUICK_CASES if args.quick else FULL_CASES + QUICK_CASES
+    exact_cases = EXACT_QUICK_CASES if args.quick else EXACT_FULL_CASES
     report = {
         "schema": "repro.bench-pr4/v1",
         "mode": "quick" if args.quick else "full",
         "noise": "paper_defaults",
-        "cases": [bench_case(*case) for case in cases],
     }
+    if args.series in ("all", "prefix"):
+        report["cases"] = [bench_case(*case) for case in cases]
+    if args.series in ("all", "exact"):
+        report["exact_cases"] = [bench_exact_case(*case) for case in exact_cases]
 
     output = args.output
     if output is None and not args.quick:

@@ -1,11 +1,17 @@
-"""Throughput trend gate across the committed ``BENCH_*.json`` series.
+"""Trend gate across the committed ``BENCH_*.json`` series.
 
 Each performance PR commits a ``BENCH_<tag>.json`` report (written by
 ``run_benches.py``); this script walks that series in order and compares
-per-circuit ``shared_traj_per_sec`` between consecutive reports.  A drop
-larger than ``--threshold`` (default 20%) on any circuit fails the run —
-the guard that keeps a later PR from quietly eating an earlier PR's
-speedup.
+consecutive reports on two axes:
+
+* ``cases`` (stochastic prefix series): per-circuit
+  ``shared_traj_per_sec``; a drop larger than ``--threshold`` (default
+  20%) on any circuit fails the run — the guard that keeps a later PR
+  from quietly eating an earlier PR's speedup.
+* ``exact_cases`` (exact density-matrix series): per-circuit
+  ``peak_rho_nodes``; node counts are machine-independent, so growth
+  beyond the same threshold means the rho-DD representation itself got
+  less compact — a regression no hardware change can explain away.
 
 Usage::
 
@@ -39,11 +45,17 @@ def _series_key(path):
 def load_report(path):
     with open(path) as handle:
         report = json.load(handle)
-    return {
+    throughput = {
         case["circuit"]: float(case["shared_traj_per_sec"])
         for case in report.get("cases", [])
         if case.get("shared_traj_per_sec")
     }
+    nodes = {
+        case["circuit"]: int(case["peak_rho_nodes"])
+        for case in report.get("exact_cases", [])
+        if case.get("peak_rho_nodes")
+    }
+    return throughput, nodes
 
 
 def diff_series(paths, threshold):
@@ -51,12 +63,17 @@ def diff_series(paths, threshold):
     lines = []
     failures = []
     previous_path = None
-    previous = {}
+    previous = ({}, {})
     for path in paths:
         current = load_report(path)
         if previous_path is not None:
-            for circuit in sorted(set(previous) & set(current)):
-                before, after = previous[circuit], current[circuit]
+            span = f"[{os.path.basename(previous_path)} -> {os.path.basename(path)}]"
+            throughput_before, nodes_before = previous
+            throughput_after, nodes_after = current
+            # Stochastic series: throughput must not drop.
+            for circuit in sorted(set(throughput_before) & set(throughput_after)):
+                before = throughput_before[circuit]
+                after = throughput_after[circuit]
                 change = (after - before) / before
                 marker = ""
                 if change < -threshold:
@@ -69,9 +86,25 @@ def diff_series(paths, threshold):
                     )
                 lines.append(
                     f"{circuit}: {before:9.1f} -> {after:9.1f} traj/s "
-                    f"({change:+6.1%})  "
-                    f"[{os.path.basename(previous_path)} -> "
-                    f"{os.path.basename(path)}]{marker}"
+                    f"({change:+6.1%})  {span}{marker}"
+                )
+            # Exact series: peak rho-DD nodes must not grow.
+            for circuit in sorted(set(nodes_before) & set(nodes_after)):
+                before = nodes_before[circuit]
+                after = nodes_after[circuit]
+                change = (after - before) / before
+                marker = ""
+                if change > threshold:
+                    marker = "  << REGRESSION"
+                    failures.append(
+                        f"{circuit}: peak rho nodes {before} -> {after} "
+                        f"({change:+.1%}) from {os.path.basename(previous_path)} "
+                        f"to {os.path.basename(path)} exceeds the "
+                        f"{threshold:.0%} budget"
+                    )
+                lines.append(
+                    f"{circuit}: {before:9d} -> {after:9d} rho nodes "
+                    f"({change:+6.1%})  {span}{marker}"
                 )
         previous_path, previous = path, current
     return lines, failures

@@ -52,8 +52,16 @@ from .errors import (
     NumericalDriftError,
     PoisonChunkError,
     ReproError,
+    ResourceLimitError,
     StoreCorruptionError,
     WorkerPoolBrokenError,
+)
+from .exact import (
+    DensityDDBackend,
+    DispatchDecision,
+    ExactSimulator,
+    estimate_costs,
+    simulate_exact,
 )
 from .faults import FaultPlan, FaultSpec
 from .noise import ErrorRates, NoiseModel
@@ -97,8 +105,11 @@ __all__ = [
     "ClassicalOutcome",
     "DDBackend",
     "DDPackage",
+    "DensityDDBackend",
     "DensityMatrixSimulator",
+    "DispatchDecision",
     "ErrorRates",
+    "ExactSimulator",
     "ExpectationZ",
     "FaultPlan",
     "FaultSpec",
@@ -112,6 +123,7 @@ __all__ = [
     "PoisonChunkError",
     "QuantumCircuit",
     "ReproError",
+    "ResourceLimitError",
     "ResultStore",
     "Scheduler",
     "StoreCorruptionError",
@@ -131,6 +143,7 @@ __all__ = [
     "deutsch_jozsa",
     "draw_circuit",
     "entanglement",
+    "estimate_costs",
     "execute_circuit",
     "fuse_single_qubit_runs",
     "ghz",
@@ -150,6 +163,7 @@ __all__ = [
     "sat",
     "seca",
     "simon",
+    "simulate_exact",
     "simulate_stochastic",
     "vqe_uccsd",
     "w_state",

@@ -115,6 +115,15 @@ def _open_store(args: argparse.Namespace):
     return ResultStore(directory=args.store or default_store_directory())
 
 
+def _add_method_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--method", choices=("stochastic", "exact", "auto"), default="stochastic",
+        help="execution method: Monte-Carlo trajectory sampling (default), "
+        "one-pass exact density-matrix DD evaluation, or cost-model "
+        "auto-dispatch between the two (docs/EXACT.md)",
+    )
+
+
 def _add_noise_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--depolarizing", type=float, default=0.001,
@@ -152,6 +161,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--shots", type=int, default=1, help="histogram samples per trajectory")
     run.add_argument("--timeout", type=float, default=None)
+    _add_method_argument(run)
     _add_property_arguments(run)
     _add_noise_arguments(run)
 
@@ -164,6 +174,7 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--seed", type=int, default=0)
     submit.add_argument("--shots", type=int, default=1, help="histogram samples per trajectory")
     submit.add_argument("--timeout", type=float, default=None)
+    _add_method_argument(submit)
     _add_property_arguments(submit)
     _add_noise_arguments(submit)
     _add_store_argument(submit)
@@ -264,6 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", action="store_true",
         help="include scheduler trace events (parallel runs only)",
     )
+    _add_method_argument(stats)
     _add_property_arguments(stats)
     _add_noise_arguments(stats)
 
@@ -355,20 +367,51 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _resolve_cli_method(args, circuit, model, properties) -> str:
+    """Resolve ``--method`` for one-shot commands (run / stats).
+
+    Mirrors the scheduler's dispatch: a forced ``exact`` on an unsupported
+    spec is an error; ``auto`` consults the cost model (and prints the
+    decision so the routing is never silent).
+    """
+    if args.method == "stochastic":
+        return "stochastic"
+    from .exact import estimate_costs, exact_unsupported_reason
+
+    reason = exact_unsupported_reason(circuit, properties)
+    if args.method == "exact":
+        if reason is not None:
+            raise SystemExit(f"--method exact unsupported: {reason}")
+        return "exact"
+    if reason is not None:
+        print(f"auto dispatch -> stochastic ({reason})")
+        return "stochastic"
+    decision = estimate_costs(circuit, model, properties, args.trajectories)
+    print(decision.render())
+    return decision.method
+
+
 def _command_run(args: argparse.Namespace) -> int:
     circuit = _load_circuit(args.circuit)
     properties = _properties_from_args(args)
-    result = simulate_stochastic(
-        circuit,
-        noise_model=_noise_from_args(args),
-        properties=properties,
-        trajectories=args.trajectories,
-        backend=args.backend,
-        workers=args.workers,
-        seed=args.seed,
-        sample_shots=args.shots,
-        timeout=args.timeout,
-    )
+    model = _noise_from_args(args)
+    method = _resolve_cli_method(args, circuit, model, properties)
+    if method == "exact":
+        from .exact import simulate_exact
+
+        result = simulate_exact(circuit, noise_model=model, properties=properties)
+    else:
+        result = simulate_stochastic(
+            circuit,
+            noise_model=model,
+            properties=properties,
+            trajectories=args.trajectories,
+            backend=args.backend,
+            workers=args.workers,
+            seed=args.seed,
+            sample_shots=args.shots,
+            timeout=args.timeout,
+        )
     print(result.summary())
     return 0
 
@@ -387,6 +430,7 @@ def _command_submit(args: argparse.Namespace) -> int:
             backend_kind=args.backend,
             sample_shots=args.shots,
             timeout=args.timeout,
+            method=args.method,
         )
     except (OSError, ValueError) as error:
         raise SystemExit(f"cannot submit {args.circuit!r}: {error}")
@@ -395,7 +439,8 @@ def _command_submit(args: argparse.Namespace) -> int:
     if cached:
         print(f"{key}\ncache hit: result already stored, nothing queued")
     else:
-        print(f"{key}\nqueued {circuit.name} (M={args.trajectories}) — "
+        method_note = "" if args.method == "stochastic" else f", method={args.method}"
+        print(f"{key}\nqueued {circuit.name} (M={args.trajectories}{method_note}) — "
               f"run `repro-sim serve --store {store.directory}` to execute")
     return 0
 
@@ -521,15 +566,22 @@ def _render_stats(payload: dict) -> str:
     """Human-readable view of a ``repro.stats/v1`` payload."""
     from .obs import format_histogram
 
+    exact = payload.get("method") == "exact"
     lines = [
         f"{payload['circuit']} — {payload['backend']} backend, "
-        f"{payload['workers']} worker(s)",
-        f"trajectories: {payload['completed_trajectories']}"
-        f"/{payload['requested_trajectories']}"
-        + (" [TIMED OUT]" if payload["timed_out"] else ""),
-        f"elapsed: {payload['elapsed_seconds']:.3f} s "
-        f"(cpu {payload['cpu_seconds']:.3f} s)",
+        + ("exact density-matrix method" if exact
+           else f"{payload['workers']} worker(s)"),
     ]
+    if not exact:
+        lines.append(
+            f"trajectories: {payload['completed_trajectories']}"
+            f"/{payload['requested_trajectories']}"
+            + (" [TIMED OUT]" if payload["timed_out"] else "")
+        )
+    lines.append(
+        f"elapsed: {payload['elapsed_seconds']:.3f} s "
+        f"(cpu {payload['cpu_seconds']:.3f} s)"
+    )
     if payload["peak_nodes"]:
         lines.append(f"peak DD nodes: {payload['peak_nodes']}")
     rates = payload["rates"]
@@ -542,7 +594,7 @@ def _render_stats(payload: dict) -> str:
         for name, value in sorted(counters.items())
         if name.startswith(
             ("scheduler.", "store.", "errors.fired.", "dd.gc.", "faults.",
-             "prefix.", "gateplan.")
+             "prefix.", "gateplan.", "exact.", "dispatch.")
         )
     }
     if service_counters:
@@ -572,20 +624,29 @@ def _command_stats(args: argparse.Namespace) -> int:
     from .stochastic import StochasticSimulator
 
     circuit = _load_circuit(args.circuit)
-    simulator = StochasticSimulator(backend=args.backend, workers=args.workers)
-    try:
-        result = simulator.run(
-            circuit,
-            noise_model=_noise_from_args(args),
-            properties=_properties_from_args(args),
-            trajectories=args.trajectories,
-            seed=args.seed,
-            sample_shots=args.shots,
-            timeout=args.timeout,
-        )
-        trace = simulator.trace_events() if args.trace else None
-    finally:
-        simulator.close()
+    model = _noise_from_args(args)
+    properties = _properties_from_args(args)
+    method = _resolve_cli_method(args, circuit, model, properties)
+    if method == "exact":
+        from .exact import simulate_exact
+
+        result = simulate_exact(circuit, noise_model=model, properties=properties)
+        trace = None
+    else:
+        simulator = StochasticSimulator(backend=args.backend, workers=args.workers)
+        try:
+            result = simulator.run(
+                circuit,
+                noise_model=model,
+                properties=properties,
+                trajectories=args.trajectories,
+                seed=args.seed,
+                sample_shots=args.shots,
+                timeout=args.timeout,
+            )
+            trace = simulator.trace_events() if args.trace else None
+        finally:
+            simulator.close()
 
     metrics = result.metrics
     # Scheduler health counters appear even when nothing went wrong (and
@@ -593,10 +654,19 @@ def _command_stats(args: argparse.Namespace) -> int:
     counters = metrics.setdefault("counters", {})
     counters.setdefault("scheduler.retries", 0)
     counters.setdefault("scheduler.worker_respawns", 0)
+    # Dispatch routing is reported the same way — always present, so the
+    # chosen path (and the never-taken ones, at 0) is in every payload.
+    for name in ("dispatch.exact", "dispatch.stochastic", "dispatch.fallback"):
+        counters.setdefault(name, 0)
+    counters["dispatch." + ("exact" if method == "exact" else "stochastic")] += 1
+    if method == "exact":
+        counters.setdefault("exact.kraus_applications", 0)
+        counters.setdefault("exact.superop_applications", 0)
     payload = {
         "schema": "repro.stats/v1",
         "circuit": circuit.name,
         "backend": args.backend,
+        "method": method,
         "workers": args.workers,
         "requested_trajectories": result.requested_trajectories,
         "completed_trajectories": result.completed_trajectories,

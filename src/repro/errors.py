@@ -12,11 +12,15 @@ granularity they care about instead of pattern-matching ad-hoc
   integrity check (the store quarantines the entry and reports a cache
   miss; the exception type is raised internally and by strict readers);
 * :class:`NumericalDriftError` — a decision-diagram trajectory's state
-  norm drifted beyond tolerance (see ``repro.stochastic.runner``).
+  norm drifted beyond tolerance (see ``repro.stochastic.runner``);
+* :class:`ResourceLimitError` — a simulation would exceed (or exceeded
+  mid-flight) an explicit resource ceiling: the dense density-matrix
+  oracle's memory cap, or the exact DD backend's node-count ceiling (the
+  signal the hybrid scheduler's stochastic fallback listens for).
 
 ``SchedulerError`` keeps ``RuntimeError`` in its bases and
-``NumericalDriftError`` keeps ``ValueError`` — pre-taxonomy callers that
-caught the builtin types keep working.
+``NumericalDriftError`` / ``ResourceLimitError`` keep ``ValueError`` —
+pre-taxonomy callers that caught the builtin types keep working.
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ __all__ = [
     "WorkerPoolBrokenError",
     "StoreCorruptionError",
     "NumericalDriftError",
+    "ResourceLimitError",
 ]
 
 
@@ -110,6 +115,37 @@ class NumericalDriftError(ReproError, ValueError):
         self.trajectory = trajectory
         self.norm_squared = norm_squared
         self.tolerance = tolerance
+
+
+class ResourceLimitError(ReproError, ValueError):
+    """A simulation hit an explicit resource ceiling.
+
+    Raised up-front by the dense density-matrix oracle when the requested
+    register would not fit its memory cap, and mid-flight by the exact
+    decision-diagram backend when the rho-DD grows past its node-count
+    ceiling.  The hybrid scheduler catches the mid-flight form and falls
+    back to the stochastic path; interactive callers get a message naming
+    the limit and, where one exists, the cheaper alternative.
+
+    ``ValueError`` stays in the bases so pre-taxonomy callers that caught
+    the dense oracle's original ``ValueError`` keep working.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        qubits: Optional[int] = None,
+        estimated_bytes: Optional[int] = None,
+        nodes: Optional[int] = None,
+        ceiling: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.qubits = qubits
+        self.estimated_bytes = estimated_bytes
+        #: Observed DD node count at the moment the ceiling tripped.
+        self.nodes = nodes
+        #: The configured limit that was exceeded.
+        self.ceiling = ceiling
 
 
 def format_reasons(reasons: List[str], limit: int = 4) -> str:

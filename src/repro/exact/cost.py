@@ -1,0 +1,183 @@
+"""Exact-vs-stochastic cost model for the hybrid dispatcher.
+
+The paper's core trade-off: exact mixed-state simulation works on a
+``2**n x 2**n`` object (super-linear in ``4**n`` dense, diagram-size-bound
+on DDs) but needs *one* pass, while stochastic sampling works on ``2**n``
+state vectors but needs ``M`` trajectory passes sized by the Theorem 1
+Hoeffding contract.  This module turns that trade-off into a deterministic
+per-:class:`~repro.service.job.JobSpec` routing decision.
+
+Both sides are scored in the same abstract unit — "operator applications
+times worst-case representation size":
+
+* **exact**: every gate costs two matrix-matrix multiplies, every noise
+  channel two per Kraus rank (paper-noise total ``R ~ 8`` ranks per touched
+  qubit), crosstalk 32 per pair, all on a rho of worst-case size ``4**n``;
+* **stochastic**: ``M`` trajectories each replay the circuit's operations
+  on a vector of worst-case size ``2**n`` (noise firings are rare at paper
+  rates and do not change the order).
+
+The ratio reduces to ``exact wins iff 2 * (1 + R) * 2**n < M`` — with the
+paper's M = 30 000 budget and full paper noise, exact wins up to ~10-11
+qubits and loses beyond, exactly the regime split ROADMAP calls for.  The
+model is deliberately *dense* (worst-case) about representation size: a
+structured rho can beat it by orders of magnitude, which is what the
+mid-flight node-ceiling fallback is for — the cost model only has to pick
+the right side of the exponential, not predict diagram sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.operations import (
+    BarrierOperation,
+    GateOperation,
+    MeasureOperation,
+    ResetOperation,
+)
+from ..noise.model import NoiseModel
+from ..stochastic.properties import ClassicalOutcome, PropertySpec
+
+__all__ = ["DispatchDecision", "estimate_costs", "exact_unsupported_reason"]
+
+
+@dataclass(frozen=True)
+class DispatchDecision:
+    """Outcome of the cost comparison for one job."""
+
+    #: The routed method: ``"exact"`` or ``"stochastic"``.
+    method: str
+    #: Abstract cost scores (same unit on both sides; see module docstring).
+    exact_cost: float
+    stochastic_cost: float
+    #: Superoperator multiplies one exact pass performs.
+    exact_multiplies: int
+    #: Why exact was ruled out structurally, if it was (cost ignored then).
+    unsupported_reason: Optional[str] = None
+
+    def render(self) -> str:
+        """One-line human-readable explanation (CLI ``--method auto``)."""
+        if self.unsupported_reason is not None:
+            return f"dispatch: stochastic (exact unsupported: {self.unsupported_reason})"
+        return (
+            f"dispatch: {self.method} "
+            f"(exact cost {self.exact_cost:.3g} vs stochastic {self.stochastic_cost:.3g}, "
+            f"{self.exact_multiplies} superoperator multiplies)"
+        )
+
+
+def exact_unsupported_reason(
+    circuit: QuantumCircuit, properties: Sequence[PropertySpec]
+) -> Optional[str]:
+    """Structural reason the exact path cannot run this job, or ``None``.
+
+    The ensemble (density-matrix) picture has no per-shot classical record:
+    classically conditioned gates and :class:`ClassicalOutcome` properties
+    are trajectory-only concepts.
+    """
+    for spec in properties:
+        if isinstance(spec, ClassicalOutcome):
+            return (
+                f"property {spec.name} reads the per-trajectory classical "
+                f"record, which the ensemble picture does not have"
+            )
+    for operation in circuit:
+        if isinstance(operation, GateOperation) and operation.condition is not None:
+            return (
+                "circuit contains classically conditioned gates; the "
+                "ensemble picture has no classical record to condition on"
+            )
+    return None
+
+
+def _channel_multiplies(rates, noisy: bool) -> int:
+    """Superoperator multiplies of one qubit's post-gate channel stack.
+
+    Two multiplies per Kraus term: depolarizing has rank 4, amplitude
+    damping and phase flip rank 2 each — the full paper stack is ``R = 8``
+    ranks, 16 multiplies.
+    """
+    if not noisy:
+        return 0
+    multiplies = 0
+    if rates.depolarizing > 0.0:
+        multiplies += 2 * 4
+    if rates.amplitude_damping > 0.0:
+        multiplies += 2 * 2
+    if rates.phase_flip > 0.0:
+        multiplies += 2 * 2
+    return multiplies
+
+
+def count_exact_multiplies(circuit: QuantumCircuit, model: Optional[NoiseModel]) -> int:
+    """Matrix-matrix multiplies one exact pass over ``circuit`` performs."""
+    multiplies = 0
+    for operation in circuit:
+        if isinstance(operation, BarrierOperation):
+            continue
+        if isinstance(operation, MeasureOperation):
+            multiplies += 2 * 2  # dephasing projector pair
+            if model is not None:
+                rates = model.rates_for("measure", operation.qubit)
+                if rates.readout > 0.0:
+                    multiplies += 2 * 2
+                multiplies += _channel_multiplies(rates, model.noisy_measure)
+            continue
+        if isinstance(operation, ResetOperation):
+            multiplies += 2 * 2  # reset Kraus pair
+            if model is not None:
+                rates = model.rates_for("reset", operation.qubit)
+                multiplies += _channel_multiplies(rates, model.noisy_measure)
+            continue
+        assert isinstance(operation, GateOperation)
+        multiplies += 2  # U rho U^dagger
+        if model is None:
+            continue
+        for qubit in operation.qubits:
+            multiplies += _channel_multiplies(
+                model.rates_for(operation.name, qubit), True
+            )
+        touched = operation.qubits
+        for pair in zip(touched, touched[1:]):
+            if model.rates_for(operation.name, pair[1]).crosstalk > 0.0:
+                multiplies += 2 * 16
+    return multiplies
+
+
+def estimate_costs(
+    circuit: QuantumCircuit,
+    model: Optional[NoiseModel],
+    properties: Sequence[PropertySpec],
+    trajectories: int,
+) -> DispatchDecision:
+    """Score both methods and pick the cheaper one.
+
+    ``trajectories`` is the job's epsilon/delta contract proxy — callers
+    size it through :func:`~repro.stochastic.properties.hoeffding_samples`,
+    so it carries the accuracy demand into the comparison.
+    """
+    reason = exact_unsupported_reason(circuit, properties)
+    exact_multiplies = count_exact_multiplies(circuit, model)
+    # Worst-case representation sizes: rho is 2^n x 2^n, a trajectory
+    # state is 2^n.  Operation counts: one exact pass does
+    # ``exact_multiplies`` matrix products; M trajectories replay the
+    # circuit's operation schedule (one matrix-vector product per op).
+    num_ops = max(1, len(circuit.operations))
+    exact_cost = float(exact_multiplies) * float(4**circuit.num_qubits)
+    stochastic_cost = (
+        float(max(1, trajectories)) * float(num_ops) * float(2**circuit.num_qubits)
+    )
+    if reason is not None:
+        method = "stochastic"
+    else:
+        method = "exact" if exact_cost < stochastic_cost else "stochastic"
+    return DispatchDecision(
+        method=method,
+        exact_cost=exact_cost,
+        stochastic_cost=stochastic_cost,
+        exact_multiplies=exact_multiplies,
+        unsupported_reason=reason,
+    )

@@ -145,10 +145,18 @@ class JobSpec:
     backend_kind: str = "dd"
     sample_shots: int = 1
     timeout: Optional[float] = None
+    #: Execution-method request: ``"stochastic"`` (Monte-Carlo sampling),
+    #: ``"exact"`` (forced density-matrix DD), or ``"auto"`` (the
+    #: scheduler's cost model decides; see :mod:`repro.exact.cost`).
+    method: str = "stochastic"
 
     def __post_init__(self) -> None:
         if self.trajectories < 1:
             raise ValueError("trajectories must be >= 1")
+        if self.method not in ("stochastic", "exact", "auto"):
+            raise ValueError(
+                f"method must be 'stochastic', 'exact', or 'auto', got {self.method!r}"
+            )
         object.__setattr__(self, "properties", tuple(self.properties))
 
     @classmethod
@@ -162,6 +170,7 @@ class JobSpec:
         backend_kind: str = "dd",
         sample_shots: int = 1,
         timeout: Optional[float] = None,
+        method: str = "stochastic",
     ) -> "JobSpec":
         """Convenience constructor mirroring ``simulate_stochastic``."""
         return cls(
@@ -173,11 +182,12 @@ class JobSpec:
             backend_kind=backend_kind,
             sample_shots=sample_shots,
             timeout=timeout,
+            method=method,
         )
 
     def to_dict(self) -> Dict[str, object]:
         """Canonical plain-JSON form (the input to the content hash)."""
-        return {
+        payload = {
             "version": SPEC_VERSION,
             "circuit_name": self.circuit.name,
             "qasm": self.circuit.to_qasm(),
@@ -189,6 +199,12 @@ class JobSpec:
             "sample_shots": self.sample_shots,
             "timeout": self.timeout,
         }
+        # Omitted when default: pre-hybrid specs keep byte-identical
+        # canonical forms, so existing job keys (and cached results) stay
+        # valid without a SPEC_VERSION bump.
+        if self.method != "stochastic":
+            payload["method"] = self.method
+        return payload
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "JobSpec":
@@ -206,6 +222,7 @@ class JobSpec:
             backend_kind=str(data["backend"]),
             sample_shots=int(data["sample_shots"]),
             timeout=None if data["timeout"] is None else float(data["timeout"]),
+            method=str(data.get("method", "stochastic")),
         )
 
     def canonical_json(self) -> str:
@@ -246,6 +263,9 @@ class JobStatus:
     elapsed_seconds: float = 0.0
     retries: int = 0
     cached: bool = False
+    #: The *resolved* execution method ("stochastic" or "exact") — for
+    #: ``method="auto"`` specs this records what the cost model chose.
+    method: str = "stochastic"
     error: Optional[str] = None
     #: Observability snapshot merged from the chunk results seen so far
     #: (see :mod:`repro.obs`); empty until the first chunk reports.
@@ -264,11 +284,17 @@ class JobStatus:
             f"job {self.key[:16]}… [{self.state.value}]"
             + (" (cache hit)" if self.cached else ""),
             f"  circuit: {self.circuit_name}",
-            f"  trajectories: {self.completed_trajectories}/"
-            f"{self.requested_trajectories} ({100.0 * self.progress:.1f}%)",
-            f"  elapsed: {self.elapsed_seconds:.3f} s"
-            + (f", chunk retries: {self.retries}" if self.retries else ""),
+            f"  method: {self.method}",
         ]
+        if self.method != "exact":
+            lines.append(
+                f"  trajectories: {self.completed_trajectories}/"
+                f"{self.requested_trajectories} ({100.0 * self.progress:.1f}%)"
+            )
+        lines.append(
+            f"  elapsed: {self.elapsed_seconds:.3f} s"
+            + (f", chunk retries: {self.retries}" if self.retries else "")
+        )
         for name, estimate in sorted(self.estimates.items()):
             low, high = estimate.interval
             lines.append(

@@ -41,6 +41,14 @@ Key behaviours:
   chunk-index order, so it is bit-identical for a given chunk plan no
   matter how many workers raced, which worker ran what, in which order
   chunks finished, or which faults forced re-execution.
+* **Hybrid dispatch** — a spec may request ``method="exact"`` (one-pass
+  density-matrix DD evaluation, no trajectories) or ``method="auto"``
+  (the :mod:`repro.exact.cost` model picks the cheaper side).  Exact jobs
+  run synchronously in the submitter thread — there is nothing to shard —
+  and an exact run that outgrows its rho-DD node ceiling mid-flight
+  *falls back* to the stochastic path with the job's original chunk plan,
+  so the fallback result is bit-identical to a job that was never
+  dispatched exact at all (``dispatch.fallback`` counts these).
 """
 
 from __future__ import annotations
@@ -58,10 +66,13 @@ from ..errors import (
     JobCancelledError,
     JobFailedError,
     PoisonChunkError,
+    ResourceLimitError,
     SchedulerError,
     WorkerPoolBrokenError,
     format_reasons,
 )
+from ..exact import ExactSimulator, estimate_costs, exact_unsupported_reason
+from ..exact.simulator import default_node_ceiling
 from ..faults.inject import get_injector
 from ..obs.context import job_trace_context
 from ..obs.metrics import MetricsRegistry, merge_snapshots
@@ -170,6 +181,10 @@ class _Job:
         self.spec = spec
         self.key = key
         self.state = JobState.QUEUED
+        #: Resolved execution method ("stochastic" | "exact") — for
+        #: ``method="auto"`` specs this records what the cost model chose,
+        #: and an exact run that trips its node ceiling flips it back.
+        self.method = "stochastic"
         self.chunks: Dict[int, ChunkTask] = {}
         self.pending: Deque[int] = deque()
         self.in_flight: Set[int] = set()
@@ -257,6 +272,11 @@ class Scheduler:
         Open the pool circuit breaker — failing all pending jobs with
         :class:`~repro.errors.WorkerPoolBrokenError` — when this many
         worker deaths land within the window (seconds).
+    exact_node_ceiling:
+        Rho-DD node budget for exact-dispatched jobs; exceeding it
+        mid-flight falls the job back to stochastic sampling.  ``None``
+        defers to the ``REPRO_EXACT_NODE_CEILING`` environment variable
+        (unset means "no ceiling": exact runs to completion).
     """
 
     def __init__(
@@ -274,6 +294,7 @@ class Scheduler:
         respawn_backoff_cap: float = 2.0,
         breaker_threshold: int = 12,
         breaker_window: float = 10.0,
+        exact_node_ceiling: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -293,6 +314,11 @@ class Scheduler:
         self.respawn_backoff_cap = respawn_backoff_cap
         self.breaker_threshold = breaker_threshold
         self.breaker_window = breaker_window
+        self.exact_node_ceiling = (
+            exact_node_ceiling
+            if exact_node_ceiling is not None
+            else default_node_ceiling()
+        )
         #: Trajectories actually executed by this scheduler instance —
         #: cache hits and resumed checkpoints contribute nothing here.
         self.trajectories_executed = 0
@@ -315,6 +341,12 @@ class Scheduler:
             "faults.recovered.outcome_rejected",
             "store.hits",
             "store.misses",
+            # Hybrid-dispatch routing: one of exact/stochastic per fresh
+            # (uncached, unresumed) submission, plus fallback for exact
+            # runs that tripped the node ceiling and re-ran stochastic.
+            "dispatch.exact",
+            "dispatch.stochastic",
+            "dispatch.fallback",
         ):
             self.metrics.counter(name)
         self.tracer = Tracer(max_events=2048)
@@ -349,8 +381,13 @@ class Scheduler:
         Cache hit → the job is born COMPLETED with the stored result.
         Checkpoint hit → only the missing trajectory spans are scheduled.
         Identical key already live → idempotent, the existing job is kept.
+        Exact-dispatched jobs (``method="exact"``, or ``"auto"`` when the
+        cost model favours exact) run *synchronously* in this thread —
+        there are no chunks to shard — so for them ``submit`` returns
+        only once the job has completed or fallen back to stochastic.
         """
         key = spec.job_key()
+        run_exact = False
         with self._lock:
             if self._closed:
                 raise SchedulerError("scheduler is shut down")
@@ -365,12 +402,15 @@ class Scheduler:
                 self.tracer.event("job.cache_hit", job=key[:16])
                 job.final = cached
                 job.cached = True
+                job.method = cached.method
                 job.state = JobState.COMPLETED
                 job.done.set()
             else:
                 self.metrics.counter("store.misses").inc()
                 checkpoint = self.store.get_partial(key)
                 if checkpoint is not None:
+                    # A checkpoint only ever comes from a stochastic run;
+                    # resume it rather than re-deciding the method.
                     spans, partial = checkpoint
                     job.base_spans = spans
                     job.base_partial = partial
@@ -379,12 +419,25 @@ class Scheduler:
                         "job.resume", job=key[:16],
                         restored=partial.completed_trajectories,
                     )
-                self._plan_chunks(job)
-                if not job.chunks:
-                    # The checkpoint already covers every trajectory.
-                    self._finalize(job)
+                    self._plan_chunks(job)
+                    if not job.chunks:
+                        # The checkpoint already covers every trajectory.
+                        self._finalize(job)
+                else:
+                    job.method = self._resolve_method(spec)
+                    if job.method == "exact":
+                        # No chunks, no deadline sharing: the exact run
+                        # happens after the lock drops, in this thread.
+                        job.state = JobState.RUNNING
+                        job.deadline = None
+                        run_exact = True
+                    else:
+                        self.metrics.counter("dispatch.stochastic").inc()
+                        self._plan_chunks(job)
             self._jobs[key] = job
             self._order.append(key)
+        if run_exact:
+            self._run_exact(job)
         return key
 
     def status(self, key: str) -> JobStatus:
@@ -419,6 +472,7 @@ class Scheduler:
                 elapsed_seconds=elapsed,
                 retries=job.total_retries,
                 cached=job.cached,
+                method=job.method,
                 error=job.error,
                 metrics=merge_snapshots(source.metrics),
             )
@@ -519,6 +573,101 @@ class Scheduler:
 
     def __exit__(self, *exc_info) -> None:
         self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Hybrid dispatch (see repro.exact.cost and docs/EXACT.md)
+    # ------------------------------------------------------------------
+
+    def _resolve_method(self, spec: JobSpec) -> str:
+        """Decide how a fresh (uncached, unresumed) job actually runs.
+
+        ``"stochastic"`` passes through; ``"exact"`` is honoured or
+        rejected (a spec the exact backend cannot express fails the
+        submission with :class:`SchedulerError` rather than silently
+        sampling); ``"auto"`` asks the cost model, falling back to
+        stochastic for unsupported specs.
+        """
+        if spec.method == "stochastic":
+            return "stochastic"
+        reason = exact_unsupported_reason(spec.circuit, spec.properties)
+        if spec.method == "exact":
+            if reason is not None:
+                raise SchedulerError(
+                    f"job requests method='exact' but exact simulation is "
+                    f"unsupported: {reason}"
+                )
+            return "exact"
+        if reason is not None:
+            self.tracer.event("dispatch.auto", choice="stochastic", reason=reason)
+            return "stochastic"
+        decision = estimate_costs(
+            spec.circuit, spec.noise_model, spec.properties, spec.trajectories
+        )
+        self.tracer.event(
+            "dispatch.auto",
+            choice=decision.method,
+            exact_cost=decision.exact_cost,
+            stochastic_cost=decision.stochastic_cost,
+        )
+        return decision.method
+
+    def _run_exact(self, job: _Job) -> None:
+        """Run one exact-dispatched job to completion in the calling thread.
+
+        A :class:`~repro.errors.ResourceLimitError` (rho DD outgrew the
+        node ceiling) *falls back*: the job is re-planned onto the
+        stochastic chunk path with its original spec, so the eventual
+        result is bit-identical to a never-dispatched-exact run.  Any
+        other failure fails the job.
+        """
+        spec = job.spec
+        self.tracer.event("job.exact_start", job=job.key[:16])
+        try:
+            result = ExactSimulator(node_ceiling=self.exact_node_ceiling).run(
+                spec.circuit,
+                noise_model=spec.noise_model,
+                properties=spec.properties,
+            )
+        except ResourceLimitError as limit:
+            with self._lock:
+                if job.finished():
+                    return  # cancelled/shut down while the exact run ran
+                self.metrics.counter("dispatch.fallback").inc()
+                self.tracer.event(
+                    "job.exact_fallback", job=job.key[:16],
+                    nodes=limit.nodes, ceiling=limit.ceiling,
+                )
+                job.method = "stochastic"
+                job.deadline = (
+                    None
+                    if spec.timeout is None
+                    else time.monotonic() + spec.timeout
+                )
+                self._plan_chunks(job)
+            return
+        except Exception as error:
+            with self._lock:
+                if job.finished():
+                    return
+                job.state = JobState.FAILED
+                job.error = (
+                    f"exact simulation failed: {type(error).__name__}: {error}"
+                )
+                job.done.set()
+            return
+        with self._lock:
+            if job.finished():
+                return
+            self.metrics.counter("dispatch.exact").inc()
+            result.elapsed_seconds = time.perf_counter() - job.started_at
+            job.final = result
+            job.state = JobState.COMPLETED
+            self.tracer.event(
+                "job.finalize", job=job.key[:16], method="exact",
+                peak_nodes=result.peak_nodes,
+            )
+            self.store.put(job.key, result, spec_dict=spec.to_dict())
+            job.done.set()
 
     # ------------------------------------------------------------------
     # Planning

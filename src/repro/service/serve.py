@@ -100,6 +100,7 @@ def query_status(store: ResultStore, key: str) -> JobStatus:
             completed_trajectories=final.completed_trajectories,
             estimates=estimates_of(final),
             elapsed_seconds=final.elapsed_seconds,
+            method=final.method,
             metrics=dict(final.metrics),
         )
     checkpoint = store.get_partial(key)
@@ -374,16 +375,24 @@ def serve(
                     continue
                 log(
                     f"[serve] job {key[:16]}… ({spec.circuit.name}, "
-                    f"M={spec.trajectories}, backend={spec.backend_kind})"
+                    f"M={spec.trajectories}, backend={spec.backend_kind}, "
+                    f"method={spec.method})"
                 )
                 telemetry.job_started(key, spec)
                 try:
                     result = scheduler.run(spec)
-                    log(
-                        f"[serve] job {key[:16]}… done: "
-                        f"{result.completed_trajectories}/{spec.trajectories} "
-                        f"trajectories in {result.elapsed_seconds:.3f} s"
-                    )
+                    if result.method == "exact":
+                        log(
+                            f"[serve] job {key[:16]}… done: exact "
+                            f"density-matrix pass in "
+                            f"{result.elapsed_seconds:.3f} s"
+                        )
+                    else:
+                        log(
+                            f"[serve] job {key[:16]}… done: "
+                            f"{result.completed_trajectories}/{spec.trajectories} "
+                            f"trajectories in {result.elapsed_seconds:.3f} s"
+                        )
                     telemetry.job_finished(key, result=result)
                 except SchedulerError as error:
                     log(f"[serve] job {key[:16]}… FAILED: {error}")

@@ -29,6 +29,7 @@ from ..circuits.operations import (
     MeasureOperation,
     ResetOperation,
 )
+from ..errors import ResourceLimitError
 
 __all__ = ["DensityMatrixSimulator"]
 
@@ -42,9 +43,16 @@ class DensityMatrixSimulator:
         if num_qubits < 1:
             raise ValueError("num_qubits must be >= 1")
         if num_qubits > _MAX_QUBITS:
-            raise ValueError(
-                f"density matrix over {num_qubits} qubits exceeds the safety cap "
-                f"of {_MAX_QUBITS}"
+            estimated_bytes = (2**num_qubits) ** 2 * 16
+            raise ResourceLimitError(
+                f"a dense density matrix over {num_qubits} qubits needs "
+                f"2^{num_qubits} x 2^{num_qubits} complex doubles "
+                f"(~{estimated_bytes / 2**30:.1f} GiB), past the "
+                f"{_MAX_QUBITS}-qubit safety cap; use the decision-diagram "
+                f"exact backend (repro.exact.ExactSimulator) instead — it "
+                f"represents rho structurally and has no fixed qubit cap",
+                qubits=num_qubits,
+                estimated_bytes=estimated_bytes,
             )
         self.num_qubits = num_qubits
         rho = np.zeros((2**num_qubits, 2**num_qubits), dtype=complex)

@@ -55,6 +55,7 @@ class PlanStep:
         "matrix",
         "condition",
         "gate_edge",
+        "adjoint_edge",
         "clbit",
     )
 
@@ -78,6 +79,10 @@ class PlanStep:
         self.condition = condition
         #: Operator DD pinned in the compiling package (DD plans only).
         self.gate_edge = None
+        #: Adjoint operator DD (``U^dagger``), resolved only for plans
+        #: compiled with ``adjoints=True`` — the density-matrix backend
+        #: needs both sides of ``U rho U^dagger`` per step.
+        self.adjoint_edge = None
         self.clbit = clbit
 
 
@@ -122,7 +127,7 @@ def _flush_pending(
 
 
 def compile_plan(
-    circuit: QuantumCircuit, package=None, fuse: bool = False
+    circuit: QuantumCircuit, package=None, fuse: bool = False, adjoints: bool = False
 ) -> GatePlan:
     """Compile ``circuit`` into a :class:`GatePlan`.
 
@@ -131,6 +136,14 @@ def compile_plan(
     gate cache).  Barriers are dropped from the schedule but, under
     ``fuse=True``, still act as fusion fences: gates are never merged
     across one.
+
+    ``adjoints=True`` additionally resolves each gate step's
+    ``adjoint_edge``: the adjoint of a controlled gate is the same
+    controlled structure around ``U^dagger`` (controls project onto
+    diagonal blocks), so both edges share the package's gate cache and
+    its pinning.  Density-matrix consumers apply each step as
+    ``gate_edge @ rho @ adjoint_edge`` without any per-step adjoint
+    recomputation.
     """
     plan = GatePlan(circuit, fused=fuse)
     steps = plan.steps
@@ -196,6 +209,13 @@ def compile_plan(
                 step.gate_edge = package.gate(
                     step.matrix, step.target, step.controls, plan.num_qubits
                 )
+                if adjoints:
+                    step.adjoint_edge = package.gate(
+                        np.ascontiguousarray(step.matrix.conj().T),
+                        step.target,
+                        step.controls,
+                        plan.num_qubits,
+                    )
         plan.compiled_gates = package.gate_cache_size() - before
     else:
         plan.compiled_gates = plan.gate_step_count()
@@ -241,5 +261,31 @@ class NoiseOperatorCache:
         """Cached DDs for a Kraus operator list (keyed per branch index)."""
         return tuple(
             self.operator((name, index, qubit), kraus)
+            for index, kraus in enumerate(operators)
+        )
+
+    def operator_pair(self, key: tuple, matrix: np.ndarray) -> tuple:
+        """Cached ``(K, K^dagger)`` operator-DD pair for one Kraus branch.
+
+        The adjoint shares the cache under a ``"dag"``-marked key (the
+        marker sits before the qubit — :meth:`operator` reads the target
+        qubit from ``key[-1]``), so a channel applied after every gate of
+        a circuit compiles each side exactly once per package.
+        """
+        matrix = np.asarray(matrix, dtype=complex)
+        dag_key = key[:-1] + ("dag", key[-1])
+        return (
+            self.operator(key, matrix),
+            self.operator(dag_key, np.ascontiguousarray(matrix.conj().T)),
+        )
+
+    def kraus_pairs_with_adjoints(self, name: str, operators, qubit: int) -> tuple:
+        """Cached ``(K, K^dagger)`` pairs for a whole Kraus operator list.
+
+        The superoperator consumer (``repro.exact``) applies each branch as
+        ``K rho K^dagger`` — two DD multiplications per pair.
+        """
+        return tuple(
+            self.operator_pair((name, index, qubit), kraus)
             for index, kraus in enumerate(operators)
         )

@@ -27,6 +27,10 @@ class PropertyEstimate:
     count: int = 0
     total: float = 0.0
     total_squared: float = 0.0
+    #: True when the value came from an exact (density-matrix) evaluation:
+    #: there is no sampling error, so the variance, standard error, and
+    #: Hoeffding half-width all collapse to zero.
+    exact: bool = False
 
     def add(self, value: float) -> None:
         """Fold one trajectory's property value into the estimate."""
@@ -42,15 +46,20 @@ class PropertyEstimate:
         self.count += other.count
         self.total += other.total
         self.total_squared += other.total_squared
+        # Mixing in any sampled contribution reintroduces sampling error.
+        self.exact = self.exact and other.exact
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-JSON form (used by the service result store)."""
-        return {
+        payload = {
             "name": self.name,
             "count": self.count,
             "total": self.total,
             "total_squared": self.total_squared,
         }
+        if self.exact:
+            payload["exact"] = True
+        return payload
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "PropertyEstimate":
@@ -60,6 +69,7 @@ class PropertyEstimate:
             count=int(data["count"]),
             total=float(data["total"]),
             total_squared=float(data["total_squared"]),
+            exact=bool(data.get("exact", False)),
         )
 
     @property
@@ -72,7 +82,7 @@ class PropertyEstimate:
     @property
     def variance(self) -> float:
         """Unbiased sample variance of the per-trajectory values."""
-        if self.count < 2:
+        if self.exact or self.count < 2:
             return 0.0
         mean = self.mean
         return max(
@@ -81,7 +91,9 @@ class PropertyEstimate:
 
     @property
     def std_error(self) -> float:
-        """Standard error of the mean."""
+        """Standard error of the mean (zero for exact evaluations)."""
+        if self.exact:
+            return 0.0 if self.count else float("inf")
         if self.count == 0:
             return float("inf")
         return math.sqrt(self.variance / self.count)
@@ -91,9 +103,12 @@ class PropertyEstimate:
 
         ``value_range`` is the width of the property's value interval
         (1 for probabilities/fidelities, 2 for Pauli expectations).
+        Exact evaluations carry no sampling error: the half-width is zero.
         """
         if self.count == 0:
             return float("inf")
+        if self.exact:
+            return 0.0
         return value_range * math.sqrt(math.log(2.0 / delta) / (2.0 * self.count))
 
     def confidence_interval(self, delta: float = 0.05, value_range: float = 1.0) -> Tuple[float, float]:
@@ -110,6 +125,10 @@ class StochasticResult:
     backend_kind: str
     requested_trajectories: int
     completed_trajectories: int = 0
+    #: Which execution path produced this result: ``"stochastic"``
+    #: (Monte-Carlo trajectories) or ``"exact"`` (density-matrix DD, zero
+    #: sampling error — every estimate has ``exact=True``).
+    method: str = "stochastic"
     estimates: Dict[str, PropertyEstimate] = field(default_factory=dict)
     outcome_counts: Dict[str, int] = field(default_factory=dict)
     errors_fired: Dict[str, int] = field(
@@ -160,6 +179,7 @@ class StochasticResult:
         return {
             "circuit_name": self.circuit_name,
             "backend_kind": self.backend_kind,
+            "method": self.method,
             "requested_trajectories": self.requested_trajectories,
             "completed_trajectories": self.completed_trajectories,
             "estimates": {
@@ -183,6 +203,8 @@ class StochasticResult:
         return cls(
             circuit_name=str(data["circuit_name"]),
             backend_kind=str(data["backend_kind"]),
+            # Tolerant default: results cached before the hybrid dispatcher.
+            method=str(data.get("method", "stochastic")),
             requested_trajectories=int(data["requested_trajectories"]),
             completed_trajectories=int(data["completed_trajectories"]),
             estimates={
@@ -225,20 +247,30 @@ class StochasticResult:
 
     def summary(self) -> str:
         """Multi-line human-readable report."""
-        lines = [
-            f"circuit: {self.circuit_name} ({self.backend_kind} backend, "
-            f"{self.workers} worker(s))",
-            f"trajectories: {self.completed_trajectories}/{self.requested_trajectories}"
-            + (" [TIMED OUT]" if self.timed_out else ""),
-            f"elapsed: {self.elapsed_seconds:.3f} s "
-            f"({self.trajectories_per_second():.1f} traj/s"
-            + (f", {self.cpu_seconds:.3f} cpu-s" if self.cpu_seconds else "")
-            + ")",
-            f"errors fired: {self.errors_fired}",
-        ]
+        if self.method == "exact":
+            lines = [
+                f"circuit: {self.circuit_name} ({self.backend_kind} backend, "
+                f"exact density-matrix method)",
+                f"elapsed: {self.elapsed_seconds:.3f} s",
+            ]
+        else:
+            lines = [
+                f"circuit: {self.circuit_name} ({self.backend_kind} backend, "
+                f"{self.workers} worker(s))",
+                f"trajectories: {self.completed_trajectories}/{self.requested_trajectories}"
+                + (" [TIMED OUT]" if self.timed_out else ""),
+                f"elapsed: {self.elapsed_seconds:.3f} s "
+                f"({self.trajectories_per_second():.1f} traj/s"
+                + (f", {self.cpu_seconds:.3f} cpu-s" if self.cpu_seconds else "")
+                + ")",
+                f"errors fired: {self.errors_fired}",
+            ]
         if self.peak_nodes:
             lines.append(f"peak DD nodes: {self.peak_nodes}")
         for name, estimate in sorted(self.estimates.items()):
+            if estimate.exact:
+                lines.append(f"  {name}: {estimate.mean:.6f} (exact, halfwidth 0)")
+                continue
             low, high = estimate.confidence_interval()
             lines.append(
                 f"  {name}: {estimate.mean:.6f} "

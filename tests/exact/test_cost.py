@@ -1,0 +1,80 @@
+"""Cost model: multiply counting, dispatch boundary, unsupported specs."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.circuits.library import ghz
+from repro.exact import estimate_costs, exact_unsupported_reason
+from repro.exact.cost import count_exact_multiplies
+from repro.noise import NoiseModel
+from repro.stochastic import BasisProbability, ClassicalOutcome
+
+PAPER_NOISE = NoiseModel.paper_defaults()
+
+
+class TestUnsupportedReason:
+    def test_plain_circuit_supported(self):
+        assert exact_unsupported_reason(ghz(3), [BasisProbability("000")]) is None
+
+    def test_classical_outcome_unsupported(self):
+        reason = exact_unsupported_reason(ghz(3), [ClassicalOutcome(0)])
+        assert reason is not None and "classical" in reason
+
+    def test_conditioned_gate_unsupported(self):
+        from repro.circuits.operations import ClassicalCondition
+
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0).measure(0, 0)
+        circuit.gate("x", 0, condition=ClassicalCondition((0,), 1))
+        reason = exact_unsupported_reason(circuit, [])
+        assert reason is not None and "condition" in reason
+
+
+class TestMultiplyCount:
+    def test_noiseless_gates_cost_two_multiplies_each(self):
+        circuit = ghz(3)  # 1 H + 2 CX
+        assert count_exact_multiplies(circuit, None) == 2 * 3
+
+    def test_noise_adds_kraus_multiplies(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        # Paper stack per touched qubit: depolarizing(4) + damping(2) +
+        # phase flip(2) = 8 Kraus terms = 16 multiplies, plus 2 for the gate.
+        assert count_exact_multiplies(circuit, PAPER_NOISE) == 2 + 16
+
+
+class TestDispatchBoundary:
+    """exact wins iff 2(1+R) 2^n < M — the paper's trade-off, quantified."""
+
+    def test_small_circuit_large_budget_routes_exact(self):
+        decision = estimate_costs(
+            ghz(10), PAPER_NOISE, [BasisProbability("0" * 10)], 50_000
+        )
+        assert decision.method == "exact"
+        assert decision.exact_cost < decision.stochastic_cost
+
+    def test_wide_circuit_routes_stochastic(self):
+        decision = estimate_costs(
+            ghz(12), PAPER_NOISE, [BasisProbability("0" * 12)], 30_000
+        )
+        assert decision.method == "stochastic"
+
+    def test_small_budget_routes_stochastic(self):
+        decision = estimate_costs(
+            ghz(4), PAPER_NOISE, [BasisProbability("0000")], 50
+        )
+        assert decision.method == "stochastic"
+
+    def test_unsupported_spec_routes_stochastic(self):
+        decision = estimate_costs(
+            ghz(4), PAPER_NOISE, [ClassicalOutcome(0)], 10**9
+        )
+        assert decision.method == "stochastic"
+        assert decision.unsupported_reason is not None
+
+    def test_render_mentions_both_costs(self):
+        decision = estimate_costs(
+            ghz(4), PAPER_NOISE, [BasisProbability("0000")], 500
+        )
+        text = decision.render()
+        assert "exact" in text and "stochastic" in text

@@ -1,0 +1,166 @@
+"""ExactSimulator result envelope, limits, and statistical consistency."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.circuits.library import ghz, qft
+from repro.errors import ResourceLimitError
+from repro.exact import DensityDDBackend, ExactSimulator, simulate_exact
+from repro.noise import NoiseModel
+from repro.stochastic import (
+    BasisProbability,
+    ClassicalOutcome,
+    ExpectationZ,
+    IdealFidelity,
+    StochasticResult,
+    simulate_stochastic,
+)
+
+PAPER_NOISE = NoiseModel.paper_defaults()
+
+
+class TestResultEnvelope:
+    """An exact result must be a drop-in StochasticResult."""
+
+    def test_exact_result_shape(self):
+        result = simulate_exact(
+            ghz(4), PAPER_NOISE, [BasisProbability("0000"), IdealFidelity()]
+        )
+        assert result.method == "exact"
+        assert result.backend_kind == "dd"
+        assert result.completed_trajectories == 0
+        assert result.peak_nodes > 0
+        for estimate in result.estimates.values():
+            assert estimate.exact
+            assert estimate.count == 1
+            assert estimate.hoeffding_halfwidth() == 0.0
+            assert estimate.std_error == 0.0
+            assert estimate.variance == 0.0
+
+    def test_exact_flag_survives_serialisation(self):
+        result = simulate_exact(ghz(3), PAPER_NOISE, [BasisProbability("000")])
+        clone = StochasticResult.from_dict(result.to_dict())
+        assert clone.method == "exact"
+        estimate = clone.estimates["P(|000>)"]
+        assert estimate.exact
+        assert estimate.hoeffding_halfwidth() == 0.0
+        assert clone.mean("P(|000>)") == result.mean("P(|000>)")
+
+    def test_summary_reports_exact_method(self):
+        result = simulate_exact(ghz(3), PAPER_NOISE, [BasisProbability("000")])
+        summary = result.summary()
+        assert "exact density-matrix method" in summary
+        assert "halfwidth 0" in summary
+
+    def test_exact_metrics_counters_present(self):
+        result = simulate_exact(ghz(3), PAPER_NOISE, [BasisProbability("000")])
+        counters = result.metrics["counters"]
+        assert counters["exact.superop_applications"] > 0
+        gauges = result.metrics["gauges"]
+        assert gauges["exact.peak_rho_nodes"] == result.peak_nodes
+
+    def test_noiseless_run(self):
+        result = simulate_exact(ghz(3), None, [BasisProbability("000")])
+        assert result.mean("P(|000>)") == pytest.approx(0.5, abs=1e-12)
+
+
+class TestUnsupportedSpecs:
+    def test_classical_outcome_rejected(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0).measure(0, 0)
+        with pytest.raises(ValueError, match="unsupported"):
+            simulate_exact(circuit, PAPER_NOISE, [ClassicalOutcome(1)])
+
+    def test_conditioned_gate_rejected(self):
+        from repro.circuits.operations import ClassicalCondition
+
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0).measure(0, 0)
+        circuit.gate("x", 0, condition=ClassicalCondition((0,), 1))
+        with pytest.raises(ValueError, match="condition"):
+            simulate_exact(circuit, PAPER_NOISE, [ExpectationZ(0)])
+
+    def test_bad_channel_mode_rejected(self):
+        with pytest.raises(ValueError, match="channel_mode"):
+            ExactSimulator(channel_mode="dense")
+
+
+class TestNodeCeiling:
+    def test_ceiling_trips_with_structured_error(self):
+        with pytest.raises(ResourceLimitError) as excinfo:
+            simulate_exact(
+                qft(5), PAPER_NOISE, [ExpectationZ(0)], node_ceiling=3
+            )
+        error = excinfo.value
+        assert error.nodes is not None and error.nodes > 3
+        assert error.ceiling == 3
+        assert error.qubits == 5
+
+    def test_env_ceiling_honoured(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXACT_NODE_CEILING", "3")
+        with pytest.raises(ResourceLimitError):
+            simulate_exact(qft(5), PAPER_NOISE, [ExpectationZ(0)])
+
+    def test_bad_env_ceiling_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXACT_NODE_CEILING", "0")
+        with pytest.raises(ValueError, match="REPRO_EXACT_NODE_CEILING"):
+            ExactSimulator()
+
+    def test_dense_backend_cap_names_resources(self):
+        from repro.simulators.density_matrix import DensityMatrixSimulator
+
+        with pytest.raises(ResourceLimitError) as excinfo:
+            DensityMatrixSimulator(20)
+        error = excinfo.value
+        assert error.qubits == 20
+        assert error.estimated_bytes == (2**20) ** 2 * 16
+        assert "repro.exact" in str(error)
+
+
+class TestHoeffdingContainment:
+    """The stochastic interval must contain the exact value (paper noise).
+
+    ``damping_mode="exact"`` keeps per-trajectory amplitude damping
+    unbiased, so the 95% Hoeffding interval around the Monte-Carlo mean
+    is a valid confidence interval for the exact expectation.
+    """
+
+    @pytest.mark.parametrize(
+        "circuit", [ghz(4), ghz(6), qft(4)], ids=["ghz4", "ghz6", "qft4"]
+    )
+    def test_interval_contains_exact_value(self, circuit):
+        model = NoiseModel.paper_defaults(damping_mode="exact")
+        n = circuit.num_qubits
+        properties = [BasisProbability("0" * n), IdealFidelity()]
+        exact = simulate_exact(circuit, model, properties)
+        sampled = simulate_stochastic(
+            circuit, model, properties, trajectories=600, seed=11
+        )
+        for name, estimate in sampled.estimates.items():
+            halfwidth = estimate.hoeffding_halfwidth()
+            truth = exact.estimates[name].mean
+            assert abs(estimate.mean - truth) <= halfwidth, (
+                f"{name}: |{estimate.mean} - {truth}| > {halfwidth}"
+            )
+
+
+class TestBackendReadout:
+    def test_probabilities_and_purity(self):
+        backend = DensityDDBackend(2)
+        try:
+            h = np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2)
+            backend.apply_gate(h, 0, {})
+            x = np.array([[0, 1], [1, 0]], dtype=complex)
+            backend.apply_gate(x, 1, {0: 1})
+            assert backend.trace() == pytest.approx(1.0, abs=1e-12)
+            assert backend.purity() == pytest.approx(1.0, abs=1e-12)
+            assert backend.probability_of_basis([0, 0]) == pytest.approx(0.5)
+            assert backend.probability_of_basis([1, 1]) == pytest.approx(0.5)
+            assert backend.probability_of_one(0) == pytest.approx(0.5)
+            # A non-selective measurement mixes the state: purity drops.
+            backend.dephase_measure(0)
+            assert backend.purity() == pytest.approx(0.5, abs=1e-12)
+            assert backend.probability_of_one(0) == pytest.approx(0.5)
+        finally:
+            backend.release()

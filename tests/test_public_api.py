@@ -24,6 +24,7 @@ class TestPublicApi:
             "repro.simulators",
             "repro.noise",
             "repro.stochastic",
+            "repro.exact",
             "repro.harness",
             "repro.obs",
             "repro.cli",
@@ -37,6 +38,7 @@ class TestPublicApi:
             "repro.simulators",
             "repro.noise",
             "repro.stochastic",
+            "repro.exact",
             "repro.harness",
             "repro.obs",
         ):
