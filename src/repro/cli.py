@@ -5,11 +5,13 @@ Subcommands:
 * ``run`` — stochastically simulate an OpenQASM 2.0 file or a library
   circuit under a noise model and print property estimates and the sampled
   outcome histogram;
-* ``submit`` / ``status`` / ``result`` / ``serve`` / ``monitor`` — the
-  job-service mode: spool content-addressed jobs into a store, drain them
-  with a persistent worker pool, and poll streaming estimates while they
-  run — live, with ``monitor`` and the ``serve --metrics-port`` OpenMetrics
-  endpoint (docs/SERVICE.md, docs/OBSERVABILITY.md);
+* ``submit`` / ``status`` / ``result`` / ``serve`` / ``jobs`` / ``monitor``
+  — the job-service mode: spool content-addressed jobs into a store, drain
+  them with a persistent worker pool (crash-safe via the write-ahead
+  journal behind ``serve --resume``), and poll streaming estimates while
+  they run — live, with ``monitor`` and the ``serve --metrics-port``
+  OpenMetrics endpoint (docs/SERVICE.md, docs/OBSERVABILITY.md,
+  docs/ROBUSTNESS.md);
 * ``cache`` — inspect or clear the content-addressed result store;
 * ``stats`` — run a circuit and report engine observability: table hit
   rates, per-trajectory latency histograms, scheduler counters
@@ -227,7 +229,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--heartbeat-interval", type=float, default=1.0, metavar="SECONDS",
         help="period of the events-log heartbeat (with --events-log)",
     )
+    serve.add_argument(
+        "--resume", action="store_true",
+        help="replay the write-ahead journal on startup and re-enqueue "
+        "incomplete jobs with their original chunk plans (bit-identical "
+        "to an uninterrupted run; docs/ROBUSTNESS.md)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="on SIGTERM/SIGINT, wait this long for in-flight chunks to "
+        "land before checkpointing the rest and exiting",
+    )
+    serve.add_argument(
+        "--lease-duration", type=float, default=30.0, metavar="SECONDS",
+        help="chunk ownership lease length; expired leases are reclaimed "
+        "and re-dispatched with a new fencing token",
+    )
     _add_store_argument(serve)
+
+    jobs = subparsers.add_parser(
+        "jobs", help="list resumable work: journal-incomplete, queued, orphaned"
+    )
+    jobs.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON instead of text"
+    )
+    _add_store_argument(jobs)
 
     monitor = subparsers.add_parser(
         "monitor", help="live terminal view of a queued or running job"
@@ -321,6 +347,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON instead of text"
+    )
+    chaos.add_argument(
+        "--kill-serve", action="store_true",
+        help="restart/resume scenario instead of the fault-plan suite: "
+        "SIGKILL a live `serve` subprocess mid-job, restart it with "
+        "--resume, and assert the final result is bit-identical to an "
+        "uninterrupted run (docs/ROBUSTNESS.md)",
+    )
+    chaos.add_argument(
+        "--work-dir", default=None, metavar="DIR",
+        help="with --kill-serve: keep stores/journals/event logs here "
+        "(CI uploads them as artifacts) instead of a removed tempdir",
     )
 
     table = subparsers.add_parser("table", help="regenerate a paper table")
@@ -502,8 +540,44 @@ def _command_serve(args: argparse.Namespace) -> int:
         events_log=args.events_log,
         trace_dir=args.trace_dir,
         heartbeat_interval=args.heartbeat_interval,
+        resume=args.resume,
+        drain_timeout=args.drain_timeout,
+        lease_duration=args.lease_duration,
     )
     print(f"processed {processed} job(s)")
+    return 0
+
+
+def _command_jobs(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .service import list_jobs
+
+    rows = list_jobs(_open_store(args))
+    if args.json:
+        print(_json.dumps(
+            {"schema": "repro.jobs/v1", "jobs": rows}, indent=2, sort_keys=True
+        ))
+        return 0
+    if not rows:
+        print("no resumable work (journal clean, queue empty)")
+        return 0
+    for row in rows:
+        done = row.get("completed_trajectories", 0)
+        total = row.get("trajectories", 0)
+        extra = ""
+        if row["source"] == "journal":
+            extra = (
+                f" chunks={row['completed_chunks']}/{row['planned_chunks']}"
+            )
+        print(
+            f"{row['key'][:16]}… [{row['source']}] "
+            f"{row.get('circuit', '?')} {done}/{total} trajectories{extra}"
+        )
+    print(
+        f"{len(rows)} job(s); run `repro-sim serve --once --resume` "
+        f"to finish them"
+    )
     return 0
 
 
@@ -796,22 +870,37 @@ def _command_profile(args: argparse.Namespace) -> int:
 def _command_chaos(args: argparse.Namespace) -> int:
     import json as _json
 
-    from .faults.chaos import DEFAULT_KINDS, run_chaos
+    from .faults.chaos import DEFAULT_KINDS, run_chaos, run_kill_serve
 
-    kinds = (
-        tuple(name.strip() for name in args.faults.split(",") if name.strip())
-        if args.faults
-        else DEFAULT_KINDS
-    )
-    report = run_chaos(
-        seed=args.seed,
-        kinds=kinds,
-        trajectories=args.trajectories,
-        num_qubits=args.qubits,
-        workers=args.workers,
-        chunk_size=args.chunk_size,
-        chunk_timeout=args.chunk_timeout,
-    )
+    if args.kill_serve:
+        # The restart/resume scenario wants many small chunks so the
+        # SIGKILL lands mid-job; rescale the suite defaults unless the
+        # user overrode them explicitly.
+        trajectories = 240 if args.trajectories == 80 else args.trajectories
+        chunk_size = 4 if args.chunk_size == 16 else args.chunk_size
+        report = run_kill_serve(
+            seed=args.seed,
+            trajectories=trajectories,
+            num_qubits=3 if args.qubits == 4 else args.qubits,
+            workers=args.workers,
+            chunk_size=chunk_size,
+            work_dir=args.work_dir,
+        )
+    else:
+        kinds = (
+            tuple(name.strip() for name in args.faults.split(",") if name.strip())
+            if args.faults
+            else DEFAULT_KINDS
+        )
+        report = run_chaos(
+            seed=args.seed,
+            kinds=kinds,
+            trajectories=args.trajectories,
+            num_qubits=args.qubits,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            chunk_timeout=args.chunk_timeout,
+        )
     if args.json:
         payload = {
             "schema": "repro.chaos/v1",
@@ -981,6 +1070,8 @@ def _dispatch(args) -> int:
         return _command_result(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "jobs":
+        return _command_jobs(args)
     if args.command == "monitor":
         return _command_monitor(args)
     if args.command == "cache":

@@ -36,3 +36,7 @@ __all__ = [
     "get_injector",
     "reset_injector_cache",
 ]
+
+# run_chaos / run_kill_serve live in repro.faults.chaos and are imported
+# lazily by the CLI — chaos pulls in the whole service stack, which this
+# package's importers (workers included) must not pay for.

@@ -30,7 +30,11 @@ from __future__ import annotations
 import math
 import os
 import shutil
+import signal
+import subprocess
+import sys
 import tempfile
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -42,7 +46,13 @@ from ..stochastic.runner import simulate_stochastic
 from .inject import PLAN_ENV, reset_injector_cache
 from .plan import FaultPlan, canonical_kind
 
-__all__ = ["ChaosCheck", "ChaosReport", "DEFAULT_KINDS", "run_chaos"]
+__all__ = [
+    "ChaosCheck",
+    "ChaosReport",
+    "DEFAULT_KINDS",
+    "run_chaos",
+    "run_kill_serve",
+]
 
 #: Fault kinds exercised when ``repro chaos`` is run without ``--faults``.
 #: ``drift`` is excluded by default because renormalisation perturbs the
@@ -329,3 +339,346 @@ def _run_pass(
         result = scheduler.run(spec, timeout=job_timeout)
         snapshot = scheduler.metrics_snapshot()
     return result, snapshot
+
+
+# --------------------------------------------------------------------------
+# Restart/resume scenario: SIGKILL a live serve process, resume, compare.
+# --------------------------------------------------------------------------
+
+#: Subprocess body for one ``serve`` run (argv: store_dir workers chunk
+#: events_log resume).  A real child process — not a thread — so SIGKILL
+#: genuinely tears the journal/event log mid-write like production death.
+_SERVE_SNIPPET = """\
+import sys
+from repro.service.serve import serve
+from repro.service.store import ResultStore
+
+store_dir, workers, chunk, events, resume = sys.argv[1:6]
+serve(
+    ResultStore(directory=store_dir),
+    workers=int(workers),
+    once=True,
+    poll_interval=0.05,
+    chunk_size=int(chunk),
+    events_log=events or None,
+    resume=resume == "1",
+    heartbeat_interval=0.2,
+    install_signal_handlers=True,
+)
+"""
+
+
+def _serve_subprocess_env(plan_json: Optional[str] = None) -> Dict[str, str]:
+    """Child env: inherit, force ``repro`` importable, explicit fault plan."""
+    import repro
+
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env.pop(PLAN_ENV, None)
+    if plan_json is not None:
+        env[PLAN_ENV] = plan_json
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        package_root if not existing else package_root + os.pathsep + existing
+    )
+    return env
+
+
+def _spawn_serve(
+    store_dir: str,
+    workers: int,
+    chunk_size: int,
+    events_log: str,
+    resume: bool,
+    plan_json: Optional[str] = None,
+) -> "subprocess.Popen[bytes]":
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-c",
+            _SERVE_SNIPPET,
+            store_dir,
+            str(workers),
+            str(chunk_size),
+            events_log,
+            "1" if resume else "0",
+        ],
+        env=_serve_subprocess_env(plan_json),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        # Own process group: SIGKILL-ing the group takes the daemonic
+        # worker children down too (orphaned workers would otherwise
+        # linger on a blocking queue read after their parent dies).
+        start_new_session=True,
+    )
+
+
+def _kill_serve_group(proc: "subprocess.Popen[bytes]") -> None:
+    try:
+        os.killpg(os.getpgid(proc.pid), signal.SIGKILL)
+    except (OSError, ProcessLookupError):
+        proc.kill()
+
+
+def _enqueue_kill_serve_job(
+    store_dir: str,
+    trajectories: int,
+    num_qubits: int,
+    seed: int,
+):
+    """Spool the scenario's job into ``store_dir``; returns (key, spec)."""
+    from ..service.job import JobSpec
+    from ..service.serve import enqueue_job
+    from ..service.store import ResultStore
+
+    spec = JobSpec(
+        circuit=ghz(num_qubits),
+        noise_model=NoiseModel.paper_defaults(),
+        properties=(IdealFidelity(),),
+        trajectories=trajectories,
+        seed=seed,
+        backend_kind="dd",
+        sample_shots=0,
+    )
+    key, _ = enqueue_job(ResultStore(directory=store_dir), spec)
+    return key, spec
+
+
+def run_kill_serve(
+    seed: int = 0,
+    trajectories: int = 240,
+    num_qubits: int = 3,
+    workers: int = 2,
+    chunk_size: int = 4,
+    work_dir: Optional[str] = None,
+    serve_timeout: float = 180.0,
+    kill_after_chunks: int = 1,
+    slow_chunk_seconds: float = 0.02,
+) -> ChaosReport:
+    """The ``repro chaos --kill-serve`` restart/resume scenario.
+
+    Protocol (docs/ROBUSTNESS.md, "Durability & restart semantics"):
+
+    1. compute a fault-free **serial reference** in-process;
+    2. **pass A** — run the job through an uninterrupted ``repro serve
+       --once`` subprocess (the fault-free *service* reference: chunked
+       merge order, exactly what a resumed run must reproduce);
+    3. **pass B** — start a fresh serve subprocess on its own store, poll
+       the write-ahead journal until at least ``kill_after_chunks``
+       chunk-done records are durable, then **SIGKILL the process group**
+       (no handlers, no atexit — production death);
+    4. restart with ``serve --once --resume`` and let it finish;
+    5. assert the pass B result is **bit-identical** to pass A, both agree
+       with the serial reference to merge tolerance, the torn event log is
+       still readable, and the journal holds no incomplete jobs afterwards.
+
+    When ``work_dir`` is given, stores / journals / event logs are written
+    (and kept) there — CI uploads them as artifacts on failure.  Otherwise
+    a temporary scratch directory is used and removed.
+
+    ``slow_chunk_seconds`` ships a uniform ``slow-chunk`` fault plan to
+    *every* serve subprocess (pass A, pass B, and the resume — identical
+    everywhere): the sleep widens the window between the first durable
+    chunk-done and job completion so the SIGKILL reliably lands mid-job,
+    without perturbing any computed value.
+    """
+    from ..service.store import ResultStore
+
+    report = ChaosReport(
+        seed=seed, kinds=("kill-serve",), trajectories=trajectories
+    )
+    plan_json: Optional[str] = None
+    if slow_chunk_seconds > 0.0:
+        from .plan import FaultSpec
+
+        plan_json = FaultPlan(
+            faults=(
+                FaultSpec(
+                    kind="slow-chunk",
+                    seconds=slow_chunk_seconds,
+                    times=1_000_000,
+                ),
+            ),
+            seed=seed,
+        ).to_json()
+    own_scratch = work_dir is None
+    scratch = work_dir or tempfile.mkdtemp(prefix="repro-kill-serve-")
+    os.makedirs(scratch, exist_ok=True)
+    saved_env = os.environ.get(PLAN_ENV)
+    proc: Optional["subprocess.Popen[bytes]"] = None
+    try:
+        os.environ.pop(PLAN_ENV, None)
+        reset_injector_cache()
+
+        circuit = ghz(num_qubits)
+        reference = simulate_stochastic(
+            circuit,
+            noise_model=NoiseModel.paper_defaults(),
+            properties=(IdealFidelity(),),
+            trajectories=trajectories,
+            backend="dd",
+            workers=1,
+            seed=seed,
+            sample_shots=0,
+        )
+        report.reference_estimates = _estimates_of(reference)
+
+        # -- pass A: uninterrupted serve ---------------------------------
+        store_a = os.path.join(scratch, "store-a")
+        events_a = os.path.join(scratch, "events-a.jsonl")
+        key, _spec = _enqueue_kill_serve_job(
+            store_a, trajectories, num_qubits, seed
+        )
+        proc = _spawn_serve(
+            store_a, workers, chunk_size, events_a,
+            resume=False, plan_json=plan_json,
+        )
+        try:
+            returncode = proc.wait(timeout=serve_timeout)
+        except subprocess.TimeoutExpired:
+            _kill_serve_group(proc)
+            proc.wait()
+            returncode = None
+        report.check(
+            "pass A serve exit",
+            returncode == 0,
+            f"uninterrupted serve exited {returncode}",
+        )
+        result_a = ResultStore(directory=store_a).get(key)
+        report.check(
+            "pass A completion",
+            result_a is not None
+            and result_a.completed_trajectories == trajectories,
+            "no stored result"
+            if result_a is None
+            else f"{result_a.completed_trajectories}/{trajectories} trajectories",
+        )
+        if result_a is not None:
+            report.pass_estimates.append(_estimates_of(result_a))
+
+        # -- pass B: serve, SIGKILL mid-job, resume ----------------------
+        store_b = os.path.join(scratch, "store-b")
+        events_b = os.path.join(scratch, "events-b.jsonl")
+        _enqueue_kill_serve_job(store_b, trajectories, num_qubits, seed)
+        from ..service.journal import journal_path, replay_journal
+
+        wal = journal_path(store_b)
+        proc = _spawn_serve(
+            store_b, workers, chunk_size, events_b,
+            resume=False, plan_json=plan_json,
+        )
+        deadline = time.monotonic() + serve_timeout
+        committed = 0
+        while time.monotonic() < deadline and proc.poll() is None:
+            try:
+                with open(wal, "rb") as handle:
+                    committed = handle.read().count(b'"chunk-done"')
+            except OSError:
+                committed = 0
+            if committed >= kill_after_chunks:
+                break
+            time.sleep(0.002)
+        killed_live = proc.poll() is None
+        _kill_serve_group(proc)
+        returncode = proc.wait()
+        report.injected["faults.injected.kill-serve"] = 1
+        report.check(
+            "serve killed mid-job",
+            killed_live
+            and committed >= kill_after_chunks
+            and returncode == -signal.SIGKILL,
+            f"SIGKILL after {committed} durable chunk-done record(s), "
+            f"returncode {returncode}"
+            if killed_live
+            else f"serve exited (rc={returncode}) before the kill landed — "
+            f"job too small to interrupt",
+        )
+        interrupted = ResultStore(directory=store_b).get(key)
+        report.check(
+            "no final result at kill",
+            interrupted is None,
+            "store has no final entry — the job died mid-flight"
+            if interrupted is None
+            else "job finished before the kill; nothing was interrupted",
+        )
+
+        # -- resume pass -------------------------------------------------
+        proc = _spawn_serve(
+            store_b, workers, chunk_size, events_b,
+            resume=True, plan_json=plan_json,
+        )
+        try:
+            returncode = proc.wait(timeout=serve_timeout)
+        except subprocess.TimeoutExpired:
+            _kill_serve_group(proc)
+            proc.wait()
+            returncode = None
+        report.check(
+            "resume serve exit",
+            returncode == 0,
+            f"serve --resume exited {returncode}",
+        )
+        result_b = ResultStore(directory=store_b).get(key)
+        report.check(
+            "resume completion",
+            result_b is not None
+            and result_b.completed_trajectories == trajectories,
+            "no stored result after resume"
+            if result_b is None
+            else f"{result_b.completed_trajectories}/{trajectories} trajectories",
+        )
+        if result_b is not None:
+            report.pass_estimates.append(_estimates_of(result_b))
+            report.recovered["faults.recovered.kill-serve"] = 1
+
+        # -- verdicts ----------------------------------------------------
+        if result_a is not None and result_b is not None:
+            identical = _estimates_of(result_a) == _estimates_of(result_b)
+            report.check(
+                "resume bit-identity",
+                identical,
+                "resumed estimates bit-identical to the uninterrupted run"
+                if identical
+                else f"{_estimates_of(result_a)} != {_estimates_of(result_b)}",
+            )
+            for name, value in report.reference_estimates.items():
+                deviation = max(
+                    abs(estimates.get(name, float("nan")) - value)
+                    for estimates in report.pass_estimates
+                )
+                report.check(
+                    f"reference agreement {name}",
+                    deviation <= _REFERENCE_TOLERANCE,
+                    f"max |pass - serial reference| = {deviation:.3e}",
+                )
+
+        from ..obs.export import read_event_log
+
+        events = read_event_log(events_b)
+        report.check(
+            "event log readable post-crash",
+            len(events) > 0,
+            f"{len(events)} events parsed from the crash-torn log",
+        )
+        leftover = [
+            job for job in replay_journal(wal).values() if not job.done
+        ]
+        report.check(
+            "journal settled after resume",
+            not leftover,
+            "no incomplete jobs remain in the journal"
+            if not leftover
+            else f"{len(leftover)} job(s) still incomplete",
+        )
+    finally:
+        if proc is not None and proc.poll() is None:
+            _kill_serve_group(proc)
+            proc.wait()
+        if saved_env is None:
+            os.environ.pop(PLAN_ENV, None)
+        else:
+            os.environ[PLAN_ENV] = saved_env
+        reset_injector_cache()
+        if own_scratch:
+            shutil.rmtree(scratch, ignore_errors=True)
+    return report

@@ -50,6 +50,11 @@ FAULT_KINDS: Tuple[str, ...] = (
     "enospc",           # the write raises OSError(ENOSPC)
     # stochastic/runner.py — struck inside a trajectory
     "drift",            # scale the DD state so its norm drifts off 1
+    # journal.py / scheduler.py — durable-execution layer
+    "scheduler-crash",  # os._exit the scheduler after a journaled chunk-done
+    "torn-journal",     # truncate the journal mid-record after an append
+    "enospc-journal",   # the journal append raises OSError(ENOSPC)
+    "lease-expiry",     # stop renewing a chunk's lease so the reaper reclaims it
 )
 
 #: Aliases accepted by the chaos CLI (friendly name -> canonical kind).
@@ -61,6 +66,8 @@ KIND_ALIASES: Dict[str, str] = {
     "slow": "slow-chunk",
     "drop": "queue-drop",
     "delay": "queue-delay",
+    "kill-scheduler": "scheduler-crash",
+    "lease": "lease-expiry",
 }
 
 
@@ -87,7 +94,9 @@ class FaultSpec:
     worker_id: Optional[int] = None
     chunk_index: Optional[int] = None
     trajectory: Optional[int] = None
-    operation: Optional[str] = None  # store op: "put", "put_partial", "put_queued"
+    #: Store op ("put", "put_partial", "put_queued") or journal record
+    #: type ("submit", "plan", "lease", "chunk-done", "job-done").
+    operation: Optional[str] = None
     #: Firing budget (per process, unless coordinated via markers).
     times: int = 1
     #: Delay magnitude for hang / slow-chunk / queue-delay.
@@ -255,7 +264,8 @@ class FaultPlan:
         for name in kinds:
             kind = canonical_kind(name)
             if kind in ("crash-before", "crash-mid-chunk", "hang", "slow-chunk",
-                        "corrupt-outcome", "queue-drop", "queue-delay"):
+                        "corrupt-outcome", "queue-drop", "queue-delay",
+                        "scheduler-crash", "lease-expiry"):
                 chunk = rng.randrange(num_chunks)
                 seconds = 0.0
                 if kind == "hang":
@@ -271,6 +281,10 @@ class FaultPlan:
                 faults.append(FaultSpec(kind=kind, job_key=job_key, operation="put"))
             elif kind == "enospc":
                 faults.append(FaultSpec(kind=kind, job_key=job_key, operation="put_partial"))
+            elif kind == "torn-journal":
+                faults.append(FaultSpec(kind=kind, job_key=job_key, operation="chunk-done"))
+            elif kind == "enospc-journal":
+                faults.append(FaultSpec(kind=kind, job_key=job_key, operation="chunk-done"))
             elif kind == "drift":
                 trajectory = rng.randrange(max(1, trajectories))
                 faults.append(FaultSpec(

@@ -42,6 +42,7 @@ from .export import (
     EventLogWriter,
     MetricsExporter,
     escape_label_value,
+    read_event_log,
     to_openmetrics,
 )
 from .metrics import (
@@ -93,6 +94,7 @@ __all__ = [
     "merge_profiles",
     "merge_snapshots",
     "profiling_enabled",
+    "read_event_log",
     "stitch_trace",
     "to_chrome_trace",
     "to_openmetrics",

@@ -26,7 +26,9 @@ in the exposition — operators (and the CI smoke test) can search for
 from __future__ import annotations
 
 import json
+import os
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Dict, IO, Iterable, List, Optional, Tuple
 
@@ -38,6 +40,7 @@ __all__ = [
     "escape_label_value",
     "MetricsExporter",
     "EventLogWriter",
+    "read_event_log",
 ]
 
 #: OpenMetrics exposition content type (Prometheus scrapes accept it too).
@@ -215,16 +218,27 @@ class MetricsExporter:
 class EventLogWriter:
     """Append-only JSONL telemetry event stream (one JSON object per line).
 
-    Thread-safe and flushed per event so ``tail -f`` pipelines see events
-    as they happen.  Events are plain dictionaries; the writer stamps
-    nothing, so callers control the schema (serve adds ``event`` and
-    ``ts`` keys).
+    Thread-safe, flushed *and fsync'd* per event (default) so the log
+    survives a hard process death with at worst one torn trailing line —
+    which :func:`read_event_log` skips on the way back in.  For very
+    high event rates, ``fsync_interval`` batches the fsync (the flush
+    still happens per event, so ``tail -f`` pipelines stay live; only
+    crash durability is amortised).  Events are plain dictionaries; the
+    writer stamps nothing, so callers control the schema (serve adds
+    ``event`` and ``ts`` keys).
     """
 
-    def __init__(self, path: str, registry: Optional[MetricsRegistry] = None) -> None:
+    def __init__(
+        self,
+        path: str,
+        registry: Optional[MetricsRegistry] = None,
+        fsync_interval: float = 0.0,
+    ) -> None:
         self.path = path
+        self.fsync_interval = fsync_interval
         self._registry = registry
         self._lock = threading.Lock()
+        self._last_fsync = 0.0
         self._handle: Optional[IO[str]] = open(path, "a", encoding="utf-8")
 
     def write(self, event: Dict[str, object]) -> None:
@@ -234,12 +248,36 @@ class EventLogWriter:
                 return
             self._handle.write(line + "\n")
             self._handle.flush()
+            now = time.monotonic()
+            if self.fsync_interval <= 0.0 or (
+                now - self._last_fsync >= self.fsync_interval
+            ):
+                try:
+                    os.fsync(self._handle.fileno())
+                    self._last_fsync = now
+                except OSError:
+                    pass  # durability is best-effort; the stream stays live
         if self._registry is not None:
             self._registry.counter("export.events.written").inc()
+
+    def flush(self) -> None:
+        """Force buffered events to disk (drain path)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+                try:
+                    os.fsync(self._handle.fileno())
+                except OSError:
+                    pass
 
     def close(self) -> None:
         with self._lock:
             if self._handle is not None:
+                self._handle.flush()
+                try:
+                    os.fsync(self._handle.fileno())
+                except (OSError, ValueError):
+                    pass
                 self._handle.close()
                 self._handle = None
 
@@ -248,3 +286,34 @@ class EventLogWriter:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+
+def read_event_log(path: str) -> List[Dict[str, object]]:
+    """Parse a JSONL event log, tolerating a crash-torn trailing line.
+
+    A process killed mid-append leaves at most one incomplete final line;
+    that line (and any non-object line) is skipped rather than raised, so
+    post-crash logs are always readable.  A missing file reads as empty.
+    """
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except OSError:
+        return []
+    events: List[Dict[str, object]] = []
+    lines = raw.split(b"\n")
+    trailing_complete = raw.endswith(b"\n")
+    if trailing_complete:
+        lines = lines[:-1]
+    for position, line in enumerate(lines):
+        if not line.strip():
+            continue
+        if position == len(lines) - 1 and not trailing_complete:
+            continue  # torn trailing record — the crash signature
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            continue
+        if isinstance(record, dict):
+            events.append(record)
+    return events

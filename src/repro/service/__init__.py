@@ -16,6 +16,7 @@ See docs/SERVICE.md for the architecture walk-through.
 """
 
 from .job import JobSpec, JobState, JobStatus, StreamingEstimate
+from .journal import JOURNAL_SCHEMA, JobJournal, JournalJob, journal_path, replay_journal
 from .scheduler import (
     JobCancelledError,
     JobFailedError,
@@ -24,15 +25,18 @@ from .scheduler import (
     SchedulerError,
     WorkerPoolBrokenError,
 )
-from .serve import enqueue_job, list_queue, query_status, serve
+from .serve import enqueue_job, list_jobs, list_queue, query_status, serve
 from .store import STORE_SCHEMA, ResultStore, default_store_directory
 
 __all__ = [
+    "JOURNAL_SCHEMA",
     "JobCancelledError",
     "JobFailedError",
+    "JobJournal",
     "JobSpec",
     "JobState",
     "JobStatus",
+    "JournalJob",
     "PoisonChunkError",
     "ResultStore",
     "STORE_SCHEMA",
@@ -42,7 +46,10 @@ __all__ = [
     "WorkerPoolBrokenError",
     "default_store_directory",
     "enqueue_job",
+    "journal_path",
+    "list_jobs",
     "list_queue",
     "query_status",
+    "replay_journal",
     "serve",
 ]

@@ -55,6 +55,8 @@ from __future__ import annotations
 
 import atexit
 import multiprocessing
+import os
+import socket
 import threading
 import time
 from collections import deque
@@ -79,6 +81,7 @@ from ..obs.metrics import MetricsRegistry, merge_snapshots
 from ..obs.tracing import Tracer
 from ..stochastic.results import PropertyEstimate, StochasticResult
 from .job import JobSpec, JobState, JobStatus, StreamingEstimate
+from .journal import ChunkPlanEntry, JobJournal
 from .store import ResultStore, Span
 from .worker import ChunkOutcome, ChunkTask, worker_main
 
@@ -199,6 +202,14 @@ class _Job:
         self.delayed: Dict[int, float] = {}
         self.base_spans: List[Span] = []  #: spans restored from a checkpoint
         self.base_partial: Optional[StochasticResult] = None
+        #: Lease book-keeping (docs/ROBUSTNESS.md, "Durability & restart
+        #: semantics"): fencing tokens are monotonic per job; the *current*
+        #: token per chunk is the only one whose commit is accepted.
+        self.next_token = 0
+        self.lease_tokens: Dict[int, int] = {}
+        self.lease_deadlines: Dict[int, float] = {}
+        #: Chunks whose lease renewal is suppressed (lease-expiry fault).
+        self.no_renew: Set[int] = set()
         self.aggregate = StochasticResult(
             circuit_name=spec.circuit.name,
             backend_kind=spec.backend_kind,
@@ -277,6 +288,17 @@ class Scheduler:
         mid-flight falls the job back to stochastic sampling.  ``None``
         defers to the ``REPRO_EXACT_NODE_CEILING`` environment variable
         (unset means "no ceiling": exact runs to completion).
+    journal:
+        Optional write-ahead :class:`~repro.service.journal.JobJournal`.
+        When present, every submission, chunk plan, lease grant, committed
+        chunk result, and job completion is journaled durably, making the
+        scheduler's work resumable after a hard death (``serve --resume``).
+    lease_duration:
+        Seconds a dispatched chunk's ownership lease lasts before the
+        reaper reclaims it (the dispatcher heartbeats leases on behalf of
+        its live workers, so only genuinely lost holders expire).  Commits
+        carrying a stale fencing token are rejected — re-executions are
+        at-most-once-committed.
     """
 
     def __init__(
@@ -295,6 +317,8 @@ class Scheduler:
         breaker_threshold: int = 12,
         breaker_window: float = 10.0,
         exact_node_ceiling: Optional[int] = None,
+        journal: Optional[JobJournal] = None,
+        lease_duration: float = 30.0,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -319,6 +343,14 @@ class Scheduler:
             if exact_node_ceiling is not None
             else default_node_ceiling()
         )
+        self.journal = journal
+        self.lease_duration = lease_duration
+        #: Lease owner identity for this scheduler instance — stable for
+        #: its lifetime, distinct across restarts (the PID changes).
+        self.owner_id = f"{socket.gethostname()}:{os.getpid()}"
+        #: Set by :meth:`drain`: stop assigning new chunks, let in-flight
+        #: ones land, checkpoint the rest.
+        self._draining = False
         #: Trajectories actually executed by this scheduler instance —
         #: cache hits and resumed checkpoints contribute nothing here.
         self.trajectories_executed = 0
@@ -347,6 +379,14 @@ class Scheduler:
             "dispatch.exact",
             "dispatch.stochastic",
             "dispatch.fallback",
+            # Durable-execution layer: chunk-ownership leases and drain.
+            "lease.granted",
+            "lease.renewed",
+            "lease.expired",
+            "lease.fenced",
+            "scheduler.jobs_resumed",
+            "scheduler.drain.completed",
+            "scheduler.drain.forced",
         ):
             self.metrics.counter(name)
         self.tracer = Tracer(max_events=2048)
@@ -419,12 +459,14 @@ class Scheduler:
                         "job.resume", job=key[:16],
                         restored=partial.completed_trajectories,
                     )
+                    self._journal_submit(job)
                     self._plan_chunks(job)
                     if not job.chunks:
                         # The checkpoint already covers every trajectory.
                         self._finalize(job)
                 else:
                     job.method = self._resolve_method(spec)
+                    self._journal_submit(job)
                     if job.method == "exact":
                         # No chunks, no deadline sharing: the exact run
                         # happens after the lock drops, in this thread.
@@ -439,6 +481,135 @@ class Scheduler:
         if run_exact:
             self._run_exact(job)
         return key
+
+    def submit_resumed(
+        self,
+        spec: JobSpec,
+        plan: List[ChunkPlanEntry],
+        completed: Dict[int, StochasticResult],
+        base_spans: Optional[List[Span]] = None,
+        base_partial: Optional[StochasticResult] = None,
+        token_base: int = 0,
+    ) -> str:
+        """Re-enqueue an interrupted job from its journaled state.
+
+        Unlike the checkpoint path in :meth:`submit` — which lays a *new*
+        chunk plan over the checkpoint's merged spans — this restores the
+        job's **original** chunk plan and the individual chunk results
+        that already committed.  The final :meth:`_ordered_merge` then
+        folds exactly the same sequence of chunk results in exactly the
+        same order an uninterrupted run would have, so the resumed result
+        is bit-identical no matter which chunk subset survived the crash.
+
+        ``token_base`` must exceed every fencing token the previous
+        incarnation granted (the journal tracks the horizon), so a zombie
+        commit from a pre-crash worker can never be mistaken for current.
+        """
+        key = spec.job_key()
+        with self._lock:
+            if self._closed:
+                raise SchedulerError("scheduler is shut down")
+            existing = self._jobs.get(key)
+            if existing is not None and not existing.finished():
+                return key
+            job = _Job(spec, key)
+            cached = self.store.get(key)
+            if cached is not None:
+                # The final result landed before the crash (the journal's
+                # job-done record was the casualty, not the data).
+                self.metrics.counter("store.hits").inc()
+                self.tracer.event("job.cache_hit", job=key[:16])
+                job.final = cached
+                job.cached = True
+                job.method = cached.method
+                job.state = JobState.COMPLETED
+                self._journal_job_done(job, "completed")
+                job.done.set()
+            else:
+                job.method = "stochastic"
+                job.next_token = max(0, token_base)
+                job.base_spans = list(base_spans or [])
+                job.base_partial = base_partial
+                if base_partial is not None:
+                    job.aggregate.merge(base_partial)
+                for index, first, count in plan:
+                    job.chunks[index] = ChunkTask(
+                        job_key=key,
+                        chunk_index=index,
+                        circuit=spec.circuit,
+                        noise_model=spec.noise_model,
+                        properties=spec.properties,
+                        backend_kind=spec.backend_kind,
+                        first_trajectory=first,
+                        num_trajectories=count,
+                        master_seed=spec.seed,
+                        sample_shots=spec.sample_shots,
+                        deadline=job.deadline,
+                    )
+                restored = 0
+                for index in sorted(completed):
+                    if index not in job.chunks:
+                        continue
+                    result = completed[index]
+                    job.completed[index] = result
+                    job.aggregate.merge(result)
+                    restored += result.completed_trajectories
+                job.pending.extend(
+                    index for index in sorted(job.chunks)
+                    if index not in job.completed
+                )
+                self.metrics.counter("scheduler.jobs_resumed").inc()
+                self.tracer.event(
+                    "job.resume_journal", job=key[:16],
+                    restored=restored, missing=len(job.pending),
+                )
+                if self.journal is not None and self.journal.job(key) is None:
+                    # Resuming against a journal with no memory of this job
+                    # (e.g. replayed from a dict): re-anchor the records so
+                    # the resumed run is itself durable.
+                    self._journal_submit(job)
+                    self._journal_plan(job)
+                if job.pending:
+                    job.state = JobState.RUNNING
+                else:
+                    self._finalize(job)
+            self._jobs[key] = job
+            self._order.append(key)
+        return key
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Graceful drain: stop assigning chunks, land what's in flight.
+
+        Within ``timeout`` seconds the dispatcher keeps consuming worker
+        outcomes (each one journaled and merged as usual) but assigns
+        nothing new.  Whatever is still unfinished afterwards is force-
+        checkpointed and left journal-incomplete — exactly the state
+        ``serve --resume`` restarts from.  Returns True when every
+        in-flight chunk landed inside the deadline.
+        """
+        with self._lock:
+            self._draining = True
+        deadline = time.monotonic() + max(0.0, timeout)
+        while time.monotonic() < deadline:
+            with self._lock:
+                busy = any(
+                    h.busy is not None and not h.dead for h in self._workers
+                )
+            if not busy:
+                break
+            time.sleep(min(0.05, self.poll_interval))
+        with self._lock:
+            clean = all(h.busy is None or h.dead for h in self._workers)
+            for job in self._jobs.values():
+                if not job.finished():
+                    self._checkpoint(job, force=True)
+            if self.journal is not None:
+                self.journal.flush()
+            self.metrics.counter(
+                "scheduler.drain.completed" if clean else "scheduler.drain.forced"
+            ).inc()
+            self.tracer.event("scheduler.drain", clean=clean)
+        return clean
 
     def status(self, key: str) -> JobStatus:
         """Point-in-time progress snapshot (streaming estimates included)."""
@@ -520,6 +691,8 @@ class Scheduler:
         """
         with self._lock:
             parts = [self.metrics.snapshot(), self.store.metrics.snapshot()]
+            if self.journal is not None:
+                parts.append(self.journal.metrics.snapshot())
             if self._injector is not None:
                 parts.append(self._injector.snapshot())
             return merge_snapshots(*parts)
@@ -541,6 +714,7 @@ class Scheduler:
             job.delayed.clear()
             job.state = JobState.CANCELLED
             self._checkpoint(job, force=True)
+            self._journal_job_done(job, "cancelled")
             job.done.set()
             return True
 
@@ -653,6 +827,7 @@ class Scheduler:
                 job.error = (
                     f"exact simulation failed: {type(error).__name__}: {error}"
                 )
+                self._journal_job_done(job, "failed", job.error)
                 job.done.set()
             return
         with self._lock:
@@ -667,6 +842,7 @@ class Scheduler:
                 peak_nodes=result.peak_nodes,
             )
             self.store.put(job.key, result, spec_dict=spec.to_dict())
+            self._journal_job_done(job, "completed")
             job.done.set()
 
     # ------------------------------------------------------------------
@@ -702,6 +878,33 @@ class Scheduler:
                 offset += take
         if job.chunks:
             job.state = JobState.RUNNING
+            self._journal_plan(job)
+
+    # ------------------------------------------------------------------
+    # Journal hooks (no-ops without a journal)
+    # ------------------------------------------------------------------
+
+    def _journal_submit(self, job: _Job) -> None:
+        if self.journal is not None:
+            self.journal.job_submitted(job.key, job.spec.to_dict())
+
+    def _journal_plan(self, job: _Job) -> None:
+        if self.journal is not None:
+            self.journal.plan_recorded(
+                job.key,
+                [
+                    (index, task.first_trajectory, task.num_trajectories)
+                    for index, task in sorted(job.chunks.items())
+                ],
+                list(job.base_spans),
+                None if job.base_partial is None else job.base_partial.to_dict(),
+            )
+
+    def _journal_job_done(
+        self, job: _Job, status: str, error: Optional[str] = None
+    ) -> None:
+        if self.journal is not None:
+            self.journal.job_done(job.key, status, error)
 
     # ------------------------------------------------------------------
     # Dispatch loop (background thread)
@@ -712,6 +915,7 @@ class Scheduler:
             with self._lock:
                 self._reap_dead_workers()
                 self._release_delayed_chunks()
+                self._service_leases()
                 self._check_deadlines()
                 self._assign_chunks()
                 drained = sum(
@@ -764,6 +968,8 @@ class Scheduler:
             len(job.pending) for job in self._jobs.values() if not job.finished()
         )
         self.metrics.gauge("scheduler.queue_depth").max(depth)
+        if self._draining:
+            return  # drain: land in-flight work, assign nothing new
         idle = self._idle_workers()
         if not idle:
             return
@@ -796,6 +1002,20 @@ class Scheduler:
                         continue
                 handle = idle.pop()
                 job.in_flight.add(index)
+                # Grant the chunk's ownership lease: a fresh monotonic
+                # fencing token (also stamped on the task, echoed in the
+                # outcome) and a deadline the dispatcher keeps renewing
+                # while the worker stays alive.
+                token = job.next_token
+                job.next_token += 1
+                lease_deadline = time.monotonic() + self.lease_duration
+                job.lease_tokens[index] = token
+                job.lease_deadlines[index] = lease_deadline
+                self.metrics.counter("lease.granted").inc()
+                if self.journal is not None:
+                    self.journal.lease_granted(
+                        job.key, index, self.owner_id, token, lease_deadline
+                    )
                 # Stamp the span context at dispatch time (not planning
                 # time) so each retry gets a distinct, deterministic span —
                 # the attempt number is the disambiguator.
@@ -804,6 +1024,7 @@ class Scheduler:
                     trace=job.trace_root.child(
                         "chunk", index, job.retries.get(index, 0)
                     ),
+                    fencing_token=token,
                 )
                 handle.busy = task
                 handle.dispatched_at = time.perf_counter()
@@ -902,7 +1123,63 @@ class Scheduler:
             job.pending.clear()
             job.delayed.clear()
             self._checkpoint(job, force=True)
+            self._journal_job_done(job, "failed", job.error)
             job.done.set()
+
+    # ------------------------------------------------------------------
+    # Lease heartbeat and reaper
+    # ------------------------------------------------------------------
+
+    def _service_leases(self) -> None:
+        """Heartbeat live leases; reclaim expired ones.
+
+        The dispatcher renews on behalf of its live workers (a worker has
+        no clock of its own to heartbeat with), so a lease only expires
+        when the holder — worker *or* the whole scheduler process — has
+        genuinely stopped making progress.  An expired lease invalidates
+        its fencing token and requeues the chunk: the original holder, if
+        it ever reports, is fenced at commit time.
+        """
+        now = time.monotonic()
+        for handle in self._workers:
+            task = handle.busy
+            if task is None or handle.dead or not handle.process.is_alive():
+                continue
+            job = self._jobs.get(task.job_key)
+            if job is None or job.finished():
+                continue
+            index = task.chunk_index
+            if job.lease_tokens.get(index) != task.fencing_token:
+                continue  # ownership moved on; this holder is a zombie
+            if index in job.no_renew:
+                continue
+            if self._injector is not None and self._injector.fire(
+                "lease-expiry", job_key=job.key, chunk_index=index
+            ):
+                # Simulate a lost heartbeat: stop renewing so the reaper
+                # below reclaims the lease while the worker still runs.
+                job.no_renew.add(index)
+                self.tracer.event(
+                    "lease.renewal_blocked", job=job.key[:16], chunk=index
+                )
+                continue
+            deadline = job.lease_deadlines.get(index)
+            if deadline is not None and deadline - now < self.lease_duration / 2.0:
+                job.lease_deadlines[index] = now + self.lease_duration
+                self.metrics.counter("lease.renewed").inc()
+        for job in self._jobs.values():
+            if job.finished():
+                continue
+            for index in list(job.in_flight):
+                deadline = job.lease_deadlines.get(index)
+                if deadline is None or now < deadline:
+                    continue
+                self.metrics.counter("lease.expired").inc()
+                self.tracer.event("lease.expired", job=job.key[:16], chunk=index)
+                job.lease_tokens[index] = -1  # fence the lost holder
+                job.lease_deadlines.pop(index, None)
+                job.no_renew.discard(index)
+                self._requeue(job.chunks[index], "lease expired")
 
     # ------------------------------------------------------------------
     # Outcome handling
@@ -932,6 +1209,7 @@ class Scheduler:
         if job is None or job.finished():
             return
         job.in_flight.discard(task.chunk_index)
+        job.lease_deadlines.pop(task.chunk_index, None)
         if task.chunk_index in job.completed:
             return  # result raced in before the death was noticed
         attempts = job.retries.get(task.chunk_index, 0) + 1
@@ -955,6 +1233,7 @@ class Scheduler:
                 f"chunk {task.chunk_index} failed after {attempts} attempts ({reason})"
             )
             job.pending.clear()
+            self._journal_job_done(job, "failed", job.error)
             job.done.set()
         else:
             self.metrics.counter("faults.recovered.requeue").inc()
@@ -989,6 +1268,7 @@ class Scheduler:
             "chunk.quarantine", job=job.key[:16],
             chunk=task.chunk_index, deaths=deaths,
         )
+        self._journal_job_done(job, "failed", job.error)
         job.done.set()
 
     def _handle_outcome(self, outcome: ChunkOutcome) -> None:
@@ -1001,6 +1281,22 @@ class Scheduler:
             return  # late result for a cancelled/timed-out/failed job
         if outcome.chunk_index in job.completed:
             return  # duplicate after a spurious requeue
+        expected_token = job.lease_tokens.get(outcome.chunk_index)
+        if (
+            outcome.fencing_token is not None
+            and expected_token is not None
+            and outcome.fencing_token != expected_token
+        ):
+            # The chunk's lease expired and ownership moved on; this is a
+            # zombie holder's report.  Rejecting it (success or error) is
+            # what makes re-executions at-most-once-committed.
+            self.metrics.counter("lease.fenced").inc()
+            self.tracer.event(
+                "lease.fenced", job=outcome.job_key[:16],
+                chunk=outcome.chunk_index,
+                token=outcome.fencing_token, current=expected_token,
+            )
+            return
         if outcome.error is not None:
             self._requeue(job.chunks[outcome.chunk_index], outcome.error)
             return
@@ -1024,6 +1320,8 @@ class Scheduler:
         except ValueError:
             pass
         job.completed[outcome.chunk_index] = outcome.result
+        job.lease_deadlines.pop(outcome.chunk_index, None)
+        job.no_renew.discard(outcome.chunk_index)
         job.aggregate.merge(outcome.result)
         self.trajectories_executed += outcome.result.completed_trajectories
         self.metrics.counter("scheduler.trajectories_executed").inc(
@@ -1031,6 +1329,24 @@ class Scheduler:
         )
         self.metrics.counter("scheduler.chunks_completed").inc()
         job.chunks_since_checkpoint += 1
+        if self.journal is not None:
+            # WAL ordering: the commit is journaled before any dependent
+            # store write, so a crash at any later instant still replays
+            # this chunk as done.
+            self.journal.chunk_done(
+                job.key,
+                outcome.chunk_index,
+                outcome.first_trajectory,
+                outcome.num_trajectories,
+                -1 if outcome.fencing_token is None else outcome.fencing_token,
+                outcome.result.to_dict(),
+            )
+        if self._injector is not None and self._injector.fire(
+            "scheduler-crash", job_key=job.key, chunk_index=outcome.chunk_index
+        ):
+            # Die hard with a journaled chunk-done but no further store
+            # writes — the deterministic stand-in for kill -9 mid-job.
+            os._exit(1)
         if outcome.result.timed_out:
             # The shared deadline tripped inside this chunk; siblings are
             # about to report theirs too.  Finalize once the last in-flight
@@ -1128,4 +1444,8 @@ class Scheduler:
             # Timed-out / partial outcomes are checkpointed, never cached
             # as final: a resubmission with more budget resumes from here.
             self.store.put_partial(job.key, self._completed_spans(job), final)
+        # job-done lands AFTER the store write: a crash in between replays
+        # the job as incomplete and the resume finds the cached result —
+        # the reverse order could journal "done" with no result on disk.
+        self._journal_job_done(job, "completed")
         job.done.set()

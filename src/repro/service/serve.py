@@ -12,6 +12,7 @@ processes) find them.  This decouples producers from the worker pool: many
 from __future__ import annotations
 
 import os
+import signal
 import threading
 import time
 from typing import Callable, List, Optional, Tuple
@@ -19,11 +20,13 @@ from typing import Callable, List, Optional, Tuple
 from ..obs.context import write_chrome_trace
 from ..obs.export import EventLogWriter, MetricsExporter, to_openmetrics
 from ..obs.metrics import MetricsRegistry, derive_rates, merge_snapshots
+from ..stochastic.results import StochasticResult
 from .job import JobSpec, JobState, JobStatus, StreamingEstimate
+from .journal import JobJournal, JournalJob, journal_path, replay_journal
 from .scheduler import Scheduler, SchedulerError
 from .store import ResultStore
 
-__all__ = ["enqueue_job", "list_queue", "query_status", "serve"]
+__all__ = ["enqueue_job", "list_queue", "list_jobs", "query_status", "serve"]
 
 
 def enqueue_job(store: ResultStore, spec: JobSpec) -> Tuple[str, bool]:
@@ -58,6 +61,68 @@ def list_queue(store: ResultStore) -> List[str]:
         except OSError:
             continue
     return [key for _, key in sorted(entries)]
+
+
+def list_jobs(store: ResultStore) -> List[dict]:
+    """Resumable work visible in the store (``repro jobs``).
+
+    One row per job, keyed by where the resumable state lives:
+    ``journal`` (incomplete in the write-ahead journal — what
+    ``serve --resume`` restarts, with its committed-chunk progress),
+    ``queued`` (spooled spec not yet picked up), or ``checkpoint``
+    (an orphaned partial with no journal entry, resumable by plain
+    resubmission).
+    """
+    rows: List[dict] = []
+    seen = set()
+    if store.directory is not None:
+        for job in replay_journal(journal_path(store.directory)).values():
+            if job.done:
+                continue
+            row: dict = {
+                "key": job.key,
+                "source": "journal",
+                "planned_chunks": len(job.plan),
+                "completed_chunks": len(job.completed),
+                "completed_trajectories": job.completed_trajectories(),
+                "trajectories": job.planned_trajectories(),
+            }
+            if job.spec_dict is not None:
+                row["circuit"] = str(job.spec_dict.get("circuit_name", "?"))
+                row["trajectories"] = int(job.spec_dict.get("trajectories", 0))
+            rows.append(row)
+            seen.add(job.key)
+    for key in list_queue(store):
+        if key in seen:
+            continue
+        spec = _dequeue(store, key)
+        rows.append(
+            {
+                "key": key,
+                "source": "queued",
+                "circuit": spec.circuit.name if spec else "?",
+                "trajectories": spec.trajectories if spec else 0,
+                "completed_trajectories": 0,
+            }
+        )
+        seen.add(key)
+    for key in store.partial_keys():
+        if key in seen:
+            continue
+        checkpoint = store.get_partial(key)
+        if checkpoint is None:
+            continue
+        _, partial = checkpoint
+        rows.append(
+            {
+                "key": key,
+                "source": "checkpoint",
+                "circuit": partial.circuit_name,
+                "trajectories": partial.requested_trajectories,
+                "completed_trajectories": partial.completed_trajectories,
+            }
+        )
+    return rows
 
 
 def _dequeue(store: ResultStore, key: str) -> Optional[JobSpec]:
@@ -320,6 +385,133 @@ class _Telemetry:
         self.close()
 
 
+def _restore_chunk_results(journaled: JournalJob):
+    """Parse a journaled job's committed chunk results (skip unparsable)."""
+    completed = {}
+    for index, payload in journaled.completed.items():
+        try:
+            completed[index] = StochasticResult.from_dict(payload)
+        except (KeyError, TypeError, ValueError):
+            continue
+    base_partial = None
+    if journaled.base_result is not None:
+        try:
+            base_partial = StochasticResult.from_dict(journaled.base_result)
+        except (KeyError, TypeError, ValueError):
+            base_partial = None
+    return completed, base_partial
+
+
+def _run_one(
+    store: ResultStore,
+    scheduler: Scheduler,
+    telemetry: _Telemetry,
+    log: Callable[[str], None],
+    draining: threading.Event,
+    key: str,
+    spec: JobSpec,
+    submit: Callable[[], str],
+) -> bool:
+    """Submit one job and poll it to completion (or until a drain).
+
+    Returns True when the job reached a terminal state (success or
+    failure: counted as processed, dequeued).  Returns False when a drain
+    interrupted the wait — the job stays journal-incomplete and spooled,
+    exactly the state ``serve --resume`` restarts from.
+    """
+    telemetry.job_started(key, spec)
+    try:
+        submit()
+    except SchedulerError as error:
+        log(f"[serve] job {key[:16]}… FAILED: {error}")
+        telemetry.job_finished(key, error=str(error))
+        store.delete_queued(key)
+        return True
+    while True:
+        # Short poll instead of a blocking wait so SIGTERM/SIGINT (whose
+        # handlers only set the drain event) interrupt promptly.
+        try:
+            result = scheduler.result(key, timeout=0.2)
+        except TimeoutError:
+            if draining.is_set():
+                return False
+            continue
+        except SchedulerError as error:
+            log(f"[serve] job {key[:16]}… FAILED: {error}")
+            telemetry.job_finished(key, error=str(error))
+            store.delete_queued(key)
+            return True
+        break
+    if result.method == "exact":
+        log(
+            f"[serve] job {key[:16]}… done: exact density-matrix pass "
+            f"in {result.elapsed_seconds:.3f} s"
+        )
+    else:
+        log(
+            f"[serve] job {key[:16]}… done: "
+            f"{result.completed_trajectories}/{spec.trajectories} "
+            f"trajectories in {result.elapsed_seconds:.3f} s"
+        )
+    telemetry.job_finished(key, result=result)
+    store.delete_queued(key)
+    return True
+
+
+def _resume_incomplete(
+    store: ResultStore,
+    scheduler: Scheduler,
+    journal: JobJournal,
+    telemetry: _Telemetry,
+    log: Callable[[str], None],
+    draining: threading.Event,
+) -> int:
+    """Re-enqueue and run every journal-incomplete job; returns count run."""
+    processed = 0
+    for journaled in journal.incomplete_jobs():
+        if draining.is_set():
+            break
+        if journaled.spec_dict is None:
+            continue  # torn before the submit record — nothing to restore
+        try:
+            spec = JobSpec.from_dict(journaled.spec_dict)
+        except (KeyError, TypeError, ValueError) as error:
+            log(
+                f"[serve] journal entry {journaled.key[:16]}… has an "
+                f"unusable spec ({error}); skipping"
+            )
+            continue
+        key = journaled.key
+        completed, base_partial = _restore_chunk_results(journaled)
+        if journaled.plan:
+            log(
+                f"[serve] resuming job {key[:16]}… "
+                f"({len(completed)}/{len(journaled.plan)} chunks already "
+                f"committed)"
+            )
+            telemetry.emit(
+                "job.resume", job=key,
+                completed_chunks=len(completed),
+                planned_chunks=len(journaled.plan),
+            )
+            submit = lambda: scheduler.submit_resumed(  # noqa: E731
+                spec,
+                journaled.plan,
+                completed,
+                base_spans=journaled.base_spans,
+                base_partial=base_partial,
+                token_base=journaled.max_token + 1,
+            )
+        else:
+            # Submitted but never planned: an ordinary resubmission (the
+            # checkpoint path inside submit() still applies if one exists).
+            log(f"[serve] re-running unplanned job {key[:16]}…")
+            submit = lambda: scheduler.submit(spec)  # noqa: E731
+        if _run_one(store, scheduler, telemetry, log, draining, key, spec, submit):
+            processed += 1
+    return processed
+
+
 def serve(
     store: ResultStore,
     workers: int = 2,
@@ -333,6 +525,10 @@ def serve(
     events_log: Optional[str] = None,
     trace_dir: Optional[str] = None,
     heartbeat_interval: float = 1.0,
+    resume: bool = False,
+    drain_timeout: float = 10.0,
+    lease_duration: float = 30.0,
+    install_signal_handlers: bool = True,
 ) -> int:
     """Process queued jobs until the queue stays empty (``once``) or forever.
 
@@ -340,66 +536,118 @@ def serve(
     exhausted) are logged and dequeued so one poisoned spec cannot wedge
     the queue; their partial checkpoints remain for post-mortem or resume.
 
+    Durability (docs/ROBUSTNESS.md, "Durability & restart semantics"):
+    stores with an on-disk directory get a write-ahead job journal — every
+    submission, chunk plan, lease, committed chunk result, and completion
+    is journaled with fsync, so a hard death (``kill -9``) loses at most
+    uncommitted chunk work.  ``resume=True`` replays the journal on
+    startup and re-enqueues every incomplete job with its *original*
+    chunk plan, producing results bit-identical to an uninterrupted run.
+    SIGTERM/SIGINT trigger a graceful drain: stop admitting work, let
+    in-flight chunks land (bounded by ``drain_timeout`` seconds),
+    checkpoint the rest, flush journal/metrics/events, and return
+    normally (exit 0); a second signal exits immediately.
+
     Telemetry (all optional, see docs/OBSERVABILITY.md):
 
     * ``metrics_port`` — serve OpenMetrics text on ``GET /metrics`` at
-      that port (0 binds an ephemeral one), including live per-property
-      estimate means and Hoeffding half-widths while a job runs.
+      that port (0 binds an ephemeral one; the ``serve.start`` event and
+      the startup log line carry the actual bound port), including live
+      per-property estimate means and Hoeffding half-widths.
     * ``events_log`` — append JSONL telemetry events (job transitions
-      plus a periodic heartbeat every ``heartbeat_interval`` seconds).
+      plus a periodic heartbeat every ``heartbeat_interval`` seconds),
+      fsync'd per record so the log survives a crash torn at worst.
     * ``trace_dir`` — write a Chrome ``trace_event`` JSON file per
       completed job, stitched from the job's cross-process spans.
     """
     processed = 0
-    with Scheduler(
-        workers=workers,
-        store=store,
-        chunk_size=chunk_size,
-        max_retries=max_retries,
-    ) as scheduler, _Telemetry(
-        store, scheduler, metrics_port, events_log, trace_dir,
-        heartbeat_interval, log,
-    ) as telemetry:
-        while True:
-            keys = list_queue(store)
-            if not keys:
-                if once:
-                    break
-                time.sleep(poll_interval)
-                continue
-            for key in keys:
-                spec = _dequeue(store, key)
-                if spec is None:
-                    log(f"[serve] dropping unreadable queue entry {key[:16]}…")
-                    store.delete_queued(key)
-                    continue
-                log(
-                    f"[serve] job {key[:16]}… ({spec.circuit.name}, "
-                    f"M={spec.trajectories}, backend={spec.backend_kind}, "
-                    f"method={spec.method})"
+    journal: Optional[JobJournal] = None
+    if store.directory is not None:
+        journal = JobJournal(journal_path(store.directory))
+    draining = threading.Event()
+
+    def _on_signal(signum: int, _frame) -> None:
+        if draining.is_set():
+            os._exit(128 + signum)  # second signal: immediate exit
+        draining.set()
+
+    restore: List[Tuple[int, object]] = []
+    if install_signal_handlers:
+        try:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                restore.append((signum, signal.signal(signum, _on_signal)))
+        except ValueError:
+            restore = []  # not the main thread (embedded/test use)
+    try:
+        with Scheduler(
+            workers=workers,
+            store=store,
+            chunk_size=chunk_size,
+            max_retries=max_retries,
+            journal=journal,
+            lease_duration=lease_duration,
+        ) as scheduler, _Telemetry(
+            store, scheduler, metrics_port, events_log, trace_dir,
+            heartbeat_interval, log,
+        ) as telemetry:
+            telemetry.emit(
+                "serve.start",
+                pid=os.getpid(),
+                resume=resume,
+                journal=None if journal is None else journal.path,
+                metrics_port=(
+                    None if telemetry.exporter is None else telemetry.exporter.port
+                ),
+            )
+            if resume and journal is not None:
+                processed += _resume_incomplete(
+                    store, scheduler, journal, telemetry, log, draining
                 )
-                telemetry.job_started(key, spec)
-                try:
-                    result = scheduler.run(spec)
-                    if result.method == "exact":
-                        log(
-                            f"[serve] job {key[:16]}… done: exact "
-                            f"density-matrix pass in "
-                            f"{result.elapsed_seconds:.3f} s"
-                        )
-                    else:
-                        log(
-                            f"[serve] job {key[:16]}… done: "
-                            f"{result.completed_trajectories}/{spec.trajectories} "
-                            f"trajectories in {result.elapsed_seconds:.3f} s"
-                        )
-                    telemetry.job_finished(key, result=result)
-                except SchedulerError as error:
-                    log(f"[serve] job {key[:16]}… FAILED: {error}")
-                    telemetry.job_finished(key, error=str(error))
-                finally:
-                    store.delete_queued(key)
-                processed += 1
                 if max_jobs is not None and processed >= max_jobs:
+                    telemetry.emit("serve.stop", processed=processed)
                     return processed
+            while not draining.is_set():
+                keys = list_queue(store)
+                if not keys:
+                    if once:
+                        break
+                    draining.wait(poll_interval)
+                    continue
+                for key in keys:
+                    if draining.is_set():
+                        break
+                    spec = _dequeue(store, key)
+                    if spec is None:
+                        log(f"[serve] dropping unreadable queue entry {key[:16]}…")
+                        store.delete_queued(key)
+                        continue
+                    log(
+                        f"[serve] job {key[:16]}… ({spec.circuit.name}, "
+                        f"M={spec.trajectories}, backend={spec.backend_kind}, "
+                        f"method={spec.method})"
+                    )
+                    if _run_one(
+                        store, scheduler, telemetry, log, draining, key, spec,
+                        lambda spec=spec: scheduler.submit(spec),
+                    ):
+                        processed += 1
+                    if max_jobs is not None and processed >= max_jobs:
+                        telemetry.emit("serve.stop", processed=processed)
+                        return processed
+            if draining.is_set():
+                clean = scheduler.drain(drain_timeout)
+                telemetry.emit("serve.drain", clean=clean, processed=processed)
+                log(
+                    f"[serve] drained ({'clean' if clean else 'forced'}) "
+                    f"after signal; exiting"
+                )
+            telemetry.emit("serve.stop", processed=processed)
+    finally:
+        for signum, previous in restore:
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, TypeError):
+                pass
+        if journal is not None:
+            journal.close()
     return processed

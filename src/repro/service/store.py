@@ -36,6 +36,7 @@ import errno
 import hashlib
 import json
 import os
+import time
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
@@ -53,6 +54,11 @@ STORE_ENV = "REPRO_STORE_DIR"
 STORE_SCHEMA = "repro.store/v2"
 
 Span = Tuple[int, int]  #: (first_trajectory, num_trajectories)
+
+#: Seconds the store sheds *sheddable* writes (checkpoints) after a write
+#: failure — the ENOSPC degraded mode: checkpoint granularity is lost
+#: before results are (final ``put`` writes are always attempted).
+DEFAULT_DEGRADED_COOLDOWN = 5.0
 
 
 def default_store_directory() -> str:
@@ -77,11 +83,19 @@ def _payload_digest(payload: Dict[str, object]) -> str:
 class ResultStore:
     """LRU-fronted, content-addressed store of simulation results."""
 
-    def __init__(self, directory: Optional[str] = None, capacity: int = 128) -> None:
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        capacity: int = 128,
+        degraded_cooldown: float = DEFAULT_DEGRADED_COOLDOWN,
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.directory = directory
         self.capacity = capacity
+        self.degraded_cooldown = degraded_cooldown
+        #: Monotonic instant until which sheddable writes are shed.
+        self._degraded_until = 0.0
         self._memory: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -95,6 +109,8 @@ class ResultStore:
         for name in (
             "store.corruption.quarantined",
             "store.write.errors",
+            "store.degraded.entered",
+            "store.degraded.skipped",
             "faults.recovered.store_quarantine",
             "faults.recovered.write_skipped",
         ):
@@ -210,17 +226,38 @@ class ResultStore:
                     handle.seek(position)
                     handle.write(bytes([raw[position] ^ 0xFF]))
 
+    @property
+    def degraded(self) -> bool:
+        """True while the store is shedding checkpoint writes (post-failure)."""
+        return time.monotonic() < self._degraded_until
+
     def _write_cached(
-        self, kind: str, key: str, payload: Dict[str, object], operation: str
+        self,
+        kind: str,
+        key: str,
+        payload: Dict[str, object],
+        operation: str,
+        sheddable: bool = False,
     ) -> None:
-        """Best-effort cache write: failures are counted, never raised."""
+        """Best-effort cache write: failures are counted, never raised.
+
+        A failure opens a degraded-mode cooldown during which *sheddable*
+        writes (checkpoints) are skipped outright — when the disk is full,
+        hammering it with checkpoint traffic only delays the final result
+        write, which is always attempted.
+        """
         if self.directory is None:
+            return
+        if sheddable and self.degraded:
+            self.metrics.counter("store.degraded.skipped").inc()
             return
         try:
             self._write_json(kind, key, payload, operation)
         except OSError as error:
             self.metrics.counter("store.write.errors").inc()
             self.metrics.counter("faults.recovered.write_skipped").inc()
+            self.metrics.counter("store.degraded.entered").inc()
+            self._degraded_until = time.monotonic() + self.degraded_cooldown
             self.last_write_error = f"{operation} {key[:16]}…: {error}"
 
     # -- final results ----------------------------------------------------
@@ -303,6 +340,7 @@ class ResultStore:
             {"spans": [[first, count] for first, count in spans],
              "result": result.to_dict()},
             "put_partial",
+            sheddable=True,
         )
 
     def delete_partial(self, key: str) -> None:

@@ -77,6 +77,11 @@ class ChunkTask:
     #: fresh one carrying the attempt number); observational only — it
     #: never participates in the content-addressed job key.
     trace: Optional[TraceContext] = None
+    #: Fencing token of the chunk's ownership lease, stamped per dispatch
+    #: and echoed in the outcome.  The scheduler rejects commits whose
+    #: token is stale (the lease expired and the chunk was re-leased), so
+    #: duplicate completions are idempotent — at-most-once-committed.
+    fencing_token: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -90,6 +95,8 @@ class ChunkOutcome:
     num_trajectories: int
     result: Optional[StochasticResult]
     error: Optional[str]
+    #: Echo of :attr:`ChunkTask.fencing_token` (None for pre-lease tasks).
+    fencing_token: Optional[int] = None
 
 
 def _site_attrs(worker_id: int, task: ChunkTask) -> dict:
@@ -208,11 +215,13 @@ def worker_main(worker_id: int, task_queue, result_queue) -> None:
             outcome = ChunkOutcome(
                 worker_id, task.job_key, task.chunk_index,
                 task.first_trajectory, task.num_trajectories, result, None,
+                fencing_token=task.fencing_token,
             )
         except Exception as exc:  # report, don't kill the worker
             outcome = ChunkOutcome(
                 worker_id, task.job_key, task.chunk_index,
                 task.first_trajectory, task.num_trajectories, None,
                 f"{type(exc).__name__}: {exc}",
+                fencing_token=task.fencing_token,
             )
         result_queue.put(outcome)

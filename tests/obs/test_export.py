@@ -13,6 +13,7 @@ from repro.obs import (
     MetricsExporter,
     MetricsRegistry,
     escape_label_value,
+    read_event_log,
     to_openmetrics,
 )
 
@@ -149,3 +150,50 @@ class TestEventLog:
         writer.write({"event": "late"})  # silently dropped, no crash
         with open(path, encoding="utf-8") as handle:
             assert len(handle.readlines()) == 1
+
+    def test_fsync_interval_batches_durability_not_visibility(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with EventLogWriter(path, fsync_interval=60.0) as writer:
+            writer.write({"event": "one"})
+            writer.write({"event": "two"})
+            # Flushed per event even when the fsync is amortised.
+            with open(path, encoding="utf-8") as handle:
+                assert len(handle.readlines()) == 2
+            writer.flush()
+
+
+class TestReadEventLog:
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_event_log(str(tmp_path / "absent.jsonl")) == []
+
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with EventLogWriter(path) as writer:
+            writer.write({"event": "serve.start", "pid": 42})
+            writer.write({"event": "job.done", "job": "abc"})
+        events = read_event_log(path)
+        assert [e["event"] for e in events] == ["serve.start", "job.done"]
+
+    def test_crash_torn_trailing_line_is_skipped(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with EventLogWriter(path) as writer:
+            writer.write({"event": "one"})
+            writer.write({"event": "two"})
+        with open(path, "r+b") as handle:
+            size = handle.seek(0, 2)
+            handle.truncate(size - 5)  # kill -9 mid-append
+        events = read_event_log(path)
+        assert [e["event"] for e in events] == ["one"]
+
+    def test_unterminated_but_parseable_tail_is_skipped(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"event": "one"}) + "\n")
+            handle.write(json.dumps({"event": "tail"}))  # no newline
+        assert [e["event"] for e in read_event_log(path)] == ["one"]
+
+    def test_non_object_lines_are_skipped(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"event": "one"}\n[1, 2, 3]\nnot json\n')
+        assert [e["event"] for e in read_event_log(path)] == ["one"]

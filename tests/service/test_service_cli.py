@@ -155,3 +155,44 @@ class TestCacheCommand:
         assert "cleared" in capsys.readouterr().out
         assert main(["cache", "show", "--store", store_dir]) == 0
         assert "final results: 0" in capsys.readouterr().out
+
+
+class TestJobsCommand:
+    def test_empty_store_reports_nothing_resumable(self, tmp_path, capsys):
+        assert main(["jobs", "--store", str(tmp_path)]) == 0
+        assert "no resumable work" in capsys.readouterr().out
+
+    def test_queued_and_journaled_work_is_listed(self, tmp_path, capsys):
+        store_dir = str(tmp_path)
+        key, _ = submit(store_dir, capsys)
+        assert main(["jobs", "--store", store_dir]) == 0
+        listing = capsys.readouterr().out
+        assert key[:16] in listing
+        assert "[queued]" in listing
+        assert "serve --once --resume" in listing
+
+        # A journal entry takes precedence over the queue row for its key.
+        from repro.service.journal import JobJournal, journal_path
+
+        with JobJournal(journal_path(store_dir)) as journal:
+            journal.job_submitted(key, {"circuit_name": "ghz-8",
+                                        "trajectories": 40})
+            journal.plan_recorded(key, [(0, 0, 20), (1, 20, 20)], [])
+            journal.chunk_done(key, 0, 0, 20, 0,
+                               {"completed_trajectories": 20})
+        assert main(["jobs", "--json", "--store", store_dir]) == 0
+        import json as _json
+
+        payload = _json.loads(capsys.readouterr().out)
+        (row,) = [r for r in payload["jobs"] if r["key"] == key]
+        assert row["source"] == "journal"
+        assert row["completed_chunks"] == 1
+        assert row["planned_chunks"] == 2
+
+    def test_serve_accepts_resume_and_drain_flags(self, tmp_path, capsys):
+        store_dir = str(tmp_path)
+        assert main(
+            ["serve", "--once", "--resume", "--drain-timeout", "2",
+             "--lease-duration", "5", "--store", store_dir]
+        ) == 0
+        assert "processed 0 job(s)" in capsys.readouterr().out
