@@ -12,6 +12,11 @@ consecutive reports on two axes:
   ``peak_rho_nodes``; node counts are machine-independent, so growth
   beyond the same threshold means the rho-DD representation itself got
   less compact — a regression no hardware change can explain away.
+* ``stratified_cases`` (post-stratified estimator series): per-circuit
+  ``effective_traj_per_sec`` — effective trajectories (erring count
+  divided by ``(1 - p_clean)^2``) per wall second; a drop beyond the
+  threshold means later work eroded the stratified estimator's
+  variance-per-second advantage.
 
 Usage::
 
@@ -55,7 +60,12 @@ def load_report(path):
         for case in report.get("exact_cases", [])
         if case.get("peak_rho_nodes")
     }
-    return throughput, nodes
+    effective = {
+        case["circuit"]: float(case["effective_traj_per_sec"])
+        for case in report.get("stratified_cases", [])
+        if case.get("effective_traj_per_sec")
+    }
+    return throughput, nodes, effective
 
 
 def diff_series(paths, threshold):
@@ -63,13 +73,13 @@ def diff_series(paths, threshold):
     lines = []
     failures = []
     previous_path = None
-    previous = ({}, {})
+    previous = ({}, {}, {})
     for path in paths:
         current = load_report(path)
         if previous_path is not None:
             span = f"[{os.path.basename(previous_path)} -> {os.path.basename(path)}]"
-            throughput_before, nodes_before = previous
-            throughput_after, nodes_after = current
+            throughput_before, nodes_before, effective_before = previous
+            throughput_after, nodes_after, effective_after = current
             # Stochastic series: throughput must not drop.
             for circuit in sorted(set(throughput_before) & set(throughput_after)):
                 before = throughput_before[circuit]
@@ -104,6 +114,25 @@ def diff_series(paths, threshold):
                     )
                 lines.append(
                     f"{circuit}: {before:9d} -> {after:9d} rho nodes "
+                    f"({change:+6.1%})  {span}{marker}"
+                )
+            # Stratified series: effective throughput must not drop.
+            for circuit in sorted(set(effective_before) & set(effective_after)):
+                before = effective_before[circuit]
+                after = effective_after[circuit]
+                change = (after - before) / before
+                marker = ""
+                if change < -threshold:
+                    marker = "  << REGRESSION"
+                    failures.append(
+                        f"{circuit}: {before:.1f} -> {after:.1f} effective "
+                        f"traj/s ({change:+.1%}) from "
+                        f"{os.path.basename(previous_path)} to "
+                        f"{os.path.basename(path)} exceeds the "
+                        f"{threshold:.0%} budget"
+                    )
+                lines.append(
+                    f"{circuit}: {before:9.1f} -> {after:9.1f} eff traj/s "
                     f"({change:+6.1%})  {span}{marker}"
                 )
         previous_path, previous = path, current

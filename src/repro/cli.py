@@ -668,7 +668,7 @@ def _render_stats(payload: dict) -> str:
         for name, value in sorted(counters.items())
         if name.startswith(
             ("scheduler.", "store.", "errors.fired.", "dd.gc.", "faults.",
-             "prefix.", "gateplan.", "exact.", "dispatch.")
+             "prefix.", "strata.", "gateplan.", "exact.", "dispatch.")
         )
     }
     if service_counters:

@@ -51,6 +51,13 @@ from .unique_table import UniqueTable
 
 __all__ = ["DDPackage"]
 
+#: Relative band within which two child magnitudes count as tied when
+#: choosing the phase-anchor child in :meth:`DDPackage.make_vector_node`.
+#: Rounding perturbs magnitudes of scalar multiples by a few ulp (~1e-16
+#: relative); anything produced by genuinely different amplitudes on the
+#: grids we canonicalise differs by far more than this.
+_PHASE_TIE_RTOL = 1e-9
+
 # 2x2 projectors used for controlled-gate construction and measurement.
 PROJ_ZERO = np.array([[1, 0], [0, 0]], dtype=complex)
 PROJ_ONE = np.array([[0, 0], [0, 1]], dtype=complex)
@@ -124,10 +131,16 @@ class DDPackage:
         # Anchor the common phase on the larger-magnitude child: a leading
         # weight with |w| near the canonicalisation tolerance carries O(1)
         # relative noise in its components, and dividing by it would rotate
-        # the whole sub-state by that noise (ties resolve to w0, which
-        # keeps the historical first-non-zero convention for the common
-        # equal-magnitude case).
-        reference = w0 if mag2_0 >= mag2_1 else w1
+        # the whole sub-state by that noise.  The comparison is banded by a
+        # *relative* tolerance (resolving to w0, which keeps the historical
+        # first-non-zero convention for the equal-magnitude case): an exact
+        # `>=` is not scale-invariant — mathematically equal magnitudes come
+        # out a last-ulp apart, and which side wins flips between a vector
+        # and its scalar multiples, anchoring their phases on different
+        # children and breaking node sharing (the canonicity-under-scaling
+        # hypothesis counterexample).  Within the band both children are
+        # equally large, so the stability rationale is indifferent.
+        reference = w0 if mag2_1 - mag2_0 <= _PHASE_TIE_RTOL * mag2_1 else w1
         phase = reference.value / reference.magnitude()
         common = norm * phase
         new_w0 = ct.lookup(w0.value / common) if not w0.is_zero() else ct.zero

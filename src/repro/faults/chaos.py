@@ -249,7 +249,12 @@ def run_chaos(
             )
             for name, estimate in result.estimates.items():
                 expected = estimate.hoeffding_halfwidth()
-                derived = math.sqrt(
+                # Stratified runs scale the bound by the erring mass
+                # (see repro.stochastic.strata); unstratified weight is 1.
+                weight = (
+                    1.0 - estimate.p_clean if estimate.p_clean is not None else 1.0
+                )
+                derived = weight * math.sqrt(
                     math.log(2.0 / 0.05) / (2.0 * max(1, estimate.count))
                 )
                 report.check(

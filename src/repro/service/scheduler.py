@@ -853,6 +853,12 @@ class Scheduler:
         return max(1, -(-trajectories // (self.workers * 8)))
 
     def _plan_chunks(self, job: _Job) -> None:
+        # Chunk indices partition the job's trajectory index space.  Under
+        # stratified sampling (repro.stochastic.strata, default on the DD
+        # backend) each index budgets one *erring-conditioned* trajectory —
+        # the worker's rejection search depends only on the absolute index,
+        # so any chunking reproduces the same samples, exactly as with
+        # naive index-derived seeds.  Job keys are unaffected either way.
         size = self.chunk_size or self._default_chunk_size(job.spec.trajectories)
         remaining = _remaining_spans(job.spec.trajectories, job.base_spans)
         index = 0

@@ -11,6 +11,19 @@ data-dependent stopping).
 
 The a-priori bound is also used as a hard ceiling: adaptivity can only
 *save* trajectories relative to Theorem 1, never exceed it.
+
+Two refinements compose with the loop:
+
+* ``bound`` selects the concentration inequality — ``"hoeffding"``
+  (default, range-based), ``"bernstein"`` (empirical-Bernstein, adapts to
+  the observed variance), or ``"best"`` (minimum of both at ``delta/2``
+  each, still a valid simultaneous guarantee by the union bound).
+* Under stratified sampling (:mod:`repro.stochastic.strata`, the default
+  on the DD backend) the first batch reveals the closed-form ``p_clean``,
+  and the Theorem-1 ceiling is re-budgeted to the erring stratum:
+  ``(1 - p_clean)^2`` times the naive budget carries the same a-priori
+  epsilon guarantee, so the hard cap — not just the adaptive stop —
+  shrinks quadratically.
 """
 
 from __future__ import annotations
@@ -24,6 +37,7 @@ from ..noise.model import NoiseModel
 from .properties import PropertySpec, hoeffding_samples
 from .results import StochasticResult
 from .runner import StochasticSimulator
+from .strata import stratified_samples
 
 __all__ = ["AdaptiveRun", "run_until_precision"]
 
@@ -50,12 +64,23 @@ class AdaptiveRun:
         return max(0.0, 1.0 - self.trajectories / self.ceiling)
 
 
-def _worst_halfwidth(result: StochasticResult, delta: float) -> float:
-    """Largest Hoeffding half-width over all tracked properties."""
+def _worst_halfwidth(result: StochasticResult, delta: float, bound: str) -> float:
+    """Largest half-width over all tracked properties under ``bound``."""
     return max(
-        estimate.hoeffding_halfwidth(delta)
+        estimate.halfwidth(delta, bound=bound)
         for estimate in result.estimates.values()
     )
+
+
+def _stratified_p_clean(result: StochasticResult) -> Optional[float]:
+    """The run's closed-form clean-stratum weight, or ``None`` when any
+    estimate is unstratified (all carry the same value when present)."""
+    p_clean: Optional[float] = None
+    for estimate in result.estimates.values():
+        if estimate.p_clean is None:
+            return None
+        p_clean = estimate.p_clean
+    return p_clean
 
 
 def run_until_precision(
@@ -70,6 +95,7 @@ def run_until_precision(
     initial_batch: int = 128,
     growth_factor: float = 2.0,
     timeout: Optional[float] = None,
+    bound: str = "hoeffding",
 ) -> AdaptiveRun:
     """Sample until every property's confidence half-width is <= ``epsilon``.
 
@@ -80,10 +106,18 @@ def run_until_precision(
         Size of the first batch (doubled per round by ``growth_factor``).
     growth_factor:
         Geometric batch growth (> 1).
+    bound:
+        Concentration inequality for the stopping rule: ``"hoeffding"``
+        (default), ``"bernstein"`` (variance-adaptive empirical Bernstein
+        — much tighter when the per-sample variance is small), or
+        ``"best"`` (minimum of both at ``delta/2`` each).
 
     The confidence budget ``delta`` is split over the worst-case number of
     batches (a union bound), so the final intervals hold simultaneously at
-    level ``1 - delta`` despite data-dependent stopping.
+    level ``1 - delta`` despite data-dependent stopping.  When stratified
+    sampling is active the first batch's closed-form ``p_clean`` shrinks
+    the Theorem-1 ceiling to ``(1 - p_clean)^2`` of the naive budget — the
+    erring-stratum count carrying the same a-priori guarantee.
     """
     if not properties:
         raise ValueError("adaptive sampling needs at least one property")
@@ -93,8 +127,14 @@ def run_until_precision(
         raise ValueError("growth_factor must exceed 1")
     if initial_batch < 1:
         raise ValueError("initial_batch must be >= 1")
+    if bound not in ("hoeffding", "bernstein", "best"):
+        raise ValueError(
+            f"unknown concentration bound: {bound!r}; "
+            f"choose from ('hoeffding', 'bernstein', 'best')"
+        )
 
-    ceiling = hoeffding_samples(len(properties), epsilon, delta)
+    naive_ceiling = hoeffding_samples(len(properties), epsilon, delta)
+    ceiling = naive_ceiling
     max_batches = max(
         1, int(math.ceil(math.log(max(ceiling / initial_batch, 1.0), growth_factor))) + 1
     )
@@ -105,6 +145,7 @@ def run_until_precision(
     next_index = 0
     batch_size = initial_batch
     batches = 0
+    ceiling_rebudgeted = False
 
     while True:
         remaining_ceiling = ceiling - next_index
@@ -148,14 +189,28 @@ def run_until_precision(
         next_index += size
         batches += 1
         batch_size = int(math.ceil(batch_size * growth_factor))
-        achieved = _worst_halfwidth(aggregate, per_round_delta)
+        if not ceiling_rebudgeted:
+            # First contact with the data: under stratified sampling every
+            # estimate carries the closed-form p_clean, and the a-priori
+            # budget re-targets the erring stratum — (1 - p_clean)^2 times
+            # the naive ceiling gives the same epsilon guarantee.
+            ceiling_rebudgeted = True
+            p_clean = _stratified_p_clean(aggregate)
+            if p_clean is not None:
+                # Clamped below by what the first batch already spent, so
+                # the reported ceiling stays a true upper bound on spend.
+                ceiling = min(
+                    ceiling,
+                    max(next_index, stratified_samples(naive_ceiling, p_clean)),
+                )
+        achieved = _worst_halfwidth(aggregate, per_round_delta, bound)
         if achieved <= epsilon:
             break
         if aggregate.timed_out:
             break
 
     assert aggregate is not None
-    achieved = _worst_halfwidth(aggregate, per_round_delta)
+    achieved = _worst_halfwidth(aggregate, per_round_delta, bound)
     if next_index >= ceiling and not aggregate.timed_out:
         # The full Theorem 1 budget ran: its a-priori guarantee of
         # ``epsilon`` at level ``delta`` applies directly, without the

@@ -29,6 +29,7 @@ damping slot under the ``"exact"`` Kraus unravelling.
 
 from __future__ import annotations
 
+import logging
 import math
 import os
 from bisect import bisect_right
@@ -63,18 +64,44 @@ def prefix_sharing_enabled() -> bool:
     return raw not in ("off", "0", "false", "no")
 
 
-def _resolve_interval(step_count: int) -> int:
+_log = logging.getLogger(__name__)
+
+#: One-shot latch for the invalid-interval warning: a Monte-Carlo job
+#: compiles plans per worker per job, and a misconfigured environment
+#: should not flood the log once per compilation.
+_warned_invalid_interval = False
+
+
+def _resolve_interval(step_count: int) -> Tuple[int, bool]:
+    """(checkpoint interval, whether the env override was invalid).
+
+    A malformed or non-positive ``REPRO_PREFIX_CHECKPOINT_INTERVAL`` falls
+    back to the sqrt default — but no longer silently: the first offender
+    per process logs a warning, and the caller records the rejection under
+    the ``prefix.interval_override_invalid`` counter.
+    """
+    global _warned_invalid_interval
     raw = os.environ.get(PREFIX_INTERVAL_ENV, "").strip()
+    invalid = False
     if raw:
         try:
             value = int(raw)
         except ValueError:
             value = 0
         if value >= 1:
-            return value
+            return value, False
+        invalid = True
+        if not _warned_invalid_interval:
+            _warned_invalid_interval = True
+            _log.warning(
+                "ignoring invalid %s=%r (need an integer >= 1); "
+                "using the ~sqrt(gates) default",
+                PREFIX_INTERVAL_ENV,
+                raw,
+            )
     # sqrt spacing balances snapshot memory (sqrt(G) pinned states) against
     # replay length (expected sqrt(G)/2 re-executed gates per erring run).
-    return max(1, math.isqrt(max(1, step_count)))
+    return max(1, math.isqrt(max(1, step_count))), invalid
 
 
 class PrefixPlan:
@@ -86,6 +113,9 @@ class PrefixPlan:
         self.noise_model = noise_model
         self.exact_damping = noise_model.damping_mode != "event"
         self.interval = 1
+        #: True when an invalid REPRO_PREFIX_CHECKPOINT_INTERVAL override
+        #: was rejected while compiling this plan (the runner counts it).
+        self.invalid_interval_override = False
         #: Per gate-plan step: a :class:`NoiseSite` (executed gate), or
         #: ``None`` (conditioned gate that does not fire pre-measurement).
         #: Truncated at ``stop_index`` when the circuit measures/resets.
@@ -180,7 +210,7 @@ def compile_prefix_plan(
     """
     plan = PrefixPlan(gate_plan, noise_model)
     steps = gate_plan.steps
-    plan.interval = _resolve_interval(len(steps))
+    plan.interval, plan.invalid_interval_override = _resolve_interval(len(steps))
     backend.reset_all()
     classical_bits = [0] * gate_plan.num_clbits
     plan.checkpoints.append((0, backend.snapshot()))

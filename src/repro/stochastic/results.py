@@ -21,7 +21,16 @@ __all__ = ["PropertyEstimate", "StochasticResult"]
 
 @dataclass
 class PropertyEstimate:
-    """Streaming estimate of one quadratic property."""
+    """Streaming estimate of one quadratic property.
+
+    In the default (unstratified) mode the accumulated moments are over
+    plain Monte-Carlo trajectories.  Under stratified sampling
+    (:mod:`repro.stochastic.strata`) they are the moments of the
+    *erring-conditioned* samples only, and ``p_clean`` / ``clean_value``
+    carry the analytically-weighted clean stratum; :attr:`mean` is then
+    the unbiased post-stratified estimator ``p_clean * clean_value +
+    (1 - p_clean) * erring_mean``.
+    """
 
     name: str
     count: int = 0
@@ -31,6 +40,24 @@ class PropertyEstimate:
     #: there is no sampling error, so the variance, standard error, and
     #: Hoeffding half-width all collapse to zero.
     exact: bool = False
+    #: Closed-form probability of the zero-error stratum (``None`` when the
+    #: estimate is not stratified).  Set once per job from the noise model;
+    #: every merged partial must agree exactly (same closed form, same
+    #: deterministic float product).
+    p_clean: Optional[float] = None
+    #: The property's value on the shared ideal (clean-stratum) state,
+    #: evaluated once from the prefix plan's cached fold — zero variance.
+    clean_value: Optional[float] = None
+
+    @property
+    def stratified(self) -> bool:
+        """Whether this estimate carries a closed-form clean stratum."""
+        return self.p_clean is not None
+
+    @property
+    def _weight(self) -> float:
+        """Sampling-error scale: the erring stratum's probability mass."""
+        return 1.0 - self.p_clean if self.p_clean is not None else 1.0
 
     def add(self, value: float) -> None:
         """Fold one trajectory's property value into the estimate."""
@@ -43,6 +70,28 @@ class PropertyEstimate:
         if other.name != self.name:
             raise ValueError(f"merging estimates of different properties: "
                              f"{self.name!r} vs {other.name!r}")
+        if other.p_clean is not None:
+            if self.p_clean is None:
+                if self.count:
+                    raise ValueError(
+                        f"cannot merge stratified estimate {self.name!r} into "
+                        f"unstratified samples"
+                    )
+                # Empty shell (scheduler aggregation seed) adopts the stratum.
+                self.p_clean = other.p_clean
+                self.clean_value = other.clean_value
+            elif (other.p_clean != self.p_clean
+                  or other.clean_value != self.clean_value):
+                raise ValueError(
+                    f"stratum mismatch merging {self.name!r}: "
+                    f"p_clean {self.p_clean!r} vs {other.p_clean!r}, "
+                    f"clean_value {self.clean_value!r} vs {other.clean_value!r}"
+                )
+        elif self.p_clean is not None and other.count:
+            raise ValueError(
+                f"cannot merge unstratified samples into stratified "
+                f"estimate {self.name!r}"
+            )
         self.count += other.count
         self.total += other.total
         self.total_squared += other.total_squared
@@ -59,35 +108,69 @@ class PropertyEstimate:
         }
         if self.exact:
             payload["exact"] = True
+        # Omitted when absent so unstratified payloads stay byte-identical
+        # to what every release before stratified sampling produced.
+        if self.p_clean is not None:
+            payload["p_clean"] = self.p_clean
+            payload["clean_value"] = self.clean_value
         return payload
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "PropertyEstimate":
         """Inverse of :meth:`to_dict`."""
+        p_clean = data.get("p_clean")
+        clean_value = data.get("clean_value")
         return cls(
             name=str(data["name"]),
             count=int(data["count"]),
             total=float(data["total"]),
             total_squared=float(data["total_squared"]),
             exact=bool(data.get("exact", False)),
+            p_clean=None if p_clean is None else float(p_clean),
+            clean_value=None if clean_value is None else float(clean_value),
         )
 
     @property
-    def mean(self) -> float:
-        """The Monte-Carlo estimate ``o_hat`` (paper Section III)."""
+    def erring_mean(self) -> float:
+        """Mean of the accumulated samples (the erring stratum when
+        stratified, all trajectories otherwise)."""
         if self.count == 0:
             raise ValueError("no samples accumulated")
         return self.total / self.count
 
     @property
-    def variance(self) -> float:
-        """Unbiased sample variance of the per-trajectory values."""
+    def mean(self) -> float:
+        """The Monte-Carlo estimate ``o_hat`` (paper Section III).
+
+        Stratified: the unbiased post-stratified combination
+        ``p_clean * clean_value + (1 - p_clean) * erring_mean``.
+        """
+        sample_mean = self.erring_mean
+        if self.p_clean is None:
+            return sample_mean
+        return self.p_clean * self.clean_value + self._weight * sample_mean
+
+    @property
+    def sample_variance(self) -> float:
+        """Unbiased sample variance of the accumulated per-sample values."""
         if self.exact or self.count < 2:
             return 0.0
-        mean = self.mean
+        mean = self.erring_mean
         return max(
             0.0, (self.total_squared - self.count * mean * mean) / (self.count - 1)
         )
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance of the per-trajectory values.
+
+        Stratified: the clean stratum is analytic (zero variance), so this
+        is the variance of the estimator's *virtual* per-sample value,
+        ``(1 - p_clean)^2`` times the erring-sample variance — the scale at
+        which ``sqrt(variance / count)`` remains the standard error of
+        :attr:`mean`.
+        """
+        return self._weight * self._weight * self.sample_variance
 
     @property
     def std_error(self) -> float:
@@ -104,12 +187,63 @@ class PropertyEstimate:
         ``value_range`` is the width of the property's value interval
         (1 for probabilities/fidelities, 2 for Pauli expectations).
         Exact evaluations carry no sampling error: the half-width is zero.
+        Stratified estimates shrink by the erring mass ``(1 - p_clean)``:
+        only the erring term carries sampling error, and its weight scales
+        the deviation bound linearly.
         """
         if self.count == 0:
             return float("inf")
         if self.exact:
             return 0.0
-        return value_range * math.sqrt(math.log(2.0 / delta) / (2.0 * self.count))
+        return self._weight * value_range * math.sqrt(
+            math.log(2.0 / delta) / (2.0 * self.count)
+        )
+
+    def bernstein_halfwidth(self, delta: float = 0.05, value_range: float = 1.0) -> float:
+        """Empirical-Bernstein half-width (Maurer & Pontil) at ``1 - delta``.
+
+        ``sqrt(2 V ln(4/delta) / n) + 7 R ln(4/delta) / (3 (n - 1))`` with
+        ``V`` the sample variance — two applications of the one-sided bound
+        at ``delta / 2`` each.  Variance-adaptive: much tighter than
+        Hoeffding when the per-sample variance is far below ``(R/2)^2``,
+        looser for tiny ``n`` (the ``1/(n-1)`` term dominates).  Stratified
+        estimates scale by the erring mass, exactly as for Hoeffding.
+        """
+        if self.count == 0:
+            return float("inf")
+        if self.exact:
+            return 0.0
+        if self.count < 2:
+            # No empirical variance yet; Hoeffding is the only valid bound.
+            return float("inf")
+        log_term = math.log(4.0 / delta)
+        raw = math.sqrt(2.0 * self.sample_variance * log_term / self.count) + (
+            7.0 * value_range * log_term / (3.0 * (self.count - 1))
+        )
+        return self._weight * raw
+
+    def halfwidth(
+        self,
+        delta: float = 0.05,
+        value_range: float = 1.0,
+        bound: str = "hoeffding",
+    ) -> float:
+        """Confidence half-width under the chosen concentration ``bound``.
+
+        ``"hoeffding"`` and ``"bernstein"`` use their full ``delta``;
+        ``"best"`` takes the minimum of both at ``delta / 2`` each (a union
+        bound keeps the combined level valid).
+        """
+        if bound == "hoeffding":
+            return self.hoeffding_halfwidth(delta, value_range)
+        if bound == "bernstein":
+            return self.bernstein_halfwidth(delta, value_range)
+        if bound == "best":
+            return min(
+                self.hoeffding_halfwidth(delta / 2.0, value_range),
+                self.bernstein_halfwidth(delta / 2.0, value_range),
+            )
+        raise ValueError(f"unknown concentration bound: {bound!r}")
 
     def confidence_interval(self, delta: float = 0.05, value_range: float = 1.0) -> Tuple[float, float]:
         """Hoeffding interval containing the true value w.p. >= 1 - delta."""
@@ -131,6 +265,16 @@ class StochasticResult:
     method: str = "stochastic"
     estimates: Dict[str, PropertyEstimate] = field(default_factory=dict)
     outcome_counts: Dict[str, int] = field(default_factory=dict)
+    #: Under stratified sampling, ``outcome_counts`` holds the
+    #: erring-stratum histogram and this holds shots drawn from the shared
+    #: ideal (clean) state; :meth:`outcome_distribution` recombines the two
+    #: pools with the stratum weights.  Empty in unstratified runs.
+    clean_outcome_counts: Dict[str, int] = field(default_factory=dict)
+    #: Stratified-sampling accounting: ``p_clean`` (closed form),
+    #: ``erring_sampled``, ``rejected_clean``, ``attempts``.  Empty when the
+    #: run was not stratified; merges add the counts and require the same
+    #: ``p_clean`` on both sides.
+    strata: Dict[str, float] = field(default_factory=dict)
     errors_fired: Dict[str, int] = field(
         default_factory=lambda: {"depolarizing": 0, "amplitude_damping": 0, "phase_flip": 0}
     )
@@ -162,6 +306,22 @@ class StochasticResult:
                 self.estimates[name] = estimate
         for outcome, count in other.outcome_counts.items():
             self.outcome_counts[outcome] = self.outcome_counts.get(outcome, 0) + count
+        for outcome, count in other.clean_outcome_counts.items():
+            self.clean_outcome_counts[outcome] = (
+                self.clean_outcome_counts.get(outcome, 0) + count
+            )
+        if other.strata:
+            if not self.strata:
+                self.strata = dict(other.strata)
+            else:
+                if other.strata.get("p_clean") != self.strata.get("p_clean"):
+                    raise ValueError(
+                        f"stratum mismatch merging results: p_clean "
+                        f"{self.strata.get('p_clean')!r} vs "
+                        f"{other.strata.get('p_clean')!r}"
+                    )
+                for key in ("erring_sampled", "rejected_clean", "attempts"):
+                    self.strata[key] = self.strata.get(key, 0) + other.strata.get(key, 0)
         for kind, count in other.errors_fired.items():
             self.errors_fired[kind] = self.errors_fired.get(kind, 0) + count
         self.cpu_seconds += other.cpu_seconds
@@ -176,7 +336,7 @@ class StochasticResult:
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-JSON form (used by the service result store)."""
-        return {
+        payload = {
             "circuit_name": self.circuit_name,
             "backend_kind": self.backend_kind,
             "method": self.method,
@@ -196,6 +356,13 @@ class StochasticResult:
             "trace_events": [dict(event) for event in self.trace_events],
             "profile": dict(self.profile),
         }
+        # Omitted when empty so unstratified payloads stay byte-identical
+        # to what every release before stratified sampling produced.
+        if self.clean_outcome_counts:
+            payload["clean_outcome_counts"] = dict(self.clean_outcome_counts)
+        if self.strata:
+            payload["strata"] = dict(self.strata)
+        return payload
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "StochasticResult":
@@ -212,6 +379,11 @@ class StochasticResult:
                 for name, entry in dict(data["estimates"]).items()
             },
             outcome_counts={k: int(v) for k, v in dict(data["outcome_counts"]).items()},
+            clean_outcome_counts={
+                k: int(v)
+                for k, v in dict(data.get("clean_outcome_counts", {})).items()
+            },
+            strata=dict(data.get("strata", {})),
             errors_fired={k: int(v) for k, v in dict(data["errors_fired"]).items()},
             elapsed_seconds=float(data["elapsed_seconds"]),
             # Tolerant defaults: results cached before these fields existed.
@@ -233,17 +405,50 @@ class StochasticResult:
         return self.estimates[property_name].mean
 
     def outcome_distribution(self) -> Dict[str, float]:
-        """Sampled measurement outcomes as relative frequencies."""
-        total = sum(self.outcome_counts.values())
-        if total == 0:
-            return {}
-        return {key: count / total for key, count in sorted(self.outcome_counts.items())}
+        """Sampled measurement outcomes as relative frequencies.
+
+        Stratified runs combine the clean and erring sampling pools with
+        their stratum weights: ``p_clean * f_clean + (1 - p_clean) *
+        f_erring`` — the unbiased estimate of the noisy outcome law.
+        """
+        erring_total = sum(self.outcome_counts.values())
+        clean_total = sum(self.clean_outcome_counts.values())
+        p_clean = self.strata.get("p_clean") if self.strata else None
+        if p_clean is None or clean_total == 0 or erring_total == 0:
+            if erring_total == 0:
+                return {}
+            return {
+                key: count / erring_total
+                for key, count in sorted(self.outcome_counts.items())
+            }
+        weights: Dict[str, float] = {}
+        for key, count in self.clean_outcome_counts.items():
+            weights[key] = weights.get(key, 0.0) + p_clean * count / clean_total
+        erring_weight = 1.0 - p_clean
+        for key, count in self.outcome_counts.items():
+            weights[key] = weights.get(key, 0.0) + (
+                erring_weight * count / erring_total
+            )
+        return {key: weights[key] for key in sorted(weights)}
 
     def trajectories_per_second(self) -> float:
         """Monte-Carlo throughput."""
         if self.elapsed_seconds <= 0.0:
             return float("inf")
         return self.completed_trajectories / self.elapsed_seconds
+
+    def effective_trajectories(self) -> float:
+        """Naive-trajectory equivalent of the accumulated sample budget.
+
+        A stratified run of ``M`` erring samples carries the Hoeffding
+        guarantee of ``M / (1 - p_clean)^2`` naive trajectories (the
+        half-width shrinks by ``1 - p_clean`` at equal count); unstratified
+        runs return ``completed_trajectories`` unchanged.
+        """
+        p_clean = self.strata.get("p_clean") if self.strata else None
+        if p_clean is None or p_clean >= 1.0:
+            return float(self.completed_trajectories)
+        return self.completed_trajectories / (1.0 - p_clean) ** 2
 
     def summary(self) -> str:
         """Multi-line human-readable report."""
@@ -265,6 +470,13 @@ class StochasticResult:
                 + ")",
                 f"errors fired: {self.errors_fired}",
             ]
+            if self.strata:
+                lines.append(
+                    f"stratified: p_clean={self.strata.get('p_clean', 0.0):.6f}, "
+                    f"{int(self.strata.get('erring_sampled', 0))} erring sampled "
+                    f"({int(self.strata.get('rejected_clean', 0))} clean rejected), "
+                    f"~{self.effective_trajectories():.0f} effective trajectories"
+                )
         if self.peak_nodes:
             lines.append(f"peak DD nodes: {self.peak_nodes}")
         for name, estimate in sorted(self.estimates.items()):

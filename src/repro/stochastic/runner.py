@@ -44,6 +44,7 @@ from ..simulators.statevector import StatevectorBackend
 from .prefix import compile_prefix_plan, prefix_sharing_enabled
 from .properties import IdealFidelity, PropertySpec, StateFidelity
 from .results import PropertyEstimate, StochasticResult
+from .strata import StrataPlan, stratified_enabled
 
 __all__ = [
     "StochasticSimulator",
@@ -58,6 +59,11 @@ BACKEND_KINDS = ("dd", "statevector")
 #: Stride between per-trajectory seeds; any constant works, a large odd
 #: value keeps derived seeds far apart in the Mersenne sequence space.
 _SEED_STRIDE = 0x9E3779B97F4A7C15
+
+#: Salt decoupling the clean-stratum outcome-sampling rng from the erring
+#: trajectory's own rng under stratified sampling (splitmix64's mixer
+#: constant; any fixed value distinct from the seed strides works).
+_CLEAN_SAMPLE_SALT = 0x94D049BB133111EB
 
 #: Environment override for the numerical guard: ``raise`` (default),
 #: ``renorm`` (rescale and count ``faults.recovered.renorm``), or ``off``;
@@ -114,6 +120,7 @@ class _EvaluationContext:
         self._gate_plan = None
         self._prefix_plan = None
         self._prefix_model: Optional[NoiseModel] = None
+        self._strata_plan: Optional[StrataPlan] = None
 
     def gate_plan(self, backend):
         """The circuit compiled into a :class:`~repro.simulators.gateplan.GatePlan`
@@ -138,6 +145,13 @@ class _EvaluationContext:
                 # so reusing it is bit-identical to a separate execution.
                 self._ideal = backend.package.inc_ref(self._prefix_plan.ideal_final)
         return self._prefix_plan
+
+    def strata_plan(self, prefix_plan) -> StrataPlan:
+        """Closed-form stratum weights for the cached prefix plan (computed
+        once per worker; invalidated with the prefix plan it wraps)."""
+        if self._strata_plan is None or self._strata_plan.prefix_plan is not prefix_plan:
+            self._strata_plan = StrataPlan(prefix_plan)
+        return self._strata_plan
 
     def ideal_handle(self, backend):
         """Noiseless output state of the circuit (computed once per worker)."""
@@ -359,12 +373,45 @@ def _run_span_body(
         prefix_plan = context.prefix_plan(backend, noise_model)
         if not prefix_was_cached:
             registry.counter("prefix.checkpoints").inc(len(prefix_plan.checkpoints))
+            if prefix_plan.invalid_interval_override:
+                registry.counter("prefix.interval_override_invalid").inc()
     if prof is not None:
         prof.pop()
     prefix_hits = registry.counter("prefix.hits")
     prefix_replays = registry.counter("prefix.replays")
     prefix_replayed_gates = registry.counter("prefix.replayed_gates")
     prefix_materialized = registry.counter("prefix.materialized")
+
+    # Stratified sampling (see repro.stochastic.strata): when a clean
+    # stratum exists, weight it analytically from the shared ideal DD and
+    # spend every trajectory slot of this span on erring-conditioned runs.
+    # Falls back to the plain prefix-shared loop when inactive (no clean
+    # stratum, negligible erring mass, REPRO_STRATIFIED=off, or the
+    # statevector backend, which has no prefix plan).
+    strata_plan = None
+    if prefix_plan is not None and stratified_enabled():
+        candidate = context.strata_plan(prefix_plan)
+        if candidate.active:
+            strata_plan = candidate
+    strata_rejected_total = 0
+    strata_attempts_total = 0
+    if strata_plan is not None:
+        registry.gauge("strata.p_clean").set(strata_plan.p_clean)
+        registry.gauge("strata.variance_ratio").set(
+            (1.0 - strata_plan.p_clean) ** 2
+        )
+        strata_erring = registry.counter("strata.erring_sampled")
+        strata_rejected = registry.counter("strata.rejected_clean")
+        strata_attempts = registry.counter("strata.attempts")
+        if properties:
+            # Seed every estimate with the closed-form stratum weight and
+            # the clean stratum's analytic value (the same cached fold the
+            # prefix engine serves to clean trajectories).
+            clean_values = prefix_plan.property_values(backend, properties, context)
+            for prop in properties:
+                estimate = result.estimates[prop.name]
+                estimate.p_clean = strata_plan.p_clean
+                estimate.clean_value = clean_values[prop.name]
 
     def finish_trajectory(current_backend, trajectory, rng, applier, run_result, drift):
         """Post-circuit block shared by the naive, replay, and materialise
@@ -422,12 +469,54 @@ def _run_span_body(
             break
         trajectory = first_trajectory + index
         seed = (master_seed + trajectory * _SEED_STRIDE) & (2**63 - 1)
-        rng = random.Random(seed)
-        applier = StochasticErrorApplier(noise_model, rng)
         trajectory_started = time.perf_counter()
         if prof is not None:
             prof.push("trajectory")
-        if prefix_plan is not None:
+        if strata_plan is not None:
+            # Erring stratum: reject clean candidate seeds (rng-only dry
+            # runs) until one diverges, then run the accepted seed through
+            # the standard checkpoint/replay path.  The search depends only
+            # on the stratum index's base seed, so any worker partition
+            # reproduces the same trajectories.
+            seed, divergence, attempts = strata_plan.find_erring_seed(seed)
+            strata_attempts.inc(attempts)
+            strata_attempts_total += attempts
+            if attempts > 1:
+                strata_rejected.inc(attempts - 1)
+                strata_rejected_total += attempts - 1
+            strata_erring.inc()
+            prefix_replays.inc()
+            checkpoint_step, checkpoint_state = prefix_plan.checkpoint_for(divergence)
+            prefix_replayed_gates.inc(len(gate_plan.steps) - checkpoint_step)
+            rng = random.Random(seed)
+            applier = StochasticErrorApplier(noise_model, rng)
+            prefix_plan.consume_prefix(rng, applier.fired, checkpoint_step)
+            backend.load_state(checkpoint_state)
+            run_result = execute_plan(
+                backend, gate_plan, rng, error_hook=applier, start_step=checkpoint_step
+            )
+            run_result.applied_gates += prefix_plan.executed_before(checkpoint_step)
+            drift = (
+                injector.fire("drift", trajectory=trajectory)
+                if injector is not None
+                else None
+            )
+            finish_trajectory(backend, trajectory, rng, applier, run_result, drift)
+            if sample_shots > 0:
+                # One matching clean-stratum draw per erring trajectory,
+                # from the shared ideal DD with a decoupled rng, so
+                # outcome_distribution() can recombine both pools.
+                clean_rng = random.Random((seed ^ _CLEAN_SAMPLE_SALT) & (2**63 - 1))
+                counts = backend.package.sample_counts(
+                    prefix_plan.ideal_final, sample_shots, clean_rng
+                )
+                for outcome, count in counts.items():
+                    result.clean_outcome_counts[outcome] = (
+                        result.clean_outcome_counts.get(outcome, 0) + count
+                    )
+        elif prefix_plan is not None:
+            rng = random.Random(seed)
+            applier = StochasticErrorApplier(noise_model, rng)
             divergence = prefix_plan.first_divergence(rng, applier.fired)
             if divergence is None:
                 # Clean trajectory: its final state IS the shared ideal DD.
@@ -492,6 +581,8 @@ def _run_span_body(
                 )
                 finish_trajectory(backend, trajectory, rng, applier, run_result, drift)
         else:
+            rng = random.Random(seed)
+            applier = StochasticErrorApplier(noise_model, rng)
             if index > 0:
                 if backend_kind == "dd":
                     backend.reset_all()
@@ -507,6 +598,14 @@ def _run_span_body(
         trajectory_hist.observe(time.perf_counter() - trajectory_started)
         result.completed_trajectories += 1
         completed_counter.inc()
+
+    if strata_plan is not None:
+        result.strata = {
+            "p_clean": strata_plan.p_clean,
+            "erring_sampled": result.completed_trajectories,
+            "rejected_clean": strata_rejected_total,
+            "attempts": strata_attempts_total,
+        }
 
     if backend_kind == "dd":
         # Span boundary: force one full sweep regardless of the dead-node

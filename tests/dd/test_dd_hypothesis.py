@@ -102,6 +102,24 @@ def test_canonicity_scalar_multiples_share_nodes(num_qubits, scale_real, scale_i
     assert a.node is b.node
 
 
+def test_canonicity_near_tie_phase_anchor_regression():
+    """Pinned counterexample once found by the hypothesis test above.
+
+    The var=1 node of this vector has children of mathematically equal
+    magnitude; choosing the phase-anchor child by an exact float ``>=``
+    made the choice depend on last-ulp rounding, which scaling flips —
+    the scaled and unscaled builds anchored on different children and
+    produced different root nodes.  The tie-banded comparison in
+    ``make_vector_node`` keeps the anchor scale-invariant.
+    """
+    vector = np.array([0, 0, 0, 0, 1j, 0.375, 1 + 0.375j, 0], dtype=complex)
+    for scale in (0.375j, -0.375j, 0.375, 1.5 + 0.75j):
+        package = DDPackage(3)
+        a = package.from_state_vector(vector)
+        b = package.from_state_vector(scale * vector)
+        assert a.node is b.node, scale
+
+
 @settings(max_examples=30, deadline=None)
 @given(num_qubits=st.integers(1, MAX_QUBITS), data=st.data())
 def test_root_weight_magnitude_equals_norm(num_qubits, data):

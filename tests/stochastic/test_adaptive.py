@@ -16,6 +16,14 @@ from repro.stochastic import (
 NOISE = NoiseModel.paper_defaults().scaled(10)
 
 
+@pytest.fixture(autouse=True)
+def _naive_estimator(monkeypatch):
+    # This file pins the *naive* adaptive-loop mechanics (batch growth,
+    # Theorem-1 ceiling, union-bound stopping); stratified sampling stops
+    # far earlier by design and is covered separately in test_strata.py.
+    monkeypatch.setenv("REPRO_STRATIFIED", "off")
+
+
 class TestTheorem1Budget:
     """The a-priori sample bound of Theorem 1: M = log(2L/δ) / (2ε)²."""
 

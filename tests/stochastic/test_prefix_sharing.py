@@ -21,6 +21,7 @@ from repro.stochastic.prefix import (
 )
 from repro.stochastic.properties import ExpectationZ
 from repro.stochastic.runner import run_trajectory_span, simulate_stochastic
+from repro.stochastic.strata import STRATIFIED_ENV
 
 NOISE = NoiseModel.paper_defaults()
 #: Scaled model where most trajectories err — exercises replay heavily.
@@ -32,6 +33,10 @@ def _clean_env(monkeypatch):
     monkeypatch.delenv(PREFIX_SHARING_ENV, raising=False)
     monkeypatch.delenv(PREFIX_INTERVAL_ENV, raising=False)
     monkeypatch.delenv(PLAN_ENV, raising=False)
+    # This file gates the prefix engine's naive<->shared *bit identity*;
+    # stratified sampling changes the estimator by design and has its own
+    # equivalence gate in test_strata.py.
+    monkeypatch.setenv(STRATIFIED_ENV, "off")
     reset_injector_cache()
     yield
     reset_injector_cache()
@@ -202,6 +207,50 @@ class TestCheckpointReplay:
             sample_shots=0,
         )
         assert_identical(shared, naive)
+
+
+class TestIntervalOverrideValidation:
+    @pytest.mark.parametrize("raw", ["banana", "0", "-3", "2.5"])
+    def test_invalid_override_warns_once_and_counts(self, monkeypatch, caplog, raw):
+        import repro.stochastic.prefix as prefix_mod
+
+        monkeypatch.setenv(PREFIX_INTERVAL_ENV, raw)
+        monkeypatch.setattr(prefix_mod, "_warned_invalid_interval", False)
+        with caplog.at_level("WARNING", logger="repro.stochastic.prefix"):
+            result = run_trajectory_span(
+                ghz(4), NOISE, [IdealFidelity()],
+                backend_kind="dd", first_trajectory=0, num_trajectories=4,
+                master_seed=1, sample_shots=0,
+            )
+        assert result.metrics["counters"]["prefix.interval_override_invalid"] == 1
+        warnings = [
+            record for record in caplog.records
+            if PREFIX_INTERVAL_ENV in record.getMessage()
+        ]
+        assert len(warnings) == 1
+        # The sqrt default still applies: the plan compiled and ran.
+        assert result.completed_trajectories == 4
+        # One-shot: a second compile in the same process stays silent.
+        caplog.clear()
+        with caplog.at_level("WARNING", logger="repro.stochastic.prefix"):
+            run_trajectory_span(
+                ghz(4), NOISE, [IdealFidelity()],
+                backend_kind="dd", first_trajectory=0, num_trajectories=2,
+                master_seed=2, sample_shots=0,
+            )
+        assert not [
+            record for record in caplog.records
+            if PREFIX_INTERVAL_ENV in record.getMessage()
+        ]
+
+    def test_valid_override_does_not_count(self, monkeypatch):
+        monkeypatch.setenv(PREFIX_INTERVAL_ENV, "2")
+        result = run_trajectory_span(
+            ghz(4), NOISE, [IdealFidelity()],
+            backend_kind="dd", first_trajectory=0, num_trajectories=4,
+            master_seed=1, sample_shots=0,
+        )
+        assert "prefix.interval_override_invalid" not in result.metrics["counters"]
 
 
 class TestFaultInjection:
