@@ -12,6 +12,9 @@ Subcommands:
   they run — live, with ``monitor`` and the ``serve --metrics-port``
   OpenMetrics endpoint (docs/SERVICE.md, docs/OBSERVABILITY.md,
   docs/ROBUSTNESS.md);
+* ``history`` — per-circuit-family run-ledger telemetry: methods, peak DD
+  node counts, throughput trend vs the ledger baseline — the history the
+  measured dispatch cost model routes on (docs/OBSERVABILITY.md);
 * ``cache`` — inspect or clear the content-addressed result store;
 * ``stats`` — run a circuit and report engine observability: table hit
   rates, per-trajectory latency histograms, scheduler counters
@@ -254,6 +257,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit machine-readable JSON instead of text"
     )
     _add_store_argument(jobs)
+
+    history = subparsers.add_parser(
+        "history",
+        help="per-circuit-family run-ledger history: methods, peak DD nodes, "
+        "throughput (feeds the measured dispatch cost model)",
+    )
+    history.add_argument(
+        "--fingerprint", default=None, metavar="FP",
+        help="show one family in detail (unique fingerprint prefix), "
+        "including its recent raw run records",
+    )
+    history.add_argument(
+        "--trend", action="store_true",
+        help="check each family's latest stochastic throughput against its "
+        "ledger baseline; a >20%% drop flags a regression (exit 1), "
+        "mirroring benchmarks/trend.py",
+    )
+    history.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON instead of text"
+    )
+    _add_store_argument(history)
 
     monitor = subparsers.add_parser(
         "monitor", help="live terminal view of a queued or running job"
@@ -570,15 +594,148 @@ def _command_jobs(args: argparse.Namespace) -> int:
             extra = (
                 f" chunks={row['completed_chunks']}/{row['planned_chunks']}"
             )
+        if "method" in row:
+            extra += f" method={row['method']}"
         print(
             f"{row['key'][:16]}… [{row['source']}] "
             f"{row.get('circuit', '?')} {done}/{total} trajectories{extra}"
         )
+        if "dispatch" in row:
+            print(f"    {row['dispatch']}")
     print(
         f"{len(rows)} job(s); run `repro-sim serve --once --resume` "
         f"to finish them"
     )
     return 0
+
+
+def _command_history(args: argparse.Namespace) -> int:
+    """``repro history`` — the run ledger's per-family view.
+
+    Reads ``<store>/ledger/runs.jsonl`` (``repro.ledger/v1``) read-only and
+    reports, per circuit family: run counts by method, observed peak DD
+    node sizes (the measured dispatch cost model's inputs), throughput,
+    and node-ceiling fallbacks.  ``--trend`` compares each family's latest
+    stochastic rate against its histogram-mean baseline and exits 1 when
+    any family dropped more than 20% — the same gate ``benchmarks/trend.py``
+    applies to the BENCH_*.json series, but against live service history.
+    """
+    import json as _json
+
+    from .obs.ledger import ledger_path, replay_ledger
+
+    store = _open_store(args)
+    if store.directory is None:
+        print("history needs a store with an on-disk directory", file=sys.stderr)
+        return 2
+    state = replay_ledger(ledger_path(store.directory))
+    families = []
+    for fingerprint in state.order:
+        aggregate = state.aggregates[fingerprint]
+        if args.fingerprint and not fingerprint.startswith(args.fingerprint):
+            continue
+        recent = state.recent.get(fingerprint, [])
+        latest_rate = None
+        for record in reversed(recent):
+            if record.get("rec") == "run" and record.get("method") != "exact":
+                rate = record.get("trajectories_per_second")
+                if isinstance(rate, (int, float)) and rate > 0:
+                    latest_rate = float(rate)
+                break
+        rate_hist = aggregate.rate_hist
+        baseline = (
+            float(rate_hist["sum"]) / rate_hist["count"]
+            if rate_hist["count"] > 0
+            else None
+        )
+        regression = None
+        if args.trend and latest_rate is not None and baseline:
+            drop = 1.0 - latest_rate / baseline
+            regression = {
+                "latest": latest_rate,
+                "baseline": baseline,
+                "drop": drop,
+                "regressed": drop > 0.20,
+            }
+        entry = {
+            "fingerprint": fingerprint,
+            "qubits": aggregate.qubits,
+            "depth": aggregate.depth,
+            "runs": aggregate.runs,
+            "exact_runs": aggregate.exact_runs,
+            "stochastic_runs": aggregate.stochastic_runs,
+            "fallbacks": aggregate.fallbacks,
+            "exact_peak_nodes": aggregate.exact_peak_nodes,
+            "state_peak_nodes": aggregate.state_peak_nodes,
+            "fallback_peak_nodes": aggregate.fallback_peak_nodes,
+            "median_rate": aggregate.median_rate(),
+            "mean_p_clean": aggregate.mean_p_clean(),
+            "cpu_seconds": aggregate.cpu_seconds,
+            "trajectories": aggregate.trajectories,
+            "effective_trajectories": aggregate.effective_trajectories,
+        }
+        if regression is not None:
+            entry["trend"] = regression
+        if args.fingerprint:
+            entry["recent"] = recent
+        families.append(entry)
+    regressed = [
+        f["fingerprint"] for f in families
+        if f.get("trend", {}).get("regressed")
+    ]
+    if args.json:
+        print(_json.dumps(
+            {
+                "schema": "repro.history/v1",
+                "directory": store.directory,
+                "families": families,
+                "regressions": regressed,
+            },
+            indent=2, sort_keys=True,
+        ))
+        return 1 if regressed else 0
+    if not families:
+        if args.fingerprint:
+            print(f"no ledger history matches fingerprint {args.fingerprint!r}")
+        else:
+            print("no ledger history (run jobs through `repro-sim serve` first)")
+        return 0
+    for entry in families:
+        peaks = []
+        if entry["exact_peak_nodes"]:
+            peaks.append(f"rho<={entry['exact_peak_nodes']}")
+        if entry["state_peak_nodes"]:
+            peaks.append(f"state<={entry['state_peak_nodes']}")
+        if entry["fallback_peak_nodes"]:
+            peaks.append(f"fallback>={entry['fallback_peak_nodes']}")
+        line = (
+            f"{entry['fingerprint']}  {entry['qubits']}q depth={entry['depth']} "
+            f"runs={entry['runs']} (exact={entry['exact_runs']} "
+            f"stochastic={entry['stochastic_runs']} "
+            f"fallbacks={entry['fallbacks']})"
+        )
+        if peaks:
+            line += "  nodes: " + " ".join(peaks)
+        if entry["median_rate"]:
+            line += f"  ~{entry['median_rate']:.3g} traj/s"
+        print(line)
+        trend = entry.get("trend")
+        if trend is not None:
+            verdict = "REGRESSED" if trend["regressed"] else "ok"
+            print(
+                f"    trend: latest {trend['latest']:.3g} traj/s vs "
+                f"baseline {trend['baseline']:.3g} "
+                f"({trend['drop']:+.1%} drop) -> {verdict}"
+            )
+        if args.fingerprint:
+            for record in entry.get("recent", []):
+                print(f"    {_json.dumps(record, sort_keys=True)}")
+    print(
+        f"{len(families)} famil{'y' if len(families) == 1 else 'ies'}; "
+        f"measured dispatch uses these peaks "
+        f"(REPRO_MEASURED_COST=off to ignore)"
+    )
+    return 1 if regressed else 0
 
 
 def _command_monitor(args: argparse.Namespace) -> int:
@@ -625,6 +782,13 @@ def _command_cache(args: argparse.Namespace) -> int:
     print(f"  partial checkpoints: {stats['partials']}")
     print(f"  queued jobs: {stats['queued']}")
     print(f"  disk usage: {stats['disk_bytes']} bytes")
+    if stats.get("ledger_runs") or stats.get("ledger_bytes"):
+        print(
+            f"  run ledger: {stats['ledger_runs']} run(s) across "
+            f"{stats['ledger_families']} famil"
+            f"{'y' if stats['ledger_families'] == 1 else 'ies'} "
+            f"({stats['ledger_bytes']} bytes) — see `repro-sim history`"
+        )
     if stats.get("corrupt"):
         print(f"  quarantined (corrupt) entries: {stats['corrupt']}")
         for name in store.corrupt_entries():
@@ -730,7 +894,13 @@ def _command_stats(args: argparse.Namespace) -> int:
     counters.setdefault("scheduler.worker_respawns", 0)
     # Dispatch routing is reported the same way — always present, so the
     # chosen path (and the never-taken ones, at 0) is in every payload.
-    for name in ("dispatch.exact", "dispatch.stochastic", "dispatch.fallback"):
+    for name in (
+        "dispatch.exact",
+        "dispatch.stochastic",
+        "dispatch.fallback",
+        "dispatch.measured",
+        "dispatch.worst_case",
+    ):
         counters.setdefault(name, 0)
     counters["dispatch." + ("exact" if method == "exact" else "stochastic")] += 1
     if method == "exact":
@@ -1072,6 +1242,8 @@ def _dispatch(args) -> int:
         return _command_serve(args)
     if args.command == "jobs":
         return _command_jobs(args)
+    if args.command == "history":
+        return _command_history(args)
     if args.command == "monitor":
         return _command_monitor(args)
     if args.command == "cache":

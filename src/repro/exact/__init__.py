@@ -11,15 +11,31 @@ the rho DD outgrows its node ceiling mid-flight.
 """
 
 from .backend import DensityDDBackend
-from .cost import DispatchDecision, estimate_costs, exact_unsupported_reason
+from .cost import (
+    DispatchDecision,
+    MEASURED_COST_ENV,
+    MeasuredCostModel,
+    SizeEvidence,
+    estimate_costs,
+    exact_unsupported_reason,
+    measured_cost_enabled,
+    static_clean_probability,
+    stochastic_budget,
+)
 from .simulator import ExactSimulator, default_node_ceiling, simulate_exact
 
 __all__ = [
     "DensityDDBackend",
     "DispatchDecision",
     "ExactSimulator",
+    "MEASURED_COST_ENV",
+    "MeasuredCostModel",
+    "SizeEvidence",
     "default_node_ceiling",
     "estimate_costs",
     "exact_unsupported_reason",
+    "measured_cost_enabled",
     "simulate_exact",
+    "static_clean_probability",
+    "stochastic_budget",
 ]

@@ -55,6 +55,9 @@ FAULT_KINDS: Tuple[str, ...] = (
     "torn-journal",     # truncate the journal mid-record after an append
     "enospc-journal",   # the journal append raises OSError(ENOSPC)
     "lease-expiry",     # stop renewing a chunk's lease so the reaper reclaims it
+    # obs/ledger.py — run-ledger telemetry history
+    "torn-ledger",      # truncate the ledger mid-record after an append
+    "enospc-ledger",    # the ledger append raises OSError(ENOSPC)
 )
 
 #: Aliases accepted by the chaos CLI (friendly name -> canonical kind).
@@ -285,6 +288,8 @@ class FaultPlan:
                 faults.append(FaultSpec(kind=kind, job_key=job_key, operation="chunk-done"))
             elif kind == "enospc-journal":
                 faults.append(FaultSpec(kind=kind, job_key=job_key, operation="chunk-done"))
+            elif kind in ("torn-ledger", "enospc-ledger"):
+                faults.append(FaultSpec(kind=kind, job_key=job_key, operation="run"))
             elif kind == "drift":
                 trajectory = rng.randrange(max(1, trajectories))
                 faults.append(FaultSpec(

@@ -26,6 +26,11 @@ On top of the recording primitives sit three exit ramps:
 * :mod:`repro.obs.profile` — the ``REPRO_PROFILE``-gated DD hot-loop
   profiler behind ``repro profile --flame``.
 
+Persisting across processes and restarts sits :mod:`repro.obs.ledger` —
+the crash-safe per-circuit-family run ledger (``repro.ledger/v1``) whose
+aggregates feed the measured dispatch cost model in
+:mod:`repro.exact.cost` and the ``repro history`` CLI surface.
+
 See docs/OBSERVABILITY.md for the metric catalogue.
 """
 
@@ -44,6 +49,16 @@ from .export import (
     escape_label_value,
     read_event_log,
     to_openmetrics,
+)
+from .ledger import (
+    FamilyAggregate,
+    LEDGER_SCHEMA,
+    LedgerState,
+    RATE_BUCKETS,
+    RunLedger,
+    circuit_fingerprint,
+    ledger_path,
+    replay_ledger,
 )
 from .metrics import (
     Counter,
@@ -71,19 +86,25 @@ __all__ = [
     "CONTENT_TYPE",
     "Counter",
     "EventLogWriter",
+    "FamilyAggregate",
     "Gauge",
     "Histogram",
     "HotLoopProfiler",
+    "LEDGER_SCHEMA",
+    "LedgerState",
     "MetricsExporter",
     "MetricsRegistry",
     "NODE_BUCKETS",
     "NULL_TRACER",
     "PROFILE_ENV",
+    "RATE_BUCKETS",
+    "RunLedger",
     "TIME_BUCKETS",
     "TraceContext",
     "TraceEvent",
     "Tracer",
     "attributed_seconds",
+    "circuit_fingerprint",
     "delta_snapshots",
     "derive_rates",
     "derive_span_id",
@@ -91,10 +112,12 @@ __all__ = [
     "folded_lines",
     "format_histogram",
     "job_trace_context",
+    "ledger_path",
     "merge_profiles",
     "merge_snapshots",
     "profiling_enabled",
     "read_event_log",
+    "replay_ledger",
     "stitch_trace",
     "to_chrome_trace",
     "to_openmetrics",

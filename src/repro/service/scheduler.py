@@ -74,9 +74,11 @@ from ..errors import (
     format_reasons,
 )
 from ..exact import ExactSimulator, estimate_costs, exact_unsupported_reason
+from ..exact.cost import DispatchDecision
 from ..exact.simulator import default_node_ceiling
 from ..faults.inject import get_injector
 from ..obs.context import job_trace_context
+from ..obs.ledger import RunLedger, circuit_fingerprint
 from ..obs.metrics import MetricsRegistry, merge_snapshots
 from ..obs.tracing import Tracer
 from ..stochastic.results import PropertyEstimate, StochasticResult
@@ -224,6 +226,14 @@ class _Job:
         self.error_kind: Optional[str] = None
         self.poison_diagnosis: Optional[Dict[str, object]] = None
         self.cached = False
+        #: Cost-model verdict for ``method="auto"`` submissions (None for
+        #: explicit methods, cache hits, and checkpoint resumes) — kept so
+        #: serve logs and ``repro jobs`` can cite the dispatch evidence.
+        self.decision: Optional[DispatchDecision] = None
+        #: Circuit-family fingerprint for run-ledger records.
+        self.fingerprint = circuit_fingerprint(
+            spec.circuit, spec.noise_model, spec.backend_kind
+        )
         self.started_at = time.perf_counter()
         #: Root trace context — deterministic (derived from the job key), so
         #: reruns of the same spec stitch into structurally identical trees.
@@ -293,6 +303,15 @@ class Scheduler:
         When present, every submission, chunk plan, lease grant, committed
         chunk result, and job completion is journaled durably, making the
         scheduler's work resumable after a hard death (``serve --resume``).
+    ledger:
+        Optional :class:`~repro.obs.ledger.RunLedger`.  When present, every
+        finished job appends a run-profile record (method, peak DD nodes,
+        cpu/wall seconds, throughput, ``p_clean``, half-widths) keyed by
+        its circuit-family fingerprint, node-ceiling fallbacks are recorded
+        as censored observations, and ``method="auto"`` dispatch consults
+        the accumulated family history through the measured cost model
+        (``dispatch.measured`` / ``dispatch.worst_case`` count which basis
+        each decision used).
     lease_duration:
         Seconds a dispatched chunk's ownership lease lasts before the
         reaper reclaims it (the dispatcher heartbeats leases on behalf of
@@ -318,6 +337,7 @@ class Scheduler:
         breaker_window: float = 10.0,
         exact_node_ceiling: Optional[int] = None,
         journal: Optional[JobJournal] = None,
+        ledger: Optional[RunLedger] = None,
         lease_duration: float = 30.0,
     ) -> None:
         if workers < 1:
@@ -344,6 +364,7 @@ class Scheduler:
             else default_node_ceiling()
         )
         self.journal = journal
+        self.ledger = ledger
         self.lease_duration = lease_duration
         #: Lease owner identity for this scheduler instance — stable for
         #: its lifetime, distinct across restarts (the PID changes).
@@ -379,6 +400,11 @@ class Scheduler:
             "dispatch.exact",
             "dispatch.stochastic",
             "dispatch.fallback",
+            # Evidence basis of auto decisions: measured = run-ledger
+            # family history entered the comparison; worst_case = dense
+            # 4^n/2^n bounds (empty/thin history or REPRO_MEASURED_COST=off).
+            "dispatch.measured",
+            "dispatch.worst_case",
             # Durable-execution layer: chunk-ownership leases and drain.
             "lease.granted",
             "lease.renewed",
@@ -465,7 +491,7 @@ class Scheduler:
                         # The checkpoint already covers every trajectory.
                         self._finalize(job)
                 else:
-                    job.method = self._resolve_method(spec)
+                    job.method = self._resolve_method(spec, job)
                     self._journal_submit(job)
                     if job.method == "exact":
                         # No chunks, no deadline sharing: the exact run
@@ -693,6 +719,8 @@ class Scheduler:
             parts = [self.metrics.snapshot(), self.store.metrics.snapshot()]
             if self.journal is not None:
                 parts.append(self.journal.metrics.snapshot())
+            if self.ledger is not None:
+                parts.append(self.ledger.metrics_snapshot())
             if self._injector is not None:
                 parts.append(self._injector.snapshot())
             return merge_snapshots(*parts)
@@ -752,14 +780,15 @@ class Scheduler:
     # Hybrid dispatch (see repro.exact.cost and docs/EXACT.md)
     # ------------------------------------------------------------------
 
-    def _resolve_method(self, spec: JobSpec) -> str:
+    def _resolve_method(self, spec: JobSpec, job: Optional[_Job] = None) -> str:
         """Decide how a fresh (uncached, unresumed) job actually runs.
 
         ``"stochastic"`` passes through; ``"exact"`` is honoured or
         rejected (a spec the exact backend cannot express fails the
         submission with :class:`SchedulerError` rather than silently
-        sampling); ``"auto"`` asks the cost model, falling back to
-        stochastic for unsupported specs.
+        sampling); ``"auto"`` asks the cost model — scored against
+        run-ledger family history when a ledger is attached — falling back
+        to stochastic for unsupported specs.
         """
         if spec.method == "stochastic":
             return "stochastic"
@@ -774,16 +803,33 @@ class Scheduler:
         if reason is not None:
             self.tracer.event("dispatch.auto", choice="stochastic", reason=reason)
             return "stochastic"
+        history = self.ledger.aggregates() if self.ledger is not None else None
         decision = estimate_costs(
-            spec.circuit, spec.noise_model, spec.properties, spec.trajectories
+            spec.circuit,
+            spec.noise_model,
+            spec.properties,
+            spec.trajectories,
+            backend_kind=spec.backend_kind,
+            history=history,
         )
+        if job is not None:
+            job.decision = decision
+        self.metrics.counter(f"dispatch.{decision.evidence}").inc()
         self.tracer.event(
             "dispatch.auto",
             choice=decision.method,
             exact_cost=decision.exact_cost,
             stochastic_cost=decision.stochastic_cost,
+            evidence=decision.evidence,
+            fingerprint=decision.fingerprint,
         )
         return decision.method
+
+    def decision_for(self, key: str) -> Optional[DispatchDecision]:
+        """The auto-dispatch verdict recorded for ``key``, if any."""
+        with self._lock:
+            job = self._jobs.get(key)
+            return None if job is None else job.decision
 
     def _run_exact(self, job: _Job) -> None:
         """Run one exact-dispatched job to completion in the calling thread.
@@ -811,6 +857,10 @@ class Scheduler:
                     "job.exact_fallback", job=job.key[:16],
                     nodes=limit.nodes, ceiling=limit.ceiling,
                 )
+                # Feed the misprediction back: the family's rho provably
+                # grew past the ceiling, so the measured model's next
+                # exact-size estimate rises (censored observation).
+                self._ledger_record_fallback(job, limit.nodes, limit.ceiling)
                 job.method = "stochastic"
                 job.deadline = (
                     None
@@ -842,6 +892,7 @@ class Scheduler:
                 peak_nodes=result.peak_nodes,
             )
             self.store.put(job.key, result, spec_dict=spec.to_dict())
+            self._ledger_record_run(job, result)
             self._journal_job_done(job, "completed")
             job.done.set()
 
@@ -911,6 +962,50 @@ class Scheduler:
     ) -> None:
         if self.journal is not None:
             self.journal.job_done(job.key, status, error)
+
+    # ------------------------------------------------------------------
+    # Run-ledger hooks (no-ops without a ledger; never fail the job)
+    # ------------------------------------------------------------------
+
+    def _ledger_record_run(self, job: _Job, result: StochasticResult) -> None:
+        if self.ledger is None:
+            return
+        try:
+            p_clean = result.strata.get("p_clean") if result.strata else None
+            rate = result.trajectories_per_second()
+            if rate == float("inf"):
+                rate = 0.0
+            halfwidths = {
+                name: estimate.hoeffding_halfwidth()
+                for name, estimate in result.estimates.items()
+                if estimate.count > 0
+            }
+            self.ledger.record_run(
+                key=job.key,
+                fingerprint=job.fingerprint,
+                method=result.method,
+                qubits=job.spec.circuit.num_qubits,
+                depth=job.spec.circuit.depth(),
+                peak_nodes=result.peak_nodes,
+                cpu_seconds=result.cpu_seconds,
+                elapsed_seconds=result.elapsed_seconds,
+                trajectories=result.completed_trajectories,
+                effective_trajectories=result.effective_trajectories(),
+                trajectories_per_second=rate,
+                p_clean=p_clean,
+                halfwidths=halfwidths,
+            )
+        except Exception:
+            # Telemetry must never take a finished job down with it.
+            self.metrics.counter("ledger.write.errors").inc()
+
+    def _ledger_record_fallback(self, job: _Job, nodes: int, ceiling: int) -> None:
+        if self.ledger is None:
+            return
+        try:
+            self.ledger.record_fallback(job.key, job.fingerprint, nodes, ceiling)
+        except Exception:
+            self.metrics.counter("ledger.write.errors").inc()
 
     # ------------------------------------------------------------------
     # Dispatch loop (background thread)
@@ -1446,6 +1541,9 @@ class Scheduler:
         complete = final.completed_trajectories >= job.spec.trajectories
         if complete and not final.timed_out:
             self.store.put(job.key, final, spec_dict=job.spec.to_dict())
+            # Only complete runs enter the ledger: a timed-out partial's
+            # throughput and peak nodes would skew the family history.
+            self._ledger_record_run(job, final)
         else:
             # Timed-out / partial outcomes are checkpointed, never cached
             # as final: a resubmission with more budget resumes from here.

@@ -17,8 +17,10 @@ import threading
 import time
 from typing import Callable, List, Optional, Tuple
 
+from ..exact.cost import estimate_costs
 from ..obs.context import write_chrome_trace
 from ..obs.export import EventLogWriter, MetricsExporter, to_openmetrics
+from ..obs.ledger import RunLedger, ledger_path, replay_ledger
 from ..obs.metrics import MetricsRegistry, derive_rates, merge_snapshots
 from ..stochastic.results import StochasticResult
 from .job import JobSpec, JobState, JobStatus, StreamingEstimate
@@ -63,6 +65,33 @@ def list_queue(store: ResultStore) -> List[str]:
     return [key for _, key in sorted(entries)]
 
 
+def _dispatch_preview(spec: Optional[JobSpec], history) -> Tuple[str, Optional[str]]:
+    """(method, one-line dispatch evidence) a spec would resolve to.
+
+    ``method="auto"`` specs are scored through the cost model against the
+    store's run-ledger history — the same comparison the scheduler will
+    make — and annotated ``auto:<choice>`` with the decision's rendered
+    evidence line.  Explicit methods pass through without evidence.
+    Best-effort: any scoring failure degrades to the raw method.
+    """
+    if spec is None:
+        return "?", None
+    if spec.method != "auto":
+        return spec.method, None
+    try:
+        decision = estimate_costs(
+            spec.circuit,
+            spec.noise_model,
+            spec.properties,
+            spec.trajectories,
+            backend_kind=spec.backend_kind,
+            history=history,
+        )
+    except Exception:
+        return spec.method, None
+    return f"auto:{decision.method}", decision.render()
+
+
 def list_jobs(store: ResultStore) -> List[dict]:
     """Resumable work visible in the store (``repro jobs``).
 
@@ -71,11 +100,15 @@ def list_jobs(store: ResultStore) -> List[dict]:
     ``serve --resume`` restarts, with its committed-chunk progress),
     ``queued`` (spooled spec not yet picked up), or ``checkpoint``
     (an orphaned partial with no journal entry, resumable by plain
-    resubmission).
+    resubmission).  Each row carries its resolved ``method`` and, for
+    ``auto`` specs, the one-line ``dispatch`` evidence the cost model
+    would cite — scored against the store's run-ledger history.
     """
     rows: List[dict] = []
     seen = set()
+    history = None
     if store.directory is not None:
+        history = replay_ledger(ledger_path(store.directory)).aggregates
         for job in replay_journal(journal_path(store.directory)).values():
             if job.done:
                 continue
@@ -90,21 +123,34 @@ def list_jobs(store: ResultStore) -> List[dict]:
             if job.spec_dict is not None:
                 row["circuit"] = str(job.spec_dict.get("circuit_name", "?"))
                 row["trajectories"] = int(job.spec_dict.get("trajectories", 0))
+                try:
+                    journaled_spec: Optional[JobSpec] = JobSpec.from_dict(
+                        job.spec_dict
+                    )
+                except (KeyError, TypeError, ValueError):
+                    journaled_spec = None
+                method, evidence = _dispatch_preview(journaled_spec, history)
+                row["method"] = method
+                if evidence is not None:
+                    row["dispatch"] = evidence
             rows.append(row)
             seen.add(job.key)
     for key in list_queue(store):
         if key in seen:
             continue
         spec = _dequeue(store, key)
-        rows.append(
-            {
-                "key": key,
-                "source": "queued",
-                "circuit": spec.circuit.name if spec else "?",
-                "trajectories": spec.trajectories if spec else 0,
-                "completed_trajectories": 0,
-            }
-        )
+        method, evidence = _dispatch_preview(spec, history)
+        row = {
+            "key": key,
+            "source": "queued",
+            "circuit": spec.circuit.name if spec else "?",
+            "trajectories": spec.trajectories if spec else 0,
+            "completed_trajectories": 0,
+            "method": method,
+        }
+        if evidence is not None:
+            row["dispatch"] = evidence
+        rows.append(row)
         seen.add(key)
     for key in store.partial_keys():
         if key in seen:
@@ -120,6 +166,8 @@ def list_jobs(store: ResultStore) -> List[dict]:
                 "circuit": partial.circuit_name,
                 "trajectories": partial.requested_trajectories,
                 "completed_trajectories": partial.completed_trajectories,
+                # Checkpoints only ever come from stochastic execution.
+                "method": "stochastic",
             }
         )
     return rows
@@ -254,7 +302,9 @@ class _Telemetry:
             backend=spec.backend_kind,
         )
 
-    def job_finished(self, key: str, result=None, error: Optional[str] = None) -> None:
+    def job_finished(
+        self, key: str, result=None, error: Optional[str] = None, decision=None
+    ) -> None:
         status = self._refresh_status()
         with self._lock:
             self._current_key = None
@@ -263,12 +313,19 @@ class _Telemetry:
         if error is not None:
             self.emit("job.failed", job=key, error=error)
         else:
-            self.emit(
-                "job.done",
-                job=key,
-                completed=result.completed_trajectories,
-                elapsed_seconds=result.elapsed_seconds,
-            )
+            fields: dict = {
+                "job": key,
+                "completed": result.completed_trajectories,
+                "elapsed_seconds": result.elapsed_seconds,
+                "method": result.method,
+            }
+            if decision is not None:
+                # Auto-dispatch evidence trail: what basis the cost model
+                # routed on, citing ledger history when it was measured.
+                fields["dispatch"] = decision.render()
+                fields["dispatch_evidence"] = decision.evidence
+                fields["fingerprint"] = decision.fingerprint
+            self.emit("job.done", **fields)
             self._write_trace(key, result)
 
     def _write_trace(self, key: str, result) -> None:
@@ -453,7 +510,10 @@ def _run_one(
             f"{result.completed_trajectories}/{spec.trajectories} "
             f"trajectories in {result.elapsed_seconds:.3f} s"
         )
-    telemetry.job_finished(key, result=result)
+    decision = scheduler.decision_for(key)
+    if decision is not None:
+        log(f"[serve] job {key[:16]}… {decision.render()}")
+    telemetry.job_finished(key, result=result, decision=decision)
     store.delete_queued(key)
     return True
 
@@ -562,8 +622,13 @@ def serve(
     """
     processed = 0
     journal: Optional[JobJournal] = None
+    ledger: Optional[RunLedger] = None
     if store.directory is not None:
         journal = JobJournal(journal_path(store.directory))
+        # The run ledger lives beside the journal: the journal makes work
+        # resumable, the ledger makes its cost observable — and feeds the
+        # measured dispatch model for every later job of the same family.
+        ledger = RunLedger(ledger_path(store.directory))
     draining = threading.Event()
 
     def _on_signal(signum: int, _frame) -> None:
@@ -585,6 +650,7 @@ def serve(
             chunk_size=chunk_size,
             max_retries=max_retries,
             journal=journal,
+            ledger=ledger,
             lease_duration=lease_duration,
         ) as scheduler, _Telemetry(
             store, scheduler, metrics_port, events_log, trace_dir,
@@ -604,7 +670,11 @@ def serve(
                     store, scheduler, journal, telemetry, log, draining
                 )
                 if max_jobs is not None and processed >= max_jobs:
-                    telemetry.emit("serve.stop", processed=processed)
+                    telemetry.emit(
+                        "serve.stop",
+                        processed=processed,
+                        counters=telemetry.snapshot().get("counters", {}),
+                    )
                     return processed
             while not draining.is_set():
                 keys = list_queue(store)
@@ -632,7 +702,11 @@ def serve(
                     ):
                         processed += 1
                     if max_jobs is not None and processed >= max_jobs:
-                        telemetry.emit("serve.stop", processed=processed)
+                        telemetry.emit(
+                            "serve.stop",
+                            processed=processed,
+                            counters=telemetry.snapshot().get("counters", {}),
+                        )
                         return processed
             if draining.is_set():
                 clean = scheduler.drain(drain_timeout)
@@ -641,7 +715,11 @@ def serve(
                     f"[serve] drained ({'clean' if clean else 'forced'}) "
                     f"after signal; exiting"
                 )
-            telemetry.emit("serve.stop", processed=processed)
+            telemetry.emit(
+                "serve.stop",
+                processed=processed,
+                counters=telemetry.snapshot().get("counters", {}),
+            )
     finally:
         for signum, previous in restore:
             try:
@@ -650,4 +728,6 @@ def serve(
                 pass
         if journal is not None:
             journal.close()
+        if ledger is not None:
+            ledger.close()
     return processed

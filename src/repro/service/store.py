@@ -460,6 +460,9 @@ class ResultStore:
     def stats(self) -> Dict[str, object]:
         """Occupancy and hit-rate counters (``repro cache show``)."""
         disk_bytes = 0
+        ledger_bytes = 0
+        ledger_families = 0
+        ledger_runs = 0
         if self.directory is not None:
             for kind in ("results", "partials", "queue"):
                 folder = os.path.join(self.directory, kind)
@@ -470,6 +473,19 @@ class ResultStore:
                         disk_bytes += os.path.getsize(os.path.join(folder, name))
                     except OSError:
                         pass
+            # Run-ledger occupancy (repro.obs.ledger): family history that
+            # feeds the measured dispatch cost model and `repro history`.
+            from ..obs.ledger import ledger_path, replay_ledger
+
+            runs_file = ledger_path(self.directory)
+            try:
+                ledger_bytes = os.path.getsize(runs_file)
+            except OSError:
+                ledger_bytes = 0
+            if ledger_bytes:
+                state = replay_ledger(runs_file)
+                ledger_families = len(state.aggregates)
+                ledger_runs = state.total_runs()
         counters = self.metrics.snapshot()["counters"]
         return {
             "directory": self.directory,
@@ -482,6 +498,9 @@ class ResultStore:
             "hits": self.hits,
             "misses": self.misses,
             "disk_bytes": disk_bytes,
+            "ledger_bytes": ledger_bytes,
+            "ledger_families": ledger_families,
+            "ledger_runs": ledger_runs,
             "quarantined": counters["store.corruption.quarantined"],
             "write_errors": counters["store.write.errors"],
         }
